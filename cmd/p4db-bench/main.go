@@ -1,0 +1,77 @@
+// Command p4db-bench regenerates the paper's evaluation figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	p4db-bench [-fig id] [-quick] [-measure ms] [-seed n] [-v]
+//
+// Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
+// 18a, 18b, or "all" (default). The appendix raw-throughput figures 19-21
+// are the txn/s columns of figures 11/13/14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (or 'all')")
+	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
+	measureMs := flag.Float64("measure", 0, "override measurement window in virtual ms")
+	samples := flag.Int("samples", 0, "override detection sample size")
+	threads := flag.String("threads", "", "override thread sweep, e.g. 8,14,20")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	opts := bench.Default()
+	if *quick {
+		opts = bench.Quick()
+	}
+	if *measureMs > 0 {
+		opts.Measure = sim.Time(*measureMs * float64(sim.Millisecond))
+	}
+	if *samples > 0 {
+		opts.Samples = *samples
+	}
+	if *threads != "" {
+		var ts []int
+		for _, part := range strings.Split(*threads, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -threads value %q\n", part)
+				os.Exit(2)
+			}
+			ts = append(ts, v)
+		}
+		opts.Threads = ts
+	}
+	opts.Seed = *seed
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	if *fig == "all" {
+		bench.Print(os.Stdout, bench.All(opts))
+		return
+	}
+	runner, ok := bench.Figures[*fig]
+	if !ok {
+		ids := make([]string, 0, len(bench.Figures))
+		for id := range bench.Figures {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(os.Stderr, "unknown figure %q; available: %v or all\n", *fig, ids)
+		os.Exit(2)
+	}
+	bench.Print(os.Stdout, runner(opts))
+}

@@ -1,0 +1,114 @@
+// Command p4db-layout runs the offline preparation step in isolation:
+// sample a workload, detect the hot-set, compute the declustered layout
+// and report how many of the sampled hot transactions would execute in a
+// single pipeline pass — the metric Section 4's data layout optimizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hotset"
+	"repro/internal/layout"
+	"repro/internal/netsim"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "smallbank", "ycsb-a | ycsb-b | ycsb-c | smallbank | tpcc")
+	nodes := flag.Int("nodes", 8, "database nodes")
+	samples := flag.Int("samples", 60000, "sampled transactions for detection")
+	random := flag.Bool("random", false, "use the random (worst-case) layout instead of the declustered one")
+	seed := flag.Uint64("seed", 42, "sampling seed")
+	flag.Parse()
+
+	var gen workload.Generator
+	switch *wl {
+	case "ycsb-a":
+		gen = workload.NewYCSB(workload.YCSBWorkloadA(*nodes))
+	case "ycsb-b":
+		gen = workload.NewYCSB(workload.YCSBWorkloadB(*nodes))
+	case "ycsb-c":
+		gen = workload.NewYCSB(workload.YCSBWorkloadC(*nodes))
+	case "smallbank":
+		gen = workload.NewSmallBank(workload.DefaultSmallBank(*nodes, 10))
+	case "tpcc":
+		gen = workload.NewTPCC(workload.DefaultTPCC(*nodes, *nodes))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	rng := sim.NewRNG(*seed)
+	txns := make([][]hotset.Access, 0, *samples)
+	raw := make([]*workload.Txn, 0, *samples)
+	for i := 0; i < *samples; i++ {
+		txn := gen.Next(rng, netsim.NodeID(i%*nodes))
+		accs := make([]hotset.Access, len(txn.Ops))
+		for j, op := range txn.Ops {
+			accs[j] = hotset.Access{Key: op.TupleKey(), DependsOn: op.DependsOn}
+		}
+		txns = append(txns, accs)
+		raw = append(raw, txn)
+	}
+
+	swCfg := pisa.DefaultConfig()
+	hs := hotset.DetectAuto(txns, swCfg.Capacity())
+	spec := layout.Spec{Stages: swCfg.Stages, ArraysPerStage: swCfg.ArraysPerStage, SlotsPerArray: swCfg.SlotsPerArray}
+	var l *layout.Layout
+	if *random {
+		l = layout.Random(hs.Graph(), spec, sim.NewRNG(*seed^0xBAD))
+	} else {
+		l = layout.Optimal(hs.Graph(), spec)
+	}
+
+	fmt.Printf("workload:       %s (%d nodes, %d sampled txns)\n", gen.Name(), *nodes, *samples)
+	fmt.Printf("hot tuples:     %d (graph: %v)\n", hs.Size(), hs.Graph())
+	fmt.Printf("layout:         %d tuples over %d stages x %d arrays\n",
+		l.NumTuples(), spec.Stages, spec.ArraysPerStage)
+
+	ix := hotset.BuildIndex(hs, l)
+	single, multi, hot := 0, 0, 0
+	for _, txn := range raw {
+		allHot := len(txn.Ops) > 0
+		ops := make([]layout.HotOp, 0, len(txn.Ops))
+		for _, op := range txn.Ops {
+			if !ix.OnSwitch(op.TupleKey()) {
+				allHot = false
+				break
+			}
+			ops = append(ops, layout.HotOp{
+				Tuple: layout.TupleID(op.TupleKey()), Op: op.Kind.WireOp(),
+				Operand: op.Value, DependsOn: op.DependsOn,
+			})
+		}
+		if !allHot {
+			continue
+		}
+		hot++
+		if _, _, passes, err := layout.Compile(ops, l); err == nil && passes == 1 {
+			single++
+		} else {
+			multi++
+		}
+	}
+	fmt.Printf("hot txns:       %d of %d sampled\n", hot, len(raw))
+	if hot > 0 {
+		fmt.Printf("single-pass:    %d (%.2f%%)\n", single, 100*float64(single)/float64(hot))
+		fmt.Printf("multi-pass:     %d (%.2f%%)\n", multi, 100*float64(multi)/float64(hot))
+	}
+
+	// Stage occupancy summary.
+	occ := make(map[uint8]int)
+	for _, tid := range l.Tuples() {
+		s, _ := l.SlotOf(tid)
+		occ[s.Stage]++
+	}
+	fmt.Println("stage occupancy:")
+	for st := 0; st < spec.Stages; st++ {
+		fmt.Printf("  stage %2d: %d tuples\n", st, occ[uint8(st)])
+	}
+}

@@ -1,0 +1,166 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section 7). Each FigXX function
+// runs the corresponding parameter sweep on the simulated cluster and
+// returns one Row per plotted point; cmd/p4db-bench prints them as tables
+// and bench_test.go wires them into `go test -bench`.
+//
+// Throughput numbers are simulated transactions per simulated second: the
+// substrate is a discrete-event model rather than the authors' testbed, so
+// absolute values differ from the paper while the comparisons (who wins,
+// by what factor, where crossovers fall) are the reproduction target —
+// EXPERIMENTS.md records both sides.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options sizes the sweeps and the simulation windows.
+type Options struct {
+	Nodes    int
+	Warmup   sim.Time
+	Measure  sim.Time
+	Samples  int   // offline detection sample size
+	Threads  []int // worker-per-node sweep (paper: 8..20)
+	DistPcts []int // distributed-transaction sweep (paper: 25/50/75)
+	Seed     uint64
+	Progress io.Writer // per-run progress lines; nil for silent
+}
+
+// Default returns the paper-scale options: 8 nodes, 8-20 worker threads.
+func Default() Options {
+	return Options{
+		Nodes:    8,
+		Warmup:   1 * sim.Millisecond,
+		Measure:  5 * sim.Millisecond,
+		Samples:  60000,
+		Threads:  []int{8, 12, 16, 20},
+		DistPcts: []int{25, 50, 75},
+		Seed:     42,
+	}
+}
+
+// Quick returns a reduced configuration for smoke tests and testing.B.
+func Quick() Options {
+	return Options{
+		Nodes:    4,
+		Warmup:   500 * sim.Microsecond,
+		Measure:  1500 * sim.Microsecond,
+		Samples:  12000,
+		Threads:  []int{8, 20},
+		DistPcts: []int{25, 75},
+		Seed:     42,
+	}
+}
+
+// progressf writes a progress line if a Progress writer is set.
+func (o Options) progressf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format, args...)
+	}
+}
+
+// config assembles a core.Config for one run.
+func (o Options) config(sys core.System, pol lock.Policy, workers int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.System = sys
+	cfg.Policy = pol
+	cfg.Nodes = o.Nodes
+	cfg.WorkersPerNode = workers
+	cfg.SampleTxns = o.Samples
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// run builds a cluster and measures one point.
+func (o Options) run(cfg core.Config, gen workload.Generator) *core.Result {
+	c := core.NewCluster(cfg, gen)
+	return c.Run(o.Warmup, o.Measure)
+}
+
+// Workload generator shorthands at the paper's parameters.
+
+func (o Options) ycsb(writePct, distPct, hotTxnPct int) *workload.YCSB {
+	cfg := workload.YCSBWorkloadA(o.Nodes)
+	cfg.WritePct = writePct
+	cfg.DistPct = distPct
+	cfg.HotTxnPct = hotTxnPct
+	return workload.NewYCSB(cfg)
+}
+
+func (o Options) smallbank(hotPerNode, distPct int) *workload.SmallBank {
+	cfg := workload.DefaultSmallBank(o.Nodes, hotPerNode)
+	cfg.DistPct = distPct
+	return workload.NewSmallBank(cfg)
+}
+
+func (o Options) tpcc(warehouses, distPct int) *workload.TPCC {
+	cfg := workload.DefaultTPCC(o.Nodes, warehouses)
+	cfg.DistPct = distPct
+	return workload.NewTPCC(cfg)
+}
+
+// Row is one plotted point of a figure.
+type Row struct {
+	Figure     string
+	Workload   string
+	Series     string // e.g. "P4DB (NO_WAIT)"
+	X          string // sweep coordinate, e.g. "16 thr" or "50% dist"
+	Throughput float64
+	Speedup    float64 // vs the figure's baseline (0 when not applicable)
+	AbortRate  float64
+	HotFrac    float64 // committed hot transactions / committed
+	MeanLatUs  float64
+	Value      float64 // figure-specific metric (e.g. breakdown µs/txn)
+}
+
+// fill derives the common metrics from a result.
+func fill(r Row, res *core.Result) Row {
+	r.Throughput = res.Throughput()
+	r.AbortRate = res.Counters.AbortRate()
+	if c := res.Counters.Committed(); c > 0 {
+		r.HotFrac = float64(res.Counters.CommittedHot) / float64(c)
+	}
+	r.MeanLatUs = float64(res.Latency.Mean()) / float64(sim.Microsecond)
+	return r
+}
+
+// Print renders rows as an aligned table.
+func Print(w io.Writer, rows []Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fig := ""
+	for _, r := range rows {
+		if r.Figure != fig {
+			fig = r.Figure
+			fmt.Fprintf(w, "\n== %s ==\n", fig)
+			fmt.Fprintf(w, "%-10s %-28s %-14s %12s %9s %8s %8s %9s\n",
+				"workload", "series", "x", "txn/s", "speedup", "abort%", "hot%", "lat(µs)")
+		}
+		speed := "-"
+		if r.Speedup > 0 {
+			speed = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(w, "%-10s %-28s %-14s %12.0f %9s %7.1f%% %7.1f%% %9.1f\n",
+			r.Workload, r.Series, r.X, r.Throughput, speed,
+			100*r.AbortRate, 100*r.HotFrac, r.MeanLatUs)
+	}
+}
+
+// seriesName labels a system+policy combination like the paper's legends.
+func seriesName(sys core.System, pol lock.Policy) string {
+	return fmt.Sprintf("%s (%s)", sys, pol)
+}
+
+// latPerTxnUs converts a breakdown component to µs per transaction.
+func latPerTxnUs(b *metrics.Breakdown, comp metrics.Component) float64 {
+	return float64(b.PerTxn(comp)) / float64(sim.Microsecond)
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+)
+
+// tiny returns the smallest meaningful option set for unit tests.
+func tiny() Options {
+	o := Quick()
+	o.Threads = []int{6}
+	o.DistPcts = []int{50}
+	o.Samples = 10000
+	return o
+}
+
+func find(rows []Row, series, x string) *Row {
+	for i := range rows {
+		if rows[i].Series == series && (x == "" || rows[i].X == x) {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func TestFig01Shape(t *testing.T) {
+	rows := Fig01(tiny())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 workloads x 2 systems)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Throughput <= 0 {
+			t.Fatalf("zero throughput: %+v", r)
+		}
+		if r.Series == "P4DB" && r.Speedup <= 1 {
+			t.Fatalf("P4DB speedup %.2f <= 1 on %s", r.Speedup, r.Workload)
+		}
+	}
+}
+
+func TestFig12HotFractions(t *testing.T) {
+	o := tiny()
+	rows := Fig12(o)
+	// P4DB commits a materially larger hot fraction than No-Switch on the
+	// update-heavy workload (the Figure 12 phenomenon).
+	var ns, p4 float64
+	for _, r := range rows {
+		if r.Workload != "YCSB-A" {
+			continue
+		}
+		switch r.Series {
+		case seriesName(core.NoSwitch, lock.NoWait):
+			ns = r.HotFrac
+		case seriesName(core.P4DB, lock.NoWait):
+			p4 = r.HotFrac
+		}
+	}
+	if p4 <= ns {
+		t.Fatalf("P4DB hot commit fraction %.2f <= No-Switch %.2f", p4, ns)
+	}
+	if p4 < 0.5 {
+		t.Fatalf("P4DB hot fraction %.2f; workload offers 75%%", p4)
+	}
+}
+
+func TestFig15cMonotonic(t *testing.T) {
+	rows := Fig15c(tiny())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The fully-optimized configuration must beat the unoptimized one.
+	if last := rows[3]; last.Speedup <= rows[0].Speedup {
+		t.Fatalf("declustered layout (%.2fx) not faster than unoptimized (%.2fx)", last.Speedup, rows[0].Speedup)
+	}
+}
+
+func TestFig17GracefulDegradation(t *testing.T) {
+	o := tiny()
+	rows := Fig17(o)
+	// With the smallest capacity and the largest hot-set, P4DB must not
+	// collapse below ~the No-Switch baseline.
+	for _, r := range rows {
+		if strings.HasPrefix(r.Series, "Capacity") && r.Speedup > 0 && r.Speedup < 0.5 {
+			t.Fatalf("overflowing hot-set collapsed: %+v", r)
+		}
+	}
+	// Small hot-set on a big-enough switch must still show a clear win.
+	big := find(rows, "Capacity 64992 rows", "200 hot")
+	if big == nil {
+		t.Fatalf("missing expected row; have %+v", rows)
+	}
+	if big.Speedup < 1.2 {
+		t.Fatalf("in-capacity speedup %.2f too small", big.Speedup)
+	}
+}
+
+func TestFig18aBreakdownShape(t *testing.T) {
+	rows := Fig18a(tiny())
+	get := func(series, comp string) float64 {
+		r := find(rows, series, comp)
+		if r == nil {
+			t.Fatalf("missing %s/%s", series, comp)
+		}
+		return r.Value
+	}
+	// P4DB must spend less time in lock acquisition than No-Switch
+	// (Figure 18a's first effect).
+	if get("P4DB", "Lock Acquisition") >= get("No-Switch", "Lock Acquisition") {
+		t.Fatal("P4DB did not reduce lock acquisition time")
+	}
+	// And No-Switch has no switch-transaction component.
+	if get("No-Switch", "Switch Txn") != 0 {
+		t.Fatal("No-Switch reported switch time")
+	}
+	if get("P4DB", "Switch Txn") <= 0 {
+		t.Fatal("P4DB reported no switch time")
+	}
+}
+
+func TestFig18bOrdering(t *testing.T) {
+	rows := Fig18b(tiny())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Plain2PL < +Opt.Part and +P4DB is the best of all.
+	if rows[1].Throughput <= rows[0].Throughput {
+		t.Fatalf("optimal partitioning (%.0f) not faster than plain 2PL (%.0f)", rows[1].Throughput, rows[0].Throughput)
+	}
+	best := rows[3].Throughput
+	for _, r := range rows[:3] {
+		if r.Throughput >= best {
+			t.Fatalf("P4DB (%.0f) not the fastest: %s at %.0f", best, r.Series, r.Throughput)
+		}
+	}
+}
+
+func TestPrintRendersAllRows(t *testing.T) {
+	rows := []Row{
+		{Figure: "F", Workload: "w", Series: "s", X: "x", Throughput: 123, Speedup: 2},
+		{Figure: "F", Workload: "w", Series: "s2", X: "x", Throughput: 456},
+	}
+	var buf bytes.Buffer
+	Print(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"== F ==", "s2", "2.00x", "123", "456"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickAndDefaultOptionsSane(t *testing.T) {
+	for _, o := range []Options{Default(), Quick()} {
+		if o.Nodes <= 0 || o.Measure <= 0 || len(o.Threads) == 0 {
+			t.Fatalf("bad options: %+v", o)
+		}
+	}
+	if len(Figures) != 14 {
+		t.Fatalf("figure registry has %d entries, want 14", len(Figures))
+	}
+}

@@ -1,0 +1,458 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// bothPolicies is the paper's standard CC-policy pair.
+var bothPolicies = []lock.Policy{lock.NoWait, lock.WaitDie}
+
+// Fig01 regenerates the headline comparison (Figure 1): No-Switch vs P4DB
+// throughput and speedup on YCSB-A, SmallBank (8x5 hot) and TPC-C (8 WH)
+// at full load with 20% distributed transactions.
+func Fig01(o Options) []Row {
+	type wl struct {
+		name string
+		gen  func() workload.Generator
+	}
+	workloads := []wl{
+		{"YCSB", func() workload.Generator { return o.ycsb(50, 20, 75) }},
+		{"SmallBank", func() workload.Generator { return o.smallbank(5, 20) }},
+		{"TPC-C", func() workload.Generator { return o.tpcc(o.Nodes, 20) }},
+	}
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, w := range workloads {
+		var base float64
+		for _, sys := range []core.System{core.NoSwitch, core.P4DB} {
+			o.progressf("fig01 %s %s\n", w.name, sys)
+			res := o.run(o.config(sys, lock.NoWait, workers), w.gen())
+			r := fill(Row{Figure: "Figure 1", Workload: w.name, Series: sys.String(), X: "20% dist"}, res)
+			if sys == core.NoSwitch {
+				base = r.Throughput
+			} else if base > 0 {
+				r.Speedup = r.Throughput / base
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// sweepSystems measures P4DB and LM-Switch speedups over the No-Switch
+// baseline with matching lock policy, for one generator factory, across a
+// one-dimensional sweep. Raw No-Switch rows are included (they double as
+// the raw-throughput appendix figures 19-21).
+func (o Options) sweepSystems(fig, wlName string, systems []core.System, xs []string, workers func(i int) int, gen func(i int) workload.Generator) []Row {
+	var rows []Row
+	for i, x := range xs {
+		for _, pol := range bothPolicies {
+			o.progressf("%s %s x=%s base %v\n", fig, wlName, x, pol)
+			base := o.run(o.config(core.NoSwitch, pol, workers(i)), gen(i))
+			rows = append(rows, fill(Row{
+				Figure: fig, Workload: wlName,
+				Series: seriesName(core.NoSwitch, pol), X: x, Speedup: 1,
+			}, base))
+			for _, sys := range systems {
+				o.progressf("%s %s x=%s %v %v\n", fig, wlName, x, sys, pol)
+				res := o.run(o.config(sys, pol, workers(i)), gen(i))
+				r := fill(Row{Figure: fig, Workload: wlName, Series: seriesName(sys, pol), X: x}, res)
+				if base.Throughput() > 0 {
+					r.Speedup = r.Throughput / base.Throughput()
+				}
+				rows = append(rows, r)
+			}
+		}
+	}
+	return rows
+}
+
+// Fig11Contention regenerates Figure 11 (upper row) / Figure 19 (upper):
+// YCSB A/B/C speedups over No-Switch while scaling worker threads.
+func Fig11Contention(o Options) []Row {
+	var rows []Row
+	for _, wl := range []struct {
+		name     string
+		writePct int
+	}{{"YCSB-A", 50}, {"YCSB-B", 5}, {"YCSB-C", 0}} {
+		wl := wl
+		xs := make([]string, len(o.Threads))
+		for i, t := range o.Threads {
+			xs[i] = fmt.Sprintf("%d thr", t)
+		}
+		rows = append(rows, o.sweepSystems("Figure 11 (threads)", wl.name,
+			[]core.System{core.LMSwitch, core.P4DB}, xs,
+			func(i int) int { return o.Threads[i] },
+			func(i int) workload.Generator { return o.ycsb(wl.writePct, 20, 75) })...)
+	}
+	return rows
+}
+
+// Fig11Distributed regenerates Figure 11 (lower row) / Figure 19 (lower):
+// YCSB speedups while scaling the fraction of distributed transactions.
+func Fig11Distributed(o Options) []Row {
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, wl := range []struct {
+		name     string
+		writePct int
+	}{{"YCSB-A", 50}, {"YCSB-B", 5}, {"YCSB-C", 0}} {
+		wl := wl
+		xs := make([]string, len(o.DistPcts))
+		for i, d := range o.DistPcts {
+			xs[i] = fmt.Sprintf("%d%% dist", d)
+		}
+		rows = append(rows, o.sweepSystems("Figure 11 (distributed)", wl.name,
+			[]core.System{core.LMSwitch, core.P4DB}, xs,
+			func(i int) int { return workers },
+			func(i int) workload.Generator { return o.ycsb(wl.writePct, o.DistPcts[i], 75) })...)
+	}
+	return rows
+}
+
+// Fig12 regenerates the hot/cold commit breakdown (Figure 12): committed
+// hot vs cold transaction fractions for No-Switch and P4DB on YCSB A/B/C
+// at 20 threads and 20% distributed transactions.
+func Fig12(o Options) []Row {
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, wl := range []struct {
+		name     string
+		writePct int
+	}{{"YCSB-A", 50}, {"YCSB-B", 5}, {"YCSB-C", 0}} {
+		for _, sys := range []core.System{core.NoSwitch, core.P4DB} {
+			for _, pol := range bothPolicies {
+				o.progressf("fig12 %s %v %v\n", wl.name, sys, pol)
+				res := o.run(o.config(sys, pol, workers), o.ycsb(wl.writePct, 20, 75))
+				rows = append(rows, fill(Row{
+					Figure: "Figure 12", Workload: wl.name,
+					Series: seriesName(sys, pol), X: "hot/cold",
+				}, res))
+			}
+		}
+	}
+	return rows
+}
+
+// Fig13Contention regenerates Figure 13 (upper) / Figure 20 (upper):
+// SmallBank speedups for hot-set sizes 8x5/8x10/8x15 while scaling
+// threads.
+func Fig13Contention(o Options) []Row {
+	var rows []Row
+	for _, hot := range []int{5, 10, 15} {
+		hot := hot
+		xs := make([]string, len(o.Threads))
+		for i, t := range o.Threads {
+			xs[i] = fmt.Sprintf("%d thr", t)
+		}
+		rows = append(rows, o.sweepSystems("Figure 13 (threads)",
+			fmt.Sprintf("SB %dx%d", o.Nodes, hot),
+			[]core.System{core.P4DB}, xs,
+			func(i int) int { return o.Threads[i] },
+			func(i int) workload.Generator { return o.smallbank(hot, 20) })...)
+	}
+	return rows
+}
+
+// Fig13Distributed regenerates Figure 13 (lower) / Figure 20 (lower).
+func Fig13Distributed(o Options) []Row {
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, hot := range []int{5, 10, 15} {
+		hot := hot
+		xs := make([]string, len(o.DistPcts))
+		for i, d := range o.DistPcts {
+			xs[i] = fmt.Sprintf("%d%% dist", d)
+		}
+		rows = append(rows, o.sweepSystems("Figure 13 (distributed)",
+			fmt.Sprintf("SB %dx%d", o.Nodes, hot),
+			[]core.System{core.P4DB}, xs,
+			func(i int) int { return workers },
+			func(i int) workload.Generator { return o.smallbank(hot, o.DistPcts[i]) })...)
+	}
+	return rows
+}
+
+// Fig14Contention regenerates Figure 14 (upper) / Figure 21 (upper):
+// TPC-C speedups for 8/16/32 warehouses while scaling threads.
+func Fig14Contention(o Options) []Row {
+	var rows []Row
+	for _, wh := range []int{o.Nodes, o.Nodes * 2, o.Nodes * 4} {
+		wh := wh
+		xs := make([]string, len(o.Threads))
+		for i, t := range o.Threads {
+			xs[i] = fmt.Sprintf("%d thr", t)
+		}
+		rows = append(rows, o.sweepSystems("Figure 14 (threads)",
+			fmt.Sprintf("TPCC %dWH", wh),
+			[]core.System{core.P4DB}, xs,
+			func(i int) int { return o.Threads[i] },
+			func(i int) workload.Generator { return o.tpcc(wh, 20) })...)
+	}
+	return rows
+}
+
+// Fig14Distributed regenerates Figure 14 (lower) / Figure 21 (lower).
+func Fig14Distributed(o Options) []Row {
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, wh := range []int{o.Nodes, o.Nodes * 2, o.Nodes * 4} {
+		wh := wh
+		xs := make([]string, len(o.DistPcts))
+		for i, d := range o.DistPcts {
+			xs[i] = fmt.Sprintf("%d%% dist", d)
+		}
+		rows = append(rows, o.sweepSystems("Figure 14 (distributed)",
+			fmt.Sprintf("TPCC %dWH", wh),
+			[]core.System{core.P4DB}, xs,
+			func(i int) int { return workers },
+			func(i int) workload.Generator { return o.tpcc(wh, o.DistPcts[i]) })...)
+	}
+	return rows
+}
+
+// Fig15ab regenerates the hot/cold-ratio microbenchmark (Figure 15a/b):
+// YCSB-A with 20% distributed transactions while the fraction of hot
+// transactions grows from 0 to 100%.
+func Fig15ab(o Options) []Row {
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, hotPct := range []int{0, 25, 50, 75, 100} {
+		for _, pol := range bothPolicies {
+			o.progressf("fig15ab hot=%d %v\n", hotPct, pol)
+			base := o.run(o.config(core.NoSwitch, pol, workers), o.ycsb(50, 20, hotPct))
+			rows = append(rows, fill(Row{
+				Figure: "Figure 15a/b", Workload: "YCSB-A",
+				Series: seriesName(core.NoSwitch, pol),
+				X:      fmt.Sprintf("%d%% hot", hotPct), Speedup: 1,
+			}, base))
+			res := o.run(o.config(core.P4DB, pol, workers), o.ycsb(50, 20, hotPct))
+			r := fill(Row{
+				Figure: "Figure 15a/b", Workload: "YCSB-A",
+				Series: seriesName(core.P4DB, pol),
+				X:      fmt.Sprintf("%d%% hot", hotPct),
+			}, res)
+			if base.Throughput() > 0 {
+				r.Speedup = r.Throughput / base.Throughput()
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// Fig15c regenerates the switch-optimization ablation (Figure 15c) on the
+// hot transactions of YCSB-A: starting from a random layout with all
+// multi-pass optimizations off, fast recirculation, fine-grained locking
+// and finally the declustered layout are enabled cumulatively.
+func Fig15c(o Options) []Row {
+	steps := []struct {
+		name       string
+		random     bool
+		fastRecirc bool
+		fineLocks  bool
+	}{
+		{"Unoptimized", true, false, false},
+		{"+Fast-Recirculate", true, true, false},
+		{"+Fine-Locking", true, true, true},
+		{"+Declustered", false, true, true},
+	}
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	var base float64
+	for _, s := range steps {
+		o.progressf("fig15c %s\n", s.name)
+		cfg := o.config(core.P4DB, lock.NoWait, workers)
+		cfg.RandomLayout = s.random
+		cfg.Switch.FastRecirc = s.fastRecirc
+		cfg.Switch.FineLocks = s.fineLocks
+		res := o.run(cfg, o.ycsb(50, 20, 100))
+		r := fill(Row{Figure: "Figure 15c", Workload: "YCSB-A hot", Series: s.name, X: "ablation"}, res)
+		if base == 0 {
+			base = r.Throughput
+			r.Speedup = 1
+		} else {
+			r.Speedup = r.Throughput / base
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Fig16 regenerates the layout-impact experiment (Figure 16): optimal vs
+// random (worst-case) data layout for all three workloads, reporting
+// throughput and mean transaction latency while scaling threads.
+func Fig16(o Options) []Row {
+	type wl struct {
+		name string
+		gen  func() workload.Generator
+	}
+	workloads := []wl{
+		{"YCSB-A", func() workload.Generator { return o.ycsb(50, 20, 75) }},
+		{"SB 8x5", func() workload.Generator { return o.smallbank(5, 20) }},
+		{"TPCC 8WH", func() workload.Generator { return o.tpcc(o.Nodes, 20) }},
+	}
+	var rows []Row
+	for _, w := range workloads {
+		for _, random := range []bool{false, true} {
+			series := "Optimal Layout"
+			if random {
+				series = "Worst Layout"
+			}
+			for _, thr := range o.Threads {
+				o.progressf("fig16 %s %s %d thr\n", w.name, series, thr)
+				cfg := o.config(core.P4DB, lock.NoWait, thr)
+				cfg.RandomLayout = random
+				res := o.run(cfg, w.gen())
+				rows = append(rows, fill(Row{
+					Figure: "Figure 16", Workload: w.name, Series: series,
+					X: fmt.Sprintf("%d thr", thr),
+				}, res))
+			}
+		}
+	}
+	return rows
+}
+
+// Fig17 regenerates the capacity-overflow experiment (Figure 17): YCSB-A
+// hot-sets growing past several switch capacities. Hot tuples beyond
+// capacity stay on the nodes, so throughput must degrade gracefully toward
+// the No-Switch baseline.
+func Fig17(o Options) []Row {
+	capacities := []int{1000, 10000, 65000}
+	hotPerNodeSizes := []int{50, 126, 1250, 8250, 32750}
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, hpn := range hotPerNodeSizes {
+		total := hpn * o.Nodes
+		x := fmt.Sprintf("%d hot", total)
+		gen := func() *workload.YCSB {
+			cfg := workload.YCSBWorkloadA(o.Nodes)
+			cfg.DistPct = 20
+			cfg.HotPerNode = hpn
+			return workload.NewYCSB(cfg)
+		}
+		o.progressf("fig17 base hot=%d\n", total)
+		base := o.run(o.config(core.NoSwitch, lock.NoWait, workers), gen())
+		rows = append(rows, fill(Row{
+			Figure: "Figure 17", Workload: "YCSB-A",
+			Series: "No-Switch", X: x, Speedup: 1,
+		}, base))
+		for _, capRows := range capacities {
+			o.progressf("fig17 cap=%d hot=%d\n", capRows, total)
+			cfg := o.config(core.P4DB, lock.NoWait, workers)
+			cfg.Switch = pisa.DefaultConfig()
+			cfg.Switch.SlotsPerArray = capRows / (cfg.Switch.Stages * cfg.Switch.ArraysPerStage)
+			g := gen()
+			cfg.ExplicitHot = g.HotCandidates()
+			res := o.run(cfg, g)
+			r := fill(Row{
+				Figure: "Figure 17", Workload: "YCSB-A",
+				Series: fmt.Sprintf("Capacity %d rows", cfg.Switch.Capacity()), X: x,
+			}, res)
+			if base.Throughput() > 0 {
+				r.Speedup = r.Throughput / base.Throughput()
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// Fig18a regenerates the TPC-C latency breakdown (Figure 18a): average
+// per-transaction time in each engine component for No-Switch vs P4DB at
+// the highest contention (8 warehouses, 20 threads). Value is µs/txn.
+func Fig18a(o Options) []Row {
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	for _, sys := range []core.System{core.NoSwitch, core.P4DB} {
+		o.progressf("fig18a %v\n", sys)
+		res := o.run(o.config(sys, lock.NoWait, workers), o.tpcc(o.Nodes, 20))
+		for _, comp := range metrics.Components() {
+			rows = append(rows, Row{
+				Figure: "Figure 18a", Workload: "TPCC 8WH",
+				Series: sys.String(), X: comp.String(),
+				Value:     latPerTxnUs(&res.Breakdown, comp),
+				MeanLatUs: float64(res.Latency.Mean()) / float64(sim.Microsecond),
+			})
+		}
+	}
+	return rows
+}
+
+// Fig18b regenerates the existing-optimizations comparison (Figure 18b):
+// plain 2PL/2PC with poor locality, optimal partitioning, a Chiller-style
+// contention-centric scheme, and P4DB, all on TPC-C with 8 warehouses.
+func Fig18b(o Options) []Row {
+	steps := []struct {
+		name string
+		sys  core.System
+		dist int
+	}{
+		{"Plain 2PL", core.NoSwitch, 80},
+		{"+Opt. Part.", core.NoSwitch, 20},
+		{"+Chiller", core.Chiller, 20},
+		{"+P4DB", core.P4DB, 20},
+	}
+	var rows []Row
+	workers := o.Threads[len(o.Threads)-1]
+	var base float64
+	for _, s := range steps {
+		o.progressf("fig18b %s\n", s.name)
+		res := o.run(o.config(s.sys, lock.NoWait, workers), o.tpcc(o.Nodes, s.dist))
+		r := fill(Row{Figure: "Figure 18b", Workload: "TPCC 8WH", Series: s.name, X: "existing opts"}, res)
+		if base == 0 {
+			base = r.Throughput
+			r.Speedup = 1
+		} else {
+			r.Speedup = r.Throughput / base
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// All runs every figure and returns the concatenated rows.
+func All(o Options) []Row {
+	var rows []Row
+	rows = append(rows, Fig01(o)...)
+	rows = append(rows, Fig11Contention(o)...)
+	rows = append(rows, Fig11Distributed(o)...)
+	rows = append(rows, Fig12(o)...)
+	rows = append(rows, Fig13Contention(o)...)
+	rows = append(rows, Fig13Distributed(o)...)
+	rows = append(rows, Fig14Contention(o)...)
+	rows = append(rows, Fig14Distributed(o)...)
+	rows = append(rows, Fig15ab(o)...)
+	rows = append(rows, Fig15c(o)...)
+	rows = append(rows, Fig16(o)...)
+	rows = append(rows, Fig17(o)...)
+	rows = append(rows, Fig18a(o)...)
+	rows = append(rows, Fig18b(o)...)
+	return rows
+}
+
+// Figures maps figure ids (as used by cmd/p4db-bench -fig) to runners.
+var Figures = map[string]func(Options) []Row{
+	"1":    Fig01,
+	"11t":  Fig11Contention,
+	"11d":  Fig11Distributed,
+	"12":   Fig12,
+	"13t":  Fig13Contention,
+	"13d":  Fig13Distributed,
+	"14t":  Fig14Contention,
+	"14d":  Fig14Distributed,
+	"15ab": Fig15ab,
+	"15c":  Fig15c,
+	"16":   Fig16,
+	"17":   Fig17,
+	"18a":  Fig18a,
+	"18b":  Fig18b,
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hotset"
+	"repro/internal/layout"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// Node is one database server: its store partition, lock table, WAL and
+// measurement state.
+type Node struct {
+	id    netsim.NodeID
+	store *store.Store
+	locks *lock.Table
+	log   *wal.Log
+	occ   *occState
+
+	counters  metrics.Counters
+	breakdown metrics.Breakdown
+	latency   metrics.Histogram
+}
+
+// ID returns the node id.
+func (n *Node) ID() netsim.NodeID { return n.id }
+
+// Store exposes the node's storage (examples and tests).
+func (n *Node) Store() *store.Store { return n.store }
+
+// Log exposes the node's write-ahead log (recovery).
+func (n *Node) Log() *wal.Log { return n.log }
+
+// Cluster is the whole system under test: nodes, network, switch, the
+// offloaded hot-set and its layout.
+type Cluster struct {
+	cfg   Config
+	env   *sim.Env
+	net   *netsim.Network
+	gen   workload.Generator
+	nodes []*Node
+
+	sw       *pisa.Switch
+	hotIdx   *hotset.Index
+	layout   *layout.Layout
+	baseline []int64 // switch registers right after offload (recovery base)
+
+	// lmLocks is the in-switch central lock manager of the LM-Switch
+	// baseline, reachable at half an RTT.
+	lmLocks *lock.Table
+
+	nextTS    uint64
+	measuring bool
+	hotLabel  map[store.GlobalKey]bool // tuples classified hot (all systems)
+}
+
+// NewCluster builds and loads the system: it creates the nodes, populates
+// the benchmark's partitions, runs the offline hot-tuple detection, and —
+// for P4DB — computes the declustered layout and offloads the hot tuples
+// into the switch registers.
+func NewCluster(cfg Config, gen workload.Generator) *Cluster {
+	if gen.Nodes() != cfg.Nodes {
+		panic(fmt.Sprintf("core: generator partitions %d nodes, config has %d", gen.Nodes(), cfg.Nodes))
+	}
+	env := sim.NewEnv(cfg.Seed)
+	c := &Cluster{
+		cfg: cfg,
+		env: env,
+		net: netsim.New(env, cfg.Nodes, cfg.Latency),
+		gen: gen,
+		sw:  pisa.New(env, cfg.Switch),
+	}
+	stores := make([]*store.Store, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		stores[i] = store.New()
+		c.nodes = append(c.nodes, &Node{
+			id:    netsim.NodeID(i),
+			store: stores[i],
+			locks: lock.NewTable(env, cfg.Policy),
+			log:   wal.NewLog(i),
+			occ:   newOCCState(),
+		})
+	}
+	gen.Populate(stores)
+
+	c.detectAndOffload()
+	if cfg.System == LMSwitch {
+		c.lmLocks = lock.NewTable(env, cfg.Policy)
+	}
+	return c
+}
+
+// detectAndOffload performs the offline preparation step of Figure 3:
+// replay a workload sample, select the hot-set, compute the data layout
+// and load the switch registers.
+func (c *Cluster) detectAndOffload() {
+	sampleRNG := sim.NewRNG(c.cfg.Seed ^ 0x5EED)
+	samples := make([][]hotset.Access, 0, c.cfg.SampleTxns)
+	for i := 0; i < c.cfg.SampleTxns; i++ {
+		txn := c.gen.Next(sampleRNG, netsim.NodeID(i%c.cfg.Nodes))
+		accs := make([]hotset.Access, len(txn.Ops))
+		for j, op := range txn.Ops {
+			accs[j] = hotset.Access{Key: op.TupleKey(), DependsOn: op.DependsOn}
+		}
+		samples = append(samples, accs)
+	}
+	cap := c.cfg.Switch.Capacity()
+	if c.cfg.HotSetCap > 0 && c.cfg.HotSetCap < cap {
+		cap = c.cfg.HotSetCap
+	}
+	var hs *hotset.HotSet
+	if len(c.cfg.ExplicitHot) > 0 {
+		hs = hotset.FromKeys(c.cfg.ExplicitHot, samples, cap)
+	} else {
+		hs = hotset.DetectAuto(samples, cap)
+	}
+
+	c.hotLabel = make(map[store.GlobalKey]bool, hs.Size())
+	for _, k := range hs.Keys() {
+		c.hotLabel[k] = true
+	}
+
+	spec := layout.Spec{
+		Stages:         c.cfg.Switch.Stages,
+		ArraysPerStage: c.cfg.Switch.ArraysPerStage,
+		SlotsPerArray:  c.cfg.Switch.SlotsPerArray,
+	}
+	var l *layout.Layout
+	if c.cfg.RandomLayout {
+		l = layout.Random(hs.Graph(), spec, sim.NewRNG(c.cfg.Seed^0xBAD))
+	} else {
+		l = refineLayout(hs, samples, spec)
+	}
+	c.layout = l
+	c.hotIdx = hotset.BuildIndex(hs, l)
+
+	if c.cfg.System == P4DB {
+		// Load current tuple values into the assigned registers.
+		for _, tid := range l.Tuples() {
+			gk := store.GlobalKey(tid)
+			table, field, key := gk.SplitField()
+			home := c.gen.Home(table, key)
+			v := c.nodes[home].store.Table(table).Get(key, field)
+			s, _ := l.SlotOf(tid)
+			c.sw.WriteRegister(s.Stage, s.Array, s.Index, v)
+		}
+		c.baseline = c.sw.Snapshot()
+	}
+}
+
+// refineLayout is the profile-guided step of the layout algorithm: the
+// max-cut only separates tuple pairs the sample happened to co-access, so
+// after solving we replay the sample against the computed layout, find
+// transactions whose tuples still collide in one register array (which
+// would force a multi-pass execution), reinforce those edges and re-solve.
+// A few iterations drive the single-pass fraction to (nearly) one, which
+// is the declustered storage model's stated goal (Section 4.2).
+func refineLayout(hs *hotset.HotSet, samples [][]hotset.Access, spec layout.Spec) *layout.Layout {
+	g := hs.Graph()
+	l := layout.Optimal(g, spec)
+	for iter := 0; iter < 4; iter++ {
+		collisions := 0
+		for _, txn := range samples {
+			kept := hs.Restrict(txn)
+			if len(kept) < 2 {
+				continue
+			}
+			// Group the transaction's distinct tuples by register array;
+			// two distinct tuples in one array cannot both execute in a
+			// single pass.
+			byArray := make(map[[2]uint8]layout.TupleID, len(kept))
+			for _, a := range kept {
+				s, ok := l.SlotOf(a.Tuple)
+				if !ok {
+					continue
+				}
+				arr := [2]uint8{s.Stage, s.Array}
+				if prev, clash := byArray[arr]; clash && prev != a.Tuple {
+					collisions++
+					// Reinforce the separating edge well above the
+					// sampled co-access weights.
+					for b := 0; b < 8; b++ {
+						g.AddTxn([]layout.Access{{Tuple: prev, DependsOn: -1}, {Tuple: a.Tuple, DependsOn: -1}})
+					}
+				} else {
+					byArray[arr] = a.Tuple
+				}
+			}
+		}
+		if collisions == 0 {
+			break
+		}
+		l = layout.Optimal(g, spec)
+	}
+	return l
+}
+
+// Env returns the cluster's simulation environment.
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// Switch returns the switch model.
+func (c *Cluster) Switch() *pisa.Switch { return c.sw }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// HotIndex returns the replicated hot index.
+func (c *Cluster) HotIndex() *hotset.Index { return c.hotIdx }
+
+// Layout returns the computed switch layout.
+func (c *Cluster) Layout() *layout.Layout { return c.layout }
+
+// Baseline returns the switch register snapshot taken right after the
+// offload (the recovery base state).
+func (c *Cluster) Baseline() []int64 { return c.baseline }
+
+// onSwitch reports whether an operation's tuple lives on the switch.
+func (c *Cluster) onSwitch(op workload.Op) bool {
+	return c.cfg.System == P4DB && c.hotIdx.OnSwitch(op.TupleKey())
+}
+
+// isHotTuple reports whether the tuple was classified hot by detection
+// (independent of whether it fits on the switch); baselines use this for
+// LM-Switch lock placement and Chiller's inner region.
+func (c *Cluster) isHotTuple(op workload.Op) bool {
+	return c.hotLabel[op.TupleKey()]
+}
+
+// Result is the outcome of a measured run.
+type Result struct {
+	System     System
+	Workload   string
+	Duration   sim.Time
+	Counters   metrics.Counters
+	Breakdown  metrics.Breakdown
+	Latency    metrics.Histogram
+	SwitchTxns int64
+	Recircs    int64
+}
+
+// Throughput returns committed transactions per (virtual) second.
+func (r *Result) Throughput() float64 {
+	if r.Duration == 0 {
+		return 0
+	}
+	return float64(r.Counters.Committed()) / r.Duration.Seconds()
+}
+
+// Run executes the workload with the configured worker count for warmup +
+// measure virtual time and returns the measured-window result. The
+// environment is shut down afterwards; a Cluster is single-use.
+func (c *Cluster) Run(warmup, measure sim.Time) *Result {
+	for _, n := range c.nodes {
+		n := n
+		for w := 0; w < c.cfg.WorkersPerNode; w++ {
+			rng := c.env.Rand().Fork(uint64(n.id)<<16 | uint64(w))
+			c.env.Spawn(fmt.Sprintf("worker-%d-%d", n.id, w), func(p *sim.Proc) {
+				c.workerLoop(p, n, rng)
+			})
+		}
+	}
+	c.env.RunUntil(warmup)
+	c.measuring = true
+	swBefore := c.sw.Stats
+	c.env.RunUntil(warmup + measure)
+	c.measuring = false
+	res := &Result{
+		System:     c.cfg.System,
+		Workload:   c.gen.Name(),
+		Duration:   measure,
+		SwitchTxns: c.sw.Stats.Txns - swBefore.Txns,
+		Recircs:    c.sw.Stats.Recircs - swBefore.Recircs,
+	}
+	for _, n := range c.nodes {
+		res.Counters.Merge(&n.counters)
+		res.Breakdown.Merge(&n.breakdown)
+		res.Latency.Merge(&n.latency)
+	}
+	c.env.Shutdown()
+	return res
+}

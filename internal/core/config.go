@@ -1,0 +1,138 @@
+// Package core is P4DB itself: the distributed transaction engine that
+// exposes a programmable switch as an additional database node for hot
+// tuples (Sections 3, 5 and 6 of the paper), plus the evaluation baselines
+// (No-Switch, LM-Switch, Chiller-style early lock release).
+//
+// A Cluster wires together every substrate — the discrete-event simulator,
+// the rack network, the PISA switch model, per-node stores, lock tables
+// and write-ahead logs — performs the offline offload step (hot-set
+// detection, declustered layout, register loading) and runs closed-loop
+// worker processes that generate, classify and execute transactions:
+//
+//   - hot transactions compile to one switch packet and execute abort-free
+//     in the data plane;
+//   - cold transactions run under two-phase locking with 2PC when
+//     distributed;
+//   - warm transactions execute their cold part first and trigger the
+//     switch sub-transaction inside the combined Decision&Switch commit
+//     phase (Figure 10).
+package core
+
+import (
+	"repro/internal/lock"
+	"repro/internal/netsim"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// System selects which of the paper's systems the cluster runs.
+type System int
+
+// Systems under evaluation.
+const (
+	// NoSwitch is the traditional distributed DBMS baseline: the switch
+	// only forwards packets.
+	NoSwitch System = iota
+	// P4DB offloads hot tuples to the switch and executes hot/warm
+	// transactions through it.
+	P4DB
+	// LMSwitch uses the switch only as a central lock manager for hot
+	// tuples (the NetLock-style baseline of Section 7.1).
+	LMSwitch
+	// Chiller is the contention-centric 2PL scheme of Figure 18b: hot
+	// operations execute in a late inner region with early lock release.
+	Chiller
+)
+
+// String returns the paper's name for the system.
+func (s System) String() string {
+	switch s {
+	case NoSwitch:
+		return "No-Switch"
+	case P4DB:
+		return "P4DB"
+	case LMSwitch:
+		return "LM-Switch"
+	case Chiller:
+		return "Chiller"
+	default:
+		return "System(?)"
+	}
+}
+
+// CostModel holds the per-operation CPU costs of a database node on the
+// virtual timeline. They are small next to network latencies, as on the
+// paper's DPDK testbed.
+type CostModel struct {
+	// LocalAccess is one tuple read/write in local memory.
+	LocalAccess sim.Time
+	// LockOp is one lock-table operation (acquire attempt or release).
+	LockOp sim.Time
+	// LogAppend is one write-ahead-log append.
+	LogAppend sim.Time
+	// TxnOverhead is the fixed begin/commit bookkeeping per transaction.
+	TxnOverhead sim.Time
+	// AbortBackoff is the mean randomized backoff before a retry.
+	AbortBackoff sim.Time
+}
+
+// DefaultCosts returns the calibrated node cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		LocalAccess:  200 * sim.Nanosecond,
+		LockOp:       100 * sim.Nanosecond,
+		LogAppend:    300 * sim.Nanosecond,
+		TxnOverhead:  1500 * sim.Nanosecond,
+		AbortBackoff: 5 * sim.Microsecond,
+	}
+}
+
+// Config describes one cluster under test.
+type Config struct {
+	System         System
+	Nodes          int
+	WorkersPerNode int
+	Policy         lock.Policy
+	// Scheme selects the host DBMS concurrency control family: 2PL (the
+	// paper's main setup) or OCC (Appendix A.4). LM-Switch and Chiller
+	// are inherently lock-based and always use 2PL.
+	Scheme  CCScheme
+	Latency netsim.Latency
+	Switch  pisa.Config
+	Costs   CostModel
+
+	// RandomLayout replaces the declustered (max-cut) layout with the
+	// random worst-case layout of the Figure 16 experiment.
+	RandomLayout bool
+	// HotSetCap bounds how many hot tuples are offloaded; 0 means the
+	// switch capacity. Hot tuples beyond the cap stay on their nodes and
+	// execute as cold transactions (Figure 17).
+	HotSetCap int
+	// SampleTxns is the size of the offline detection sample.
+	SampleTxns int
+	// ExplicitHot bypasses frequency-based detection and offloads exactly
+	// these tuples (truncated to the capacity / HotSetCap bound, most
+	// frequently sampled first). It is used when the hot-set is known a
+	// priori but too large for sampling to resolve individual keys, as in
+	// the Figure 17 capacity experiment.
+	ExplicitHot []store.GlobalKey
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's standard setup: 8 nodes, NO_WAIT, the
+// default switch and latency models.
+func DefaultConfig() Config {
+	return Config{
+		System:         P4DB,
+		Nodes:          8,
+		WorkersPerNode: 20,
+		Policy:         lock.NoWait,
+		Latency:        netsim.DefaultLatency(),
+		Switch:         pisa.DefaultConfig(),
+		Costs:          DefaultCosts(),
+		SampleTxns:     100000,
+		Seed:           42,
+	}
+}

@@ -1,0 +1,709 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/twopc"
+	"repro/internal/txnwire"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// txnClass is the paper's hot/cold/warm classification (Section 3.2).
+type txnClass int
+
+const (
+	classCold txnClass = iota
+	classHot
+	classWarm
+)
+
+// undoRec is one before-image captured for rollback.
+type undoRec struct {
+	node  netsim.NodeID
+	table store.TableID
+	key   store.Key
+	field int
+	old   int64
+}
+
+// attempt is the state of one execution attempt of one transaction.
+type attempt struct {
+	ts     uint64
+	locks  map[netsim.NodeID]*lock.Txn
+	inner  map[netsim.NodeID]*lock.Txn // Chiller's inner-region locks
+	lm     *lock.Txn                   // LM-Switch central locks
+	undo   []undoRec
+	writes []wal.ColdWrite
+	exec   workload.Executor
+}
+
+func (c *Cluster) newAttempt() *attempt {
+	c.nextTS++
+	return &attempt{
+		ts:    c.nextTS,
+		locks: make(map[netsim.NodeID]*lock.Txn, 2),
+		exec:  workload.NewExecutor(),
+	}
+}
+
+// lockTxn returns (creating on demand) the attempt's lock context at node.
+func (at *attempt) lockTxn(id netsim.NodeID) *lock.Txn {
+	t, ok := at.locks[id]
+	if !ok {
+		t = lock.NewTxn(at.ts)
+		at.locks[id] = t
+	}
+	return t
+}
+
+// innerTxn returns the Chiller inner-region lock context at node.
+func (at *attempt) innerTxn(id netsim.NodeID) *lock.Txn {
+	if at.inner == nil {
+		at.inner = make(map[netsim.NodeID]*lock.Txn, 2)
+	}
+	t, ok := at.inner[id]
+	if !ok {
+		t = lock.NewTxn(at.ts)
+		at.inner[id] = t
+	}
+	return t
+}
+
+// remoteNodes lists the nodes other than self where the attempt holds
+// (outer) locks — the 2PC participants.
+func (at *attempt) remoteNodes(self netsim.NodeID) []netsim.NodeID {
+	var out []netsim.NodeID
+	for id := range at.locks {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// workerLoop is one closed-loop worker: generate, execute with retries,
+// account.
+func (c *Cluster) workerLoop(p *sim.Proc, n *Node, rng *sim.RNG) {
+	for {
+		txn := c.gen.Next(rng, n.id)
+		start := p.Now()
+		var cls txnClass
+		attempts := 0
+		for {
+			var err error
+			cls, err = c.executeOnce(p, n, txn)
+			if err == nil {
+				break
+			}
+			if c.measuring {
+				n.counters.Aborts++
+			}
+			// Randomized backoff that grows with consecutive failures,
+			// bounded at 8x — standard NO_WAIT retry damping.
+			if attempts < 8 {
+				attempts++
+			}
+			backoff := c.cfg.Costs.AbortBackoff/2 + sim.Time(rng.Int63n(int64(c.cfg.Costs.AbortBackoff)))
+			p.Sleep(backoff * sim.Time(attempts))
+		}
+		if c.measuring {
+			n.latency.Record(p.Now() - start)
+			n.breakdown.AddTxn()
+			switch cls {
+			case classHot:
+				n.counters.CommittedHot++
+			case classWarm:
+				n.counters.CommittedWarm++
+			default:
+				// In the baselines a transaction on hot tuples still
+				// counts as a hot transaction for the Figure 12
+				// breakdown, even though it executes on the nodes.
+				if c.txnOnHotSet(txn) {
+					n.counters.CommittedHot++
+				} else {
+					n.counters.CommittedCold++
+				}
+			}
+		}
+	}
+}
+
+// txnOnHotSet reports whether every operation touches detected-hot tuples.
+func (c *Cluster) txnOnHotSet(txn *workload.Txn) bool {
+	for _, op := range txn.Ops {
+		if !c.isHotTuple(op) {
+			return false
+		}
+	}
+	return true
+}
+
+// classify assigns the P4DB transaction class (Section 3.2): hot = all
+// tuples on the switch, cold = none, warm = mixed.
+func (c *Cluster) classify(txn *workload.Txn) txnClass {
+	hot, cold := 0, 0
+	for _, op := range txn.Ops {
+		if c.onSwitch(op) {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	switch {
+	case cold == 0 && hot > 0:
+		return classHot
+	case hot == 0:
+		return classCold
+	default:
+		return classWarm
+	}
+}
+
+// executeOnce runs one attempt under the configured system.
+func (c *Cluster) executeOnce(p *sim.Proc, n *Node, txn *workload.Txn) (txnClass, error) {
+	switch c.cfg.System {
+	case P4DB:
+		cls := c.classify(txn)
+		switch cls {
+		case classHot:
+			c.execHot(p, n, txn)
+			return classHot, nil
+		case classWarm:
+			if c.cfg.Scheme == CCOCC {
+				return classWarm, c.execOCCWarm(p, n, txn)
+			}
+			return classWarm, c.execWarm(p, n, txn)
+		default:
+			if c.cfg.Scheme == CCOCC {
+				return classCold, c.execOCCTxn(p, n, txn)
+			}
+			return classCold, c.execColdTxn(p, n, txn)
+		}
+	case NoSwitch:
+		if c.cfg.Scheme == CCOCC {
+			return classCold, c.execOCCTxn(p, n, txn)
+		}
+		return classCold, c.execColdTxn(p, n, txn)
+	case LMSwitch:
+		return classCold, c.execLM(p, n, txn)
+	case Chiller:
+		return classCold, c.execChiller(p, n, txn)
+	default:
+		panic("core: unknown system")
+	}
+}
+
+// charge attributes elapsed virtual time to a breakdown component.
+func (c *Cluster) charge(n *Node, comp metrics.Component, since sim.Time, p *sim.Proc) {
+	if c.measuring {
+		n.breakdown.Add(comp, p.Now()-since)
+	}
+}
+
+// applyOp executes one operation against a node's store, capturing undo
+// and redo images.
+func (c *Cluster) applyOp(at *attempt, id netsim.NodeID, op workload.Op) {
+	tb := c.nodes[id].store.Table(op.Table)
+	if op.Kind.IsWrite() {
+		at.undo = append(at.undo, undoRec{
+			node: id, table: op.Table, key: op.Key, field: op.Field,
+			old: tb.Get(op.Key, op.Field),
+		})
+	}
+	at.exec.Apply(tb, op)
+	if op.Kind.IsWrite() {
+		at.writes = append(at.writes, wal.ColdWrite{
+			Table: op.Table, Key: op.Key, Field: op.Field,
+			Value: tb.Get(op.Key, op.Field),
+		})
+	}
+}
+
+// lockMode maps an operation to its lock mode.
+func lockMode(op workload.Op) lock.Mode {
+	if op.Kind.IsWrite() {
+		return lock.Exclusive
+	}
+	return lock.Shared
+}
+
+// execOps acquires locks and executes the given operations under 2PL,
+// visiting remote nodes over the network. On a lock conflict it rolls the
+// attempt back (releasing everything) and returns the abort error.
+func (c *Cluster) execOps(p *sim.Proc, n *Node, at *attempt, ops []workload.Op) error {
+	for _, op := range ops {
+		if op.Home == n.id {
+			t0 := p.Now()
+			p.Sleep(c.cfg.Costs.LockOp)
+			err := n.locks.Acquire(p, at.lockTxn(n.id), lock.Key(op.LockKey()), lockMode(op))
+			c.charge(n, metrics.LockAcquisition, t0, p)
+			if err != nil {
+				c.abort(p, n, at)
+				return err
+			}
+			t1 := p.Now()
+			p.Sleep(c.cfg.Costs.LocalAccess)
+			c.applyOp(at, n.id, op)
+			c.charge(n, metrics.LocalAccess, t1, p)
+			continue
+		}
+		t0 := p.Now()
+		var lerr error
+		op := op
+		c.net.RPC(p, n.id, op.Home, func() {
+			rn := c.nodes[op.Home]
+			p.Sleep(c.cfg.Costs.LockOp)
+			lerr = rn.locks.Acquire(p, at.lockTxn(op.Home), lock.Key(op.LockKey()), lockMode(op))
+			if lerr == nil {
+				p.Sleep(c.cfg.Costs.LocalAccess)
+				c.applyOp(at, op.Home, op)
+			}
+		})
+		c.charge(n, metrics.RemoteAccess, t0, p)
+		if lerr != nil {
+			c.abort(p, n, at)
+			return lerr
+		}
+	}
+	return nil
+}
+
+// abort rolls back every write of the attempt and releases all locks.
+// Local state unwinds immediately; remote nodes are notified with one-way
+// messages (their locks stay held for the message latency, as on a real
+// network).
+func (c *Cluster) abort(p *sim.Proc, n *Node, at *attempt) {
+	byNode := make(map[netsim.NodeID][]undoRec)
+	for _, u := range at.undo {
+		byNode[u.node] = append(byNode[u.node], u)
+	}
+	rollback := func(id netsim.NodeID) {
+		undos := byNode[id]
+		for i := len(undos) - 1; i >= 0; i-- {
+			u := undos[i]
+			c.nodes[id].store.Table(u.table).Set(u.key, u.field, u.old)
+		}
+	}
+	for id, lt := range at.locks {
+		if id == n.id {
+			rollback(id)
+			n.locks.ReleaseAll(lt)
+			continue
+		}
+		id, lt := id, lt
+		c.net.Send(n.id, id, func() {
+			rollback(id)
+			c.nodes[id].locks.ReleaseAll(lt)
+		})
+	}
+	if at.lm != nil {
+		lm := at.lm
+		c.net.SendToSwitch(n.id, func() { c.lmLocks.ReleaseAll(lm) })
+	}
+}
+
+// execColdTxn executes an entire transaction under 2PL/2PC — the cold
+// path of P4DB and the whole No-Switch baseline.
+func (c *Cluster) execColdTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	at := c.newAttempt()
+	t0 := p.Now()
+	p.Sleep(c.cfg.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+	if err := c.execOps(p, n, at, txn.Ops); err != nil {
+		return err
+	}
+	c.commitCold(p, n, at)
+	return nil
+}
+
+// commitCold commits the attempt's node-side state: single-node commits
+// log and release locally; distributed commits run 2PC over the remote
+// participants.
+func (c *Cluster) commitCold(p *sim.Proc, n *Node, at *attempt) {
+	t0 := p.Now()
+	remotes := at.remoteNodes(n.id)
+	if len(remotes) == 0 {
+		p.Sleep(c.cfg.Costs.LogAppend)
+		n.log.AppendCold(at.ts, at.writes)
+		n.locks.ReleaseAll(at.lockTxn(n.id))
+		c.charge(n, metrics.TxnEngine, t0, p)
+		return
+	}
+	coord := twopc.NewCoordinator(c.net, n.id)
+	coord.Commit(p, c.coldParticipants(at, remotes))
+	p.Sleep(c.cfg.Costs.LogAppend)
+	n.log.AppendCold(at.ts, at.writes)
+	n.locks.ReleaseAll(at.lockTxn(n.id))
+	c.charge(n, metrics.TxnEngine, t0, p)
+}
+
+// coldParticipants builds the 2PC participant handlers for the attempt's
+// remote nodes: prepare appends the participant's log record, commit
+// releases its locks, abort rolls its writes back first.
+func (c *Cluster) coldParticipants(at *attempt, remotes []netsim.NodeID) []twopc.Participant {
+	parts := make([]twopc.Participant, 0, len(remotes))
+	for _, id := range remotes {
+		id := id
+		rn := c.nodes[id]
+		parts = append(parts, twopc.Participant{
+			Node: id,
+			Prepare: func(sp *sim.Proc) bool {
+				sp.Sleep(c.cfg.Costs.LogAppend)
+				return true
+			},
+			Commit: func(sp *sim.Proc) {
+				rn.locks.ReleaseAll(at.lockTxn(id))
+			},
+			Abort: func(sp *sim.Proc) {
+				for i := len(at.undo) - 1; i >= 0; i-- {
+					u := at.undo[i]
+					if u.node == id {
+						rn.store.Table(u.table).Set(u.key, u.field, u.old)
+					}
+				}
+				rn.locks.ReleaseAll(at.lockTxn(id))
+			},
+		})
+	}
+	return parts
+}
+
+// compileHot turns the hot operations into a switch packet plus its WAL
+// intent instructions.
+func (c *Cluster) compileHot(ops []workload.Op, ts uint64) (*txnwire.Packet, int) {
+	hops := make([]layout.HotOp, len(ops))
+	for i, op := range ops {
+		hops[i] = layout.HotOp{
+			Tuple:     layout.TupleID(op.TupleKey()),
+			Op:        op.Kind.WireOp(),
+			Operand:   op.Value,
+			DependsOn: op.DependsOn,
+		}
+	}
+	instrs, _, passes, err := layout.Compile(hops, c.layout)
+	if err != nil {
+		panic(fmt.Sprintf("core: hot transaction failed to compile: %v", err))
+	}
+	left, right := c.switchLocksFor(instrs)
+	pkt := &txnwire.Packet{
+		Header: txnwire.Header{
+			IsMultipass: passes > 1,
+			LockLeft:    left,
+			LockRight:   right,
+			TxnID:       ts,
+		},
+		Instrs: instrs,
+	}
+	return pkt, passes
+}
+
+// switchLocksFor mirrors the switch's lock mapping so the node can fill
+// the packet header (Section 5.4: nodes initialize the processing
+// information).
+func (c *Cluster) switchLocksFor(instrs []txnwire.Instr) (left, right bool) {
+	if !c.cfg.Switch.FineLocks {
+		return true, false
+	}
+	half := c.cfg.Switch.Stages / 2
+	for _, in := range instrs {
+		if int(in.Stage) < half {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	return left, right
+}
+
+// sendToSwitch logs the intent, round-trips the packet through the wire
+// codec and the switch, and back-fills the WAL record. Switch transactions
+// cannot abort; they count as committed once logged (Section 6.1).
+func (c *Cluster) sendToSwitch(p *sim.Proc, n *Node, pkt *txnwire.Packet) *txnwire.Response {
+	p.Sleep(c.cfg.Costs.LogAppend)
+	rec := n.log.AppendSwitchIntent(pkt.Header.TxnID, pkt.Instrs)
+	buf, err := txnwire.Encode(pkt)
+	if err != nil {
+		panic(fmt.Sprintf("core: packet encode: %v", err))
+	}
+	onWire, err := txnwire.Decode(buf)
+	if err != nil {
+		panic(fmt.Sprintf("core: packet decode: %v", err))
+	}
+	var resp *txnwire.Response
+	c.net.RPCToSwitch(p, n.id, func() {
+		var xerr error
+		resp, xerr = c.sw.Exec(p, onWire)
+		if xerr != nil {
+			panic(fmt.Sprintf("core: switch rejected packet: %v", xerr))
+		}
+	})
+	rec.Complete(resp)
+	return resp
+}
+
+// execHot executes a hot transaction entirely on the switch (Section 6.1).
+func (c *Cluster) execHot(p *sim.Proc, n *Node, txn *workload.Txn) {
+	at := c.newAttempt()
+	t0 := p.Now()
+	p.Sleep(c.cfg.Costs.TxnOverhead)
+	pkt, passes := c.compileHot(txn.Ops, at.ts)
+	c.charge(n, metrics.TxnEngine, t0, p)
+	t1 := p.Now()
+	c.sendToSwitch(p, n, pkt)
+	c.charge(n, metrics.SwitchTxn, t1, p)
+	if c.measuring {
+		if passes > 1 {
+			n.counters.MultiPass++
+		} else {
+			n.counters.SinglePass++
+		}
+	}
+}
+
+// execWarm executes a warm transaction (Section 6.2): the cold part runs
+// first under 2PL; once it cannot abort anymore, the switch
+// sub-transaction is sent inside the combined Decision&Switch phase and
+// participants commit on the switch's multicast.
+func (c *Cluster) execWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	// The warm scheme runs all cold operations strictly before the switch
+	// sub-transaction, so a dependency that crosses the temperature split
+	// (possible when part of a hot pair spilled off the switch, Figure 17)
+	// cannot be honoured — those transactions fall back to the fully cold
+	// path, like the paper's alternative of keeping such tuples together.
+	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.onSwitch(op) }) {
+		return c.execColdTxn(p, n, txn)
+	}
+	at := c.newAttempt()
+	t0 := p.Now()
+	p.Sleep(c.cfg.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+
+	var coldOps, hotOps []workload.Op
+	for _, op := range txn.Ops {
+		if c.onSwitch(op) {
+			hotOps = append(hotOps, op)
+		} else {
+			coldOps = append(coldOps, op)
+		}
+	}
+	if err := c.execOps(p, n, at, coldOps); err != nil {
+		return err
+	}
+
+	pkt, passes := c.compileHot(hotOps, at.ts)
+	p.Sleep(c.cfg.Costs.LogAppend)
+	rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
+
+	t1 := p.Now()
+	remotes := at.remoteNodes(n.id)
+	coord := twopc.NewCoordinator(c.net, n.id)
+	ok := coord.CommitWithSwitch(p, c.coldParticipants(at, remotes), func(sub *sim.Proc) {
+		resp, xerr := c.sw.Exec(sub, pkt)
+		if xerr != nil {
+			panic(fmt.Sprintf("core: switch rejected warm packet: %v", xerr))
+		}
+		rec.Complete(resp)
+	})
+	if !ok {
+		// Cannot happen: participants are already prepared (locks held,
+		// constraints checked) and always vote yes.
+		panic("core: prepared warm transaction failed to commit")
+	}
+	c.charge(n, metrics.SwitchTxn, t1, p)
+
+	t2 := p.Now()
+	p.Sleep(c.cfg.Costs.LogAppend)
+	n.log.AppendCold(at.ts, at.writes)
+	n.locks.ReleaseAll(at.lockTxn(n.id))
+	c.charge(n, metrics.TxnEngine, t2, p)
+	if c.measuring {
+		if passes > 1 {
+			n.counters.MultiPass++
+		} else {
+			n.counters.SinglePass++
+		}
+	}
+	return nil
+}
+
+// crossTemperatureDeps reports whether any operation depends on an
+// operation of the other temperature class.
+func crossTemperatureDeps(txn *workload.Txn, hot func(workload.Op) bool) bool {
+	for _, op := range txn.Ops {
+		if d := op.DependsOn; d >= 0 && d < len(txn.Ops) {
+			if hot(op) != hot(txn.Ops[d]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// execLM is the LM-Switch baseline: locks for hot tuples are acquired at
+// the switch's central lock manager (half an RTT away), while the data
+// accesses still go to the tuples' home nodes. Lock hold times barely
+// shrink, which is why the paper finds little benefit under skew.
+func (c *Cluster) execLM(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	at := c.newAttempt()
+	at.lm = lock.NewTxn(at.ts)
+	t0 := p.Now()
+	p.Sleep(c.cfg.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+	for _, op := range txn.Ops {
+		if c.isHotTuple(op) {
+			op := op
+			var lerr error
+			if op.Home == n.id {
+				// Local data, central lock: the lock request costs a
+				// dedicated switch round trip on top of the (otherwise
+				// free) local access — the price of centralized locking.
+				tl := p.Now()
+				c.net.RPCToSwitch(p, n.id, func() {
+					lerr = c.lmLocks.Acquire(p, at.lm, lock.Key(op.LockKey()), lockMode(op))
+				})
+				c.charge(n, metrics.LockAcquisition, tl, p)
+				if lerr != nil {
+					c.abort(p, n, at)
+					return lerr
+				}
+				ta := p.Now()
+				p.Sleep(c.cfg.Costs.LocalAccess)
+				c.applyOp(at, n.id, op)
+				c.charge(n, metrics.LocalAccess, ta, p)
+			} else {
+				// Remote data: the request passes through the switch
+				// anyway, so the lock is acquired ON PATH (NetLock's key
+				// idea) — the journey costs the same full round trip the
+				// baseline pays, with the lock taken at the midpoint.
+				tl := p.Now()
+				p.Sleep(c.net.Latency().NodeToSwitch)
+				lerr = c.lmLocks.Acquire(p, at.lm, lock.Key(op.LockKey()), lockMode(op))
+				c.charge(n, metrics.LockAcquisition, tl, p)
+				if lerr != nil {
+					// The denial still has to travel back to the caller.
+					p.Sleep(c.net.Latency().NodeToSwitch)
+					c.abort(p, n, at)
+					return lerr
+				}
+				ta := p.Now()
+				p.Sleep(c.net.Latency().NodeToSwitch) // switch -> home node
+				p.Sleep(c.cfg.Costs.LocalAccess)
+				c.applyOp(at, op.Home, op)
+				p.Sleep(c.net.Latency().NodeToNode) // home node -> caller
+				c.charge(n, metrics.RemoteAccess, ta, p)
+				at.lockTxn(op.Home) // 2PC participant (holds writes)
+			}
+			continue
+		}
+		if err := c.execOps(p, n, at, []workload.Op{op}); err != nil {
+			return err
+		}
+	}
+	c.commitCold(p, n, at)
+	lm := at.lm
+	c.net.SendToSwitch(n.id, func() { c.lmLocks.ReleaseAll(lm) })
+	return nil
+}
+
+// execChiller is the contention-centric baseline of Figure 18b: outer
+// (cold) operations run first under plain 2PL; after the prepare round,
+// the hot operations execute in a short inner region whose locks are
+// released immediately — before the final commit round — shrinking the
+// hold time on contended tuples.
+func (c *Cluster) execChiller(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	// Chiller reorders hot operations behind cold ones; dependencies that
+	// cross the regions cannot be reordered, so such transactions run as
+	// plain 2PL (the scheme's own fallback).
+	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.isHotTuple(op) }) {
+		return c.execColdTxn(p, n, txn)
+	}
+	at := c.newAttempt()
+	t0 := p.Now()
+	p.Sleep(c.cfg.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+
+	var outer, inner []workload.Op
+	for _, op := range txn.Ops {
+		if c.isHotTuple(op) {
+			inner = append(inner, op)
+		} else {
+			outer = append(outer, op)
+		}
+	}
+	if err := c.execOps(p, n, at, outer); err != nil {
+		return err
+	}
+	remotes := at.remoteNodes(n.id)
+	coord := twopc.NewCoordinator(c.net, n.id)
+	parts := c.coldParticipants(at, remotes)
+	if len(parts) > 0 && !coord.Prepare(p, parts) {
+		c.abort(p, n, at)
+		return lock.ErrConflict
+	}
+	// Inner region: lock, apply and immediately release the hot tuples.
+	for _, op := range inner {
+		tl := p.Now()
+		var lerr error
+		op := op
+		if op.Home == n.id {
+			p.Sleep(c.cfg.Costs.LockOp)
+			lerr = n.locks.Acquire(p, at.innerTxn(n.id), lock.Key(op.LockKey()), lockMode(op))
+			if lerr == nil {
+				p.Sleep(c.cfg.Costs.LocalAccess)
+				c.applyOp(at, n.id, op)
+			}
+			c.charge(n, metrics.LockAcquisition, tl, p)
+		} else {
+			c.net.RPC(p, n.id, op.Home, func() {
+				p.Sleep(c.cfg.Costs.LockOp)
+				lerr = c.nodes[op.Home].locks.Acquire(p, at.innerTxn(op.Home), lock.Key(op.LockKey()), lockMode(op))
+				if lerr == nil {
+					p.Sleep(c.cfg.Costs.LocalAccess)
+					c.applyOp(at, op.Home, op)
+				}
+			})
+			c.charge(n, metrics.RemoteAccess, tl, p)
+		}
+		if lerr != nil {
+			c.releaseInner(n, at)
+			c.abort(p, n, at)
+			if len(parts) > 0 {
+				coord.Finish(p, parts, false)
+			}
+			return lerr
+		}
+	}
+	// Early release of the contended inner locks.
+	c.releaseInner(n, at)
+	// Final commit round for the outer part.
+	if len(parts) > 0 {
+		coord.Finish(p, parts, true)
+	}
+	t2 := p.Now()
+	p.Sleep(c.cfg.Costs.LogAppend)
+	n.log.AppendCold(at.ts, at.writes)
+	n.locks.ReleaseAll(at.lockTxn(n.id))
+	c.charge(n, metrics.TxnEngine, t2, p)
+	return nil
+}
+
+// releaseInner releases the Chiller inner-region locks (locally at once,
+// remotely via one-way messages).
+func (c *Cluster) releaseInner(n *Node, at *attempt) {
+	for id, lt := range at.inner {
+		if id == n.id {
+			c.nodes[id].locks.ReleaseAll(lt)
+			continue
+		}
+		id, lt := id, lt
+		c.net.Send(n.id, id, func() { c.nodes[id].locks.ReleaseAll(lt) })
+	}
+	at.inner = nil
+}

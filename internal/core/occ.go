@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/twopc"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// This file implements Appendix A.4 of the paper: integrating P4DB's
+// switch execution with an optimistic concurrency control (OCC) scheme
+// instead of two-phase locking. Transactions execute without locks against
+// a private write buffer while recording the versions of the rows they
+// read; at commit, a validation phase pins the read/write set, verifies
+// that no read version changed, and only then applies the buffered writes.
+// For warm transactions the switch sub-transaction is sent between
+// validation and the commit broadcast — the point at which the cold part
+// can no longer abort — exactly as the appendix prescribes.
+
+// CCScheme selects the host DBMS's concurrency control family.
+type CCScheme int
+
+// Schemes.
+const (
+	// CC2PL is pessimistic two-phase locking (the paper's main setup,
+	// with the NO_WAIT / WAIT_DIE policies).
+	CC2PL CCScheme = iota
+	// CCOCC is backward-validation optimistic concurrency control
+	// (Appendix A.4).
+	CCOCC
+)
+
+func (s CCScheme) String() string {
+	if s == CCOCC {
+		return "OCC"
+	}
+	return "2PL"
+}
+
+// ErrValidation aborts an OCC transaction whose read set changed (or whose
+// read/write set is pinned by a concurrently validating transaction).
+var ErrValidation = fmt.Errorf("%w: OCC validation failed", lock.ErrAbort)
+
+// occState is a node's OCC bookkeeping: row versions (bumped on every
+// committed write) and pins (rows claimed by transactions between
+// validation and decision).
+type occState struct {
+	versions map[lock.Key]uint64
+	pins     map[lock.Key]uint64 // row -> pinning transaction ts
+}
+
+func newOCCState() *occState {
+	return &occState{
+		versions: make(map[lock.Key]uint64),
+		pins:     make(map[lock.Key]uint64),
+	}
+}
+
+// occAttempt is one optimistic execution attempt.
+type occAttempt struct {
+	ts      uint64
+	exec    workload.Executor
+	reads   map[netsim.NodeID]map[lock.Key]uint64       // observed row versions
+	overlay map[netsim.NodeID]map[store.GlobalKey]int64 // buffered writes (field-qualified)
+	wrote   map[netsim.NodeID]map[lock.Key]struct{}     // rows with buffered writes
+	writes  []wal.ColdWrite
+	pinned  []netsim.NodeID // nodes where the attempt holds pins
+}
+
+func (c *Cluster) newOCCAttempt() *occAttempt {
+	c.nextTS++
+	return &occAttempt{
+		ts:      c.nextTS,
+		exec:    workload.NewExecutor(),
+		reads:   make(map[netsim.NodeID]map[lock.Key]uint64, 2),
+		overlay: make(map[netsim.NodeID]map[store.GlobalKey]int64, 2),
+		wrote:   make(map[netsim.NodeID]map[lock.Key]struct{}, 2),
+	}
+}
+
+// trackRead records the version of a row the first time it is observed.
+func (at *occAttempt) trackRead(n *Node, row lock.Key) {
+	m := at.reads[n.id]
+	if m == nil {
+		m = make(map[lock.Key]uint64, 4)
+		at.reads[n.id] = m
+	}
+	if _, seen := m[row]; !seen {
+		m[row] = n.occ.versions[row]
+	}
+}
+
+// view reads a field through the attempt's overlay.
+func (at *occAttempt) view(n *Node, op workload.Op) int64 {
+	if ov := at.overlay[n.id]; ov != nil {
+		if v, ok := ov[op.TupleKey()]; ok {
+			return v
+		}
+	}
+	return n.store.Table(op.Table).Get(op.Key, op.Field)
+}
+
+// buffer stages a write in the overlay.
+func (at *occAttempt) buffer(n *Node, op workload.Op, v int64) {
+	ov := at.overlay[n.id]
+	if ov == nil {
+		ov = make(map[store.GlobalKey]int64, 4)
+		at.overlay[n.id] = ov
+	}
+	ov[op.TupleKey()] = v
+	w := at.wrote[n.id]
+	if w == nil {
+		w = make(map[lock.Key]struct{}, 4)
+		at.wrote[n.id] = w
+	}
+	w[lock.Key(op.LockKey())] = struct{}{}
+	at.writes = append(at.writes, wal.ColdWrite{Table: op.Table, Key: op.Key, Field: op.Field, Value: v})
+}
+
+// applyOCCOp executes one operation against the attempt's private view,
+// mirroring the Executor/switch semantics exactly.
+func (at *occAttempt) applyOCCOp(n *Node, op workload.Op) {
+	row := lock.Key(op.LockKey())
+	at.trackRead(n, row)
+	cur := at.view(n, op)
+	switch op.Kind {
+	case workload.Read:
+		// value observed via trackRead; nothing to write
+	case workload.Write:
+		at.buffer(n, op, op.Value)
+	case workload.Add:
+		at.buffer(n, op, cur+op.Value)
+	case workload.CondAddGE0:
+		if cur+op.Value >= 0 {
+			at.buffer(n, op, cur+op.Value)
+		} else {
+			at.exec.OK = false
+		}
+	case workload.ReadClear:
+		at.exec.Acc += cur
+		at.buffer(n, op, 0)
+	case workload.AddAcc:
+		at.buffer(n, op, cur+at.exec.Acc+op.Value)
+	case workload.AddIfOK:
+		if at.exec.OK {
+			at.buffer(n, op, cur+op.Value)
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown op kind %d", op.Kind))
+	}
+}
+
+// validateAndPin checks the attempt's reads at node n and pins its
+// read/write set there. It must run without intervening virtual time
+// (it models a short latch-protected critical section).
+func (at *occAttempt) validateAndPin(n *Node) bool {
+	reads := at.reads[n.id]
+	for row, ver := range reads {
+		if n.occ.versions[row] != ver {
+			return false
+		}
+		if owner, pinned := n.occ.pins[row]; pinned && owner != at.ts {
+			return false
+		}
+	}
+	for row := range at.wrote[n.id] {
+		if owner, pinned := n.occ.pins[row]; pinned && owner != at.ts {
+			return false
+		}
+	}
+	for row := range reads {
+		n.occ.pins[row] = at.ts
+	}
+	for row := range at.wrote[n.id] {
+		n.occ.pins[row] = at.ts
+	}
+	at.pinned = append(at.pinned, n.id)
+	return true
+}
+
+// unpin releases the attempt's pins at node n.
+func (at *occAttempt) unpin(n *Node) {
+	for row, owner := range n.occ.pins {
+		if owner == at.ts {
+			delete(n.occ.pins, row)
+		}
+	}
+}
+
+// applyAndUnpin installs the buffered writes at node n, bumps row versions
+// and releases the pins.
+func (at *occAttempt) applyAndUnpin(n *Node) {
+	for gk, v := range at.overlay[n.id] {
+		table, field, key := gk.SplitField()
+		n.store.Table(table).Set(key, field, v)
+	}
+	for row := range at.wrote[n.id] {
+		n.occ.versions[row]++
+	}
+	at.unpin(n)
+}
+
+// abortOCC releases all pins (nothing was applied yet). Remote nodes are
+// notified asynchronously, like the 2PL abort path.
+func (c *Cluster) abortOCC(n *Node, at *occAttempt) {
+	for _, id := range at.pinned {
+		if id == n.id {
+			at.unpin(c.nodes[id])
+			continue
+		}
+		id := id
+		c.net.Send(n.id, id, func() { at.unpin(c.nodes[id]) })
+	}
+	at.pinned = nil
+}
+
+// execOCCOps runs the operations optimistically, visiting remote nodes
+// over the network for their reads (the buffered writes travel with the
+// transaction and are shipped at commit).
+func (c *Cluster) execOCCOps(p *sim.Proc, n *Node, at *occAttempt, ops []workload.Op) {
+	for _, op := range ops {
+		if op.Home == n.id {
+			t0 := p.Now()
+			p.Sleep(c.cfg.Costs.LocalAccess)
+			at.applyOCCOp(n, op)
+			c.charge(n, metrics.LocalAccess, t0, p)
+			continue
+		}
+		t0 := p.Now()
+		op := op
+		c.net.RPC(p, n.id, op.Home, func() {
+			p.Sleep(c.cfg.Costs.LocalAccess)
+			at.applyOCCOp(c.nodes[op.Home], op)
+		})
+		c.charge(n, metrics.RemoteAccess, t0, p)
+	}
+}
+
+// occParticipants builds the 2PC participants for the attempt's remote
+// nodes: prepare = validate + pin (+ log), commit = apply + unpin, abort =
+// unpin.
+func (c *Cluster) occParticipants(at *occAttempt, remotes []netsim.NodeID) []twopc.Participant {
+	parts := make([]twopc.Participant, 0, len(remotes))
+	for _, id := range remotes {
+		rn := c.nodes[id]
+		parts = append(parts, twopc.Participant{
+			Node: id,
+			Prepare: func(sp *sim.Proc) bool {
+				sp.Sleep(c.cfg.Costs.LogAppend)
+				return at.validateAndPin(rn)
+			},
+			Commit: func(sp *sim.Proc) { at.applyAndUnpin(rn) },
+			Abort:  func(sp *sim.Proc) { at.unpin(rn) },
+		})
+	}
+	return parts
+}
+
+// remoteOCCNodes lists the nodes other than self the attempt touched.
+func (at *occAttempt) remoteOCCNodes(self netsim.NodeID) []netsim.NodeID {
+	seen := map[netsim.NodeID]struct{}{}
+	add := func(id netsim.NodeID) {
+		if id != self {
+			seen[id] = struct{}{}
+		}
+	}
+	for id := range at.reads {
+		add(id)
+	}
+	for id := range at.overlay {
+		add(id)
+	}
+	out := make([]netsim.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+// execOCCTxn executes an entire cold transaction under OCC.
+func (c *Cluster) execOCCTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	at := c.newOCCAttempt()
+	t0 := p.Now()
+	p.Sleep(c.cfg.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+	c.execOCCOps(p, n, at, txn.Ops)
+
+	t1 := p.Now()
+	defer c.charge(n, metrics.TxnEngine, t1, p)
+	// Local validation first: a cheap early abort.
+	if !at.validateAndPin(n) {
+		c.abortOCC(n, at)
+		return ErrValidation
+	}
+	remotes := at.remoteOCCNodes(n.id)
+	if len(remotes) == 0 {
+		p.Sleep(c.cfg.Costs.LogAppend)
+		n.log.AppendCold(at.ts, at.writes)
+		at.applyAndUnpin(n)
+		return nil
+	}
+	coord := twopc.NewCoordinator(c.net, n.id)
+	if !coord.Commit(p, c.occParticipants(at, remotes)) {
+		c.abortOCC(n, at)
+		return ErrValidation
+	}
+	p.Sleep(c.cfg.Costs.LogAppend)
+	n.log.AppendCold(at.ts, at.writes)
+	at.applyAndUnpin(n)
+	return nil
+}
+
+// execOCCWarm executes a warm transaction under OCC per Appendix A.4: the
+// cold part validates (so it cannot abort anymore), then the switch
+// sub-transaction runs inside the combined Decision&Switch phase, and the
+// cold writes apply when the multicast decision arrives.
+func (c *Cluster) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.onSwitch(op) }) {
+		return c.execOCCTxn(p, n, txn)
+	}
+	at := c.newOCCAttempt()
+	t0 := p.Now()
+	p.Sleep(c.cfg.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+
+	var coldOps, hotOps []workload.Op
+	for _, op := range txn.Ops {
+		if c.onSwitch(op) {
+			hotOps = append(hotOps, op)
+		} else {
+			coldOps = append(coldOps, op)
+		}
+	}
+	c.execOCCOps(p, n, at, coldOps)
+	if !at.validateAndPin(n) {
+		c.abortOCC(n, at)
+		return ErrValidation
+	}
+
+	// Vote first: unlike the 2PL warm path, OCC participants can refuse
+	// (their validation may fail), and the switch intent must only be
+	// logged — i.e. the transaction only counts as committed — once the
+	// cold part is certain to commit.
+	t1 := p.Now()
+	remotes := at.remoteOCCNodes(n.id)
+	coord := twopc.NewCoordinator(c.net, n.id)
+	parts := c.occParticipants(at, remotes)
+	if len(remotes) > 0 && !coord.Prepare(p, parts) {
+		coord.Finish(p, parts, false)
+		c.abortOCC(n, at)
+		c.charge(n, metrics.TxnEngine, t1, p)
+		return ErrValidation
+	}
+	pkt, passes := c.compileHot(hotOps, at.ts)
+	p.Sleep(c.cfg.Costs.LogAppend)
+	rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
+	coord.SwitchPhase(p, parts, func(sub *sim.Proc) {
+		resp, xerr := c.sw.Exec(sub, pkt)
+		if xerr != nil {
+			panic(fmt.Sprintf("core: switch rejected warm OCC packet: %v", xerr))
+		}
+		rec.Complete(resp)
+	})
+	c.charge(n, metrics.SwitchTxn, t1, p)
+	t2 := p.Now()
+	p.Sleep(c.cfg.Costs.LogAppend)
+	n.log.AppendCold(at.ts, at.writes)
+	at.applyAndUnpin(n)
+	c.charge(n, metrics.TxnEngine, t2, p)
+	if c.measuring {
+		if passes > 1 {
+			n.counters.MultiPass++
+		} else {
+			n.counters.SinglePass++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func occConfig(sys System) Config {
+	cfg := smallConfig(sys)
+	cfg.Scheme = CCOCC
+	return cfg
+}
+
+func TestOCCRunsYCSB(t *testing.T) {
+	cfg := occConfig(NoSwitch)
+	res := runShort(t, cfg, ycsbGen(cfg, 50))
+	if res.Counters.Committed() == 0 {
+		t.Fatal("OCC committed nothing")
+	}
+	if res.Counters.Aborts == 0 {
+		t.Fatal("OCC saw no validation aborts under a contended workload")
+	}
+}
+
+func TestOCCP4DBRunsAllClasses(t *testing.T) {
+	cfg := occConfig(P4DB)
+	gen := workload.NewTPCC(workload.DefaultTPCC(cfg.Nodes, cfg.Nodes*2))
+	res := runShort(t, cfg, gen)
+	if res.Counters.CommittedWarm == 0 {
+		t.Fatalf("no warm OCC transactions: %+v", res.Counters)
+	}
+	if res.SwitchTxns == 0 {
+		t.Fatal("warm OCC transactions never reached the switch")
+	}
+}
+
+// TestOCCNoNegativeBalances: the isolation invariant must hold under OCC
+// exactly as under 2PL — validation plus pinning makes the read-check-
+// write of constrained ops atomic.
+func TestOCCNoNegativeBalances(t *testing.T) {
+	for _, sys := range []System{NoSwitch, P4DB} {
+		cfg := occConfig(sys)
+		sbc := workload.DefaultSmallBank(cfg.Nodes, 5)
+		sbc.AccountsPerNode = 500
+		gen := workload.NewSmallBank(sbc)
+		c := NewCluster(cfg, gen)
+		res := c.Run(1*sim.Millisecond, 4*sim.Millisecond)
+		if res.Counters.Committed() == 0 {
+			t.Fatalf("%v: nothing committed", sys)
+		}
+		for i := 0; i < cfg.Nodes; i++ {
+			st := c.Node(i).Store()
+			for _, tb := range []store.TableID{workload.SBChecking, workload.SBSavings} {
+				for _, k := range st.Table(tb).Keys() {
+					if sys == P4DB && c.HotIndex().OnSwitch(store.GlobalField(tb, 0, k)) {
+						continue
+					}
+					if v := st.Table(tb).Get(k, 0); v < 0 {
+						t.Fatalf("%v/OCC: negative balance %d (node %d, table %d, key %d)", sys, v, i, tb, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOCCSerializableHistory: with a single worker in the whole cluster
+// there is no concurrency, so OCC validation can never fail and the run
+// must be abort-free.
+func TestOCCSerializableHistory(t *testing.T) {
+	cfg := occConfig(NoSwitch)
+	cfg.Nodes = 1
+	cfg.WorkersPerNode = 1
+	sbc := workload.DefaultSmallBank(cfg.Nodes, 3)
+	sbc.AccountsPerNode = 50
+	sbc.DistPct = 0
+	gen := workload.NewSmallBank(sbc)
+	c := NewCluster(cfg, gen)
+	res := c.Run(500*sim.Microsecond, 2*sim.Millisecond)
+	if res.Counters.Committed() == 0 {
+		t.Fatal("nothing committed")
+	}
+	if res.Counters.Aborts != 0 {
+		t.Fatalf("single-worker-per-node OCC aborted %d times", res.Counters.Aborts)
+	}
+	// Conservation: Amalgamate/SendPayment move money, Deposit adds,
+	// TransactSavings removes — so only check non-negativity here.
+	for i := 0; i < cfg.Nodes; i++ {
+		st := c.Node(i).Store()
+		for _, tb := range []store.TableID{workload.SBChecking, workload.SBSavings} {
+			for _, k := range st.Table(tb).Keys() {
+				if v := st.Table(tb).Get(k, 0); v < 0 {
+					t.Fatalf("negative balance %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestOCCVersionsAdvance(t *testing.T) {
+	cfg := occConfig(NoSwitch)
+	gen := ycsbGen(cfg, 50)
+	c := NewCluster(cfg, gen)
+	c.Run(500*sim.Microsecond, 2*sim.Millisecond)
+	bumped := 0
+	for i := 0; i < cfg.Nodes; i++ {
+		for _, v := range c.Node(i).occ.versions {
+			if v > 0 {
+				bumped++
+			}
+		}
+	}
+	if bumped == 0 {
+		t.Fatal("no row versions advanced — writes were not installed through OCC")
+	}
+	// All pins must be released once the run is over (workers stopped
+	// between transactions or were unwound; committed/aborted txns always
+	// unpin).
+	for i := 0; i < cfg.Nodes; i++ {
+		if n := len(c.Node(i).occ.pins); n > 10 {
+			t.Fatalf("node %d still holds %d pins after shutdown", i, n)
+		}
+	}
+}
+
+// TestOCCvs2PLComparable: both schemes must complete the same workload
+// with nonzero throughput; this is the Appendix A.4 ablation hook.
+func TestOCCvs2PLComparable(t *testing.T) {
+	var thr [2]float64
+	for i, scheme := range []CCScheme{CC2PL, CCOCC} {
+		cfg := smallConfig(NoSwitch)
+		cfg.Scheme = scheme
+		res := runShort(t, cfg, ycsbGen(cfg, 50))
+		thr[i] = res.Throughput()
+	}
+	if thr[0] == 0 || thr[1] == 0 {
+		t.Fatalf("throughputs: 2PL=%.0f OCC=%.0f", thr[0], thr[1])
+	}
+}
+
+func TestCCSchemeStrings(t *testing.T) {
+	if CC2PL.String() != "2PL" || CCOCC.String() != "OCC" {
+		t.Fatal("scheme names wrong")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runShape measures one YCSB-A point for shape tests (4 nodes for speed).
+func runShape(t *testing.T, sys System, workers, distPct, hotPct int) *Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.System = sys
+	cfg.Nodes = 4
+	cfg.WorkersPerNode = workers
+	cfg.SampleTxns = 15000
+	w := workload.YCSBWorkloadA(cfg.Nodes)
+	w.DistPct = distPct
+	w.HotTxnPct = hotPct
+	w.RowsPerNode = 1 << 22
+	c := NewCluster(cfg, workload.NewYCSB(w))
+	return c.Run(500*sim.Microsecond, 3*sim.Millisecond)
+}
+
+func speedupAt(t *testing.T, workers, distPct, hotPct int) float64 {
+	t.Helper()
+	ns := runShape(t, NoSwitch, workers, distPct, hotPct)
+	p4 := runShape(t, P4DB, workers, distPct, hotPct)
+	if ns.Throughput() == 0 {
+		t.Fatal("baseline committed nothing")
+	}
+	return p4.Throughput() / ns.Throughput()
+}
+
+// TestShapeSpeedupGrowsWithContention reproduces the upper rows of
+// Figures 11/13/14: more worker threads increase contention on the hot
+// set, which hurts the baseline more than P4DB.
+func TestShapeSpeedupGrowsWithContention(t *testing.T) {
+	low := speedupAt(t, 6, 20, 75)
+	high := speedupAt(t, 18, 20, 75)
+	if high <= low {
+		t.Fatalf("speedup did not grow with load: %.2fx at 6 thr vs %.2fx at 18 thr", low, high)
+	}
+	if low < 1 {
+		t.Fatalf("P4DB slower than baseline even at low load: %.2fx", low)
+	}
+}
+
+// TestShapeSpeedupGrowsWithDistribution reproduces the lower rows of
+// Figures 11/13/14: distributed transactions pay full round trips in the
+// baseline but only half to the switch.
+func TestShapeSpeedupGrowsWithDistribution(t *testing.T) {
+	low := speedupAt(t, 12, 25, 75)
+	high := speedupAt(t, 12, 100, 75)
+	if high <= low {
+		t.Fatalf("speedup did not grow with distribution: %.2fx at 25%% vs %.2fx at 100%%", low, high)
+	}
+}
+
+// TestShapeNoHotNoEffect reproduces the 0% end of Figure 15b: with no hot
+// transactions the switch only forwards packets and P4DB must match the
+// baseline within measurement tolerance.
+func TestShapeNoHotNoEffect(t *testing.T) {
+	s := speedupAt(t, 12, 20, 0)
+	if s < 0.9 || s > 1.1 {
+		t.Fatalf("speedup at 0%% hot = %.2fx, want ~1.0x", s)
+	}
+}
+
+// TestShapeAllHotLargeEffect reproduces the 100% end of Figure 15b.
+func TestShapeAllHotLargeEffect(t *testing.T) {
+	s := speedupAt(t, 12, 20, 100)
+	if s < 5 {
+		t.Fatalf("speedup at 100%% hot = %.2fx, want large (paper: >50x)", s)
+	}
+}

@@ -1,0 +1,286 @@
+// Package hotset implements P4DB's offline hot-tuple detection and the
+// replicated hot index (Sections 3.1 and 6.1).
+//
+// Detection replays a representative sample of the workload statement by
+// statement, counts per-tuple access frequencies, and selects the most
+// frequently accessed tuples as the hot-set (bounded by the switch
+// capacity). The same sample, restricted to the selected tuples, yields
+// the transaction-access graph the declustered layout is computed from.
+//
+// At runtime every database node holds an Index replica: a small map from
+// tuple key to its switch slot. It is consulted on every transaction to
+// classify it hot/cold/warm and, for hot transactions, to build the packet
+// header (single- vs multi-pass, required pipeline locks).
+package hotset
+
+import (
+	"sort"
+
+	"repro/internal/layout"
+	"repro/internal/store"
+)
+
+// Access is one statement of a sampled transaction: which tuple it touches
+// and which earlier statement it depends on (-1 for none).
+type Access struct {
+	Key       store.GlobalKey
+	DependsOn int
+}
+
+// HotSet is the result of offline detection.
+type HotSet struct {
+	keys  map[store.GlobalKey]struct{}
+	freq  map[store.GlobalKey]int64
+	graph *layout.Graph
+}
+
+// Detect replays the sampled transactions and returns the topK most
+// frequently accessed tuples together with their access graph. Sample
+// transactions that touch both hot and cold tuples contribute their hot
+// subset to the graph (those are exactly the switch sub-transactions warm
+// transactions will run).
+func Detect(samples [][]Access, topK int) *HotSet {
+	freq := make(map[store.GlobalKey]int64)
+	for _, txn := range samples {
+		for _, a := range txn {
+			freq[a.Key]++
+		}
+	}
+	type kf struct {
+		k store.GlobalKey
+		f int64
+	}
+	order := make([]kf, 0, len(freq))
+	for k, f := range freq {
+		order = append(order, kf{k, f})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].f != order[j].f {
+			return order[i].f > order[j].f
+		}
+		return order[i].k < order[j].k
+	})
+	if topK > len(order) {
+		topK = len(order)
+	}
+	h := &HotSet{
+		keys:  make(map[store.GlobalKey]struct{}, topK),
+		freq:  freq,
+		graph: layout.NewGraph(),
+	}
+	for _, e := range order[:topK] {
+		h.keys[e.k] = struct{}{}
+		h.graph.AddTuple(layout.TupleID(e.k))
+	}
+
+	// Second pass: fold the hot subsets of all sampled transactions into
+	// the access graph, remapping dependency indices to the kept subset.
+	for _, txn := range samples {
+		kept := make([]layout.Access, 0, len(txn))
+		remap := make([]int, len(txn))
+		for i := range remap {
+			remap[i] = -1
+		}
+		for i, a := range txn {
+			if _, hot := h.keys[a.Key]; !hot {
+				continue
+			}
+			dep := -1
+			if a.DependsOn >= 0 && a.DependsOn < i {
+				dep = remap[a.DependsOn]
+			}
+			remap[i] = len(kept)
+			kept = append(kept, layout.Access{Tuple: layout.TupleID(a.Key), DependsOn: dep})
+		}
+		if len(kept) >= 2 {
+			h.graph.AddTxn(kept)
+		}
+	}
+	return h
+}
+
+// DetectAuto selects the hot-set without a preset size. Tuples sampled
+// fewer than three times are noise and never hot. Among the rest, sorted
+// by descending frequency, the detector cuts at the last point where the
+// frequency drops by 4x or more between neighbours — under the paper's
+// skews the hot tuples sit on a plateau one to two orders of magnitude
+// above the cold tail, so that gap is the hot/cold boundary. If no such
+// gap exists, every frequently-sampled tuple is hot (e.g. a 100%-hot
+// workload). The result is capped at maxK tuples (the switch capacity),
+// keeping the most frequent; the remainder stays on the database nodes
+// (Figure 17's spill path).
+func DetectAuto(samples [][]Access, maxK int) *HotSet {
+	freq := make(map[store.GlobalKey]int64)
+	for _, txn := range samples {
+		for _, a := range txn {
+			freq[a.Key]++
+		}
+	}
+	type kf struct {
+		k store.GlobalKey
+		f int64
+	}
+	kept := make([]kf, 0, len(freq))
+	for k, f := range freq {
+		if f >= 3 {
+			kept = append(kept, kf{k, f})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].f != kept[j].f {
+			return kept[i].f > kept[j].f
+		}
+		return kept[i].k < kept[j].k
+	})
+	k := len(kept)
+	for i := len(kept) - 1; i > 0; i-- {
+		if kept[i-1].f >= 4*kept[i].f {
+			k = i
+			break
+		}
+	}
+	if k > maxK {
+		k = maxK
+	}
+	return Detect(samples, k)
+}
+
+// FromKeys builds a hot-set from an a-priori known tuple list (the
+// operator pinned the offload set explicitly), truncated to the maxK most
+// frequently sampled tuples. The access graph is still derived from the
+// sample so the layout algorithm has co-access information.
+func FromKeys(keys []store.GlobalKey, samples [][]Access, maxK int) *HotSet {
+	freq := make(map[store.GlobalKey]int64)
+	for _, txn := range samples {
+		for _, a := range txn {
+			freq[a.Key]++
+		}
+	}
+	sorted := append([]store.GlobalKey(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if freq[sorted[i]] != freq[sorted[j]] {
+			return freq[sorted[i]] > freq[sorted[j]]
+		}
+		return sorted[i] < sorted[j]
+	})
+	if maxK < len(sorted) {
+		sorted = sorted[:maxK]
+	}
+	h := &HotSet{
+		keys:  make(map[store.GlobalKey]struct{}, len(sorted)),
+		freq:  freq,
+		graph: layout.NewGraph(),
+	}
+	for _, k := range sorted {
+		h.keys[k] = struct{}{}
+		h.graph.AddTuple(layout.TupleID(k))
+	}
+	for _, txn := range samples {
+		if kept := h.Restrict(txn); len(kept) >= 2 {
+			h.graph.AddTxn(kept)
+		}
+	}
+	return h
+}
+
+// Contains reports whether key was selected as hot.
+func (h *HotSet) Contains(k store.GlobalKey) bool {
+	_, ok := h.keys[k]
+	return ok
+}
+
+// Freq returns the sampled access frequency of key.
+func (h *HotSet) Freq(k store.GlobalKey) int64 { return h.freq[k] }
+
+// Size returns the number of hot tuples.
+func (h *HotSet) Size() int { return len(h.keys) }
+
+// Keys returns the hot tuples in deterministic (sorted) order.
+func (h *HotSet) Keys() []store.GlobalKey {
+	out := make([]store.GlobalKey, 0, len(h.keys))
+	for k := range h.keys {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Graph returns the transaction-access graph over the hot tuples, ready
+// for the layout algorithm.
+func (h *HotSet) Graph() *layout.Graph { return h.graph }
+
+// Restrict projects a sampled transaction onto the hot-set, remapping
+// dependency indices to the kept subset (dependencies through dropped
+// cold accesses become independent). It is the same projection Detect
+// uses to build the access graph, exposed for layout refinement.
+func (h *HotSet) Restrict(txn []Access) []layout.Access {
+	kept := make([]layout.Access, 0, len(txn))
+	remap := make([]int, len(txn))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, a := range txn {
+		if _, hot := h.keys[a.Key]; !hot {
+			continue
+		}
+		dep := -1
+		if a.DependsOn >= 0 && a.DependsOn < i {
+			dep = remap[a.DependsOn]
+		}
+		remap[i] = len(kept)
+		kept = append(kept, layout.Access{Tuple: layout.TupleID(a.Key), DependsOn: dep})
+	}
+	return kept
+}
+
+// Index is the per-node replica of the hot-tuple index. It is small (a few
+// thousand entries) so on a real node it lives in CPU caches; here the map
+// lookup itself stands in for that cost.
+type Index struct {
+	slots   map[store.GlobalKey]layout.Slot
+	spilled map[store.GlobalKey]struct{}
+}
+
+// BuildIndex combines the hot-set and the computed layout: hot tuples with
+// a switch slot are indexed; hot tuples that did not fit (the layout was
+// computed over a capacity-capped subset, Figure 17) are recorded as
+// spilled and treated as cold at runtime.
+func BuildIndex(h *HotSet, l *layout.Layout) *Index {
+	ix := &Index{
+		slots:   make(map[store.GlobalKey]layout.Slot, l.NumTuples()),
+		spilled: make(map[store.GlobalKey]struct{}),
+	}
+	for _, k := range h.Keys() {
+		if s, ok := l.SlotOf(layout.TupleID(k)); ok {
+			ix.slots[k] = s
+		} else {
+			ix.spilled[k] = struct{}{}
+		}
+	}
+	return ix
+}
+
+// Lookup returns the switch slot of key, if key is on the switch.
+func (ix *Index) Lookup(k store.GlobalKey) (layout.Slot, bool) {
+	s, ok := ix.slots[k]
+	return s, ok
+}
+
+// OnSwitch reports whether key is stored on the switch.
+func (ix *Index) OnSwitch(k store.GlobalKey) bool {
+	_, ok := ix.slots[k]
+	return ok
+}
+
+// Spilled reports whether key was detected hot but did not fit on the
+// switch.
+func (ix *Index) Spilled(k store.GlobalKey) bool {
+	_, ok := ix.spilled[k]
+	return ok
+}
+
+// OnSwitchCount returns the number of indexed (on-switch) tuples.
+func (ix *Index) OnSwitchCount() int { return len(ix.slots) }
+
+// SpilledCount returns the number of spilled hot tuples.
+func (ix *Index) SpilledCount() int { return len(ix.spilled) }

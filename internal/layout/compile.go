@@ -1,0 +1,118 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/txnwire"
+)
+
+// HotOp is one operation of a hot transaction before compilation: which
+// tuple it touches, what the switch should do, and which earlier operation
+// it depends on (-1 for none). Dependencies constrain the emission order —
+// a dependent operation cannot be hoisted before its producer.
+type HotOp struct {
+	Tuple     TupleID
+	Op        txnwire.Op
+	Operand   int64
+	DependsOn int
+}
+
+// ErrNotLaidOut reports a hot operation on a tuple without a switch slot.
+type ErrNotLaidOut struct{ Tuple TupleID }
+
+func (e ErrNotLaidOut) Error() string {
+	return fmt.Sprintf("layout: tuple %d has no switch slot", e.Tuple)
+}
+
+// Compile translates a hot transaction's operations into switch
+// instructions, ordering them to minimize pipeline passes.
+//
+// The database node may reorder independent operations freely (their
+// results are position-independent), but an operation must stay after the
+// operation it depends on. Compile greedily emits, among the
+// dependency-ready operations, the one whose slot extends the current pass
+// (smallest position strictly after the previous instruction); when no
+// ready operation fits, it starts a new pass. It returns the instructions,
+// a permutation mapping instruction index -> original operation index
+// (callers use it to route switch results back to their operations), and
+// the number of passes the sequence needs.
+func Compile(ops []HotOp, l *Layout) (instrs []txnwire.Instr, perm []int, passes int, err error) {
+	n := len(ops)
+	if n == 0 {
+		return nil, nil, 0, nil
+	}
+	slots := make([]Slot, n)
+	for i, op := range ops {
+		s, ok := l.SlotOf(op.Tuple)
+		if !ok {
+			return nil, nil, 0, ErrNotLaidOut{op.Tuple}
+		}
+		slots[i] = s
+	}
+
+	// Effective dependencies: the declared one plus an implicit edge to
+	// the latest earlier operation on the same tuple — program order on a
+	// single tuple must never be reversed, whatever the slot order says.
+	deps := make([][]int, n)
+	lastOnTuple := make(map[TupleID]int, n)
+	for i, op := range ops {
+		if d := op.DependsOn; d >= 0 && d < i {
+			deps[i] = append(deps[i], d)
+		}
+		if prev, ok := lastOnTuple[op.Tuple]; ok {
+			deps[i] = append(deps[i], prev)
+		}
+		lastOnTuple[op.Tuple] = i
+	}
+
+	emitted := make([]bool, n)
+	instrs = make([]txnwire.Instr, 0, n)
+	perm = make([]int, 0, n)
+	lastPos := -1
+	passes = 1
+	for len(perm) < n {
+		// Ready ops: dependency already emitted.
+		best := -1
+		bestPos := 0
+		fresh := -1 // best op if we must start a new pass
+		freshPos := 0
+	scan:
+		for i := 0; i < n; i++ {
+			if emitted[i] {
+				continue
+			}
+			for _, d := range deps[i] {
+				if !emitted[d] {
+					continue scan
+				}
+			}
+			p := slots[i].pos()
+			if p > lastPos && (best == -1 || p < bestPos) {
+				best, bestPos = i, p
+			}
+			if fresh == -1 || p < freshPos {
+				fresh, freshPos = i, p
+			}
+		}
+		pick := best
+		if pick == -1 {
+			if fresh == -1 {
+				return nil, nil, 0, fmt.Errorf("layout: dependency cycle in hot transaction")
+			}
+			pick = fresh
+			passes++
+			lastPos = -1
+		}
+		emitted[pick] = true
+		lastPos = slots[pick].pos()
+		instrs = append(instrs, txnwire.Instr{
+			Op:      ops[pick].Op,
+			Stage:   slots[pick].Stage,
+			Array:   slots[pick].Array,
+			Index:   slots[pick].Index,
+			Operand: ops[pick].Operand,
+		})
+		perm = append(perm, pick)
+	}
+	return instrs, perm, passes, nil
+}

@@ -1,0 +1,286 @@
+// Package layout implements P4DB's declustered storage model (Section 4).
+//
+// Given the hot tuples and the hot transactions of a workload, the goal is
+// to assign each tuple to one register array of one MAU stage such that as
+// many transactions as possible execute in a single pipeline pass. The
+// problem is modelled as a graph: tuples are nodes, tuples co-accessed by
+// a transaction are connected by weighted edges, and ordering dependencies
+// between operations (read-dependent writes) make edges directed. A
+// capacity-constrained max-cut spreads co-accessed tuples over different
+// register arrays; the cut directions then impose a topological order of
+// the partitions onto pipeline stages.
+//
+// The paper uses the MQLib heuristic solver; this package substitutes a
+// greedy multi-start construction with local-search refinement, which is
+// sufficient to reach the paper's qualitative result (near-all single-pass
+// transactions for SmallBank/YCSB under the optimal layout, many
+// multi-pass transactions under a random layout).
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TupleID identifies a hot tuple globally (table-qualified key).
+type TupleID uint64
+
+// Access is one operation of a transaction for layout purposes: which
+// tuple it touches and which earlier operation of the same transaction it
+// depends on (-1 for none). A dependency forces the dependent operation
+// into a later pipeline stage (or a later pass).
+type Access struct {
+	Tuple     TupleID
+	DependsOn int
+}
+
+type edgeKey struct{ u, v TupleID } // canonical: u < v
+
+type edgeInfo struct {
+	weight int64 // co-access frequency
+	fwd    int64 // weight of ordered dependencies u -> v
+	rev    int64 // weight of ordered dependencies v -> u
+}
+
+// Graph is the transaction-access graph of Section 4.2.
+type Graph struct {
+	freq  map[TupleID]int64
+	edges map[edgeKey]*edgeInfo
+}
+
+// NewGraph returns an empty access graph.
+func NewGraph() *Graph {
+	return &Graph{freq: make(map[TupleID]int64), edges: make(map[edgeKey]*edgeInfo)}
+}
+
+// AddTuple registers a tuple even if no transaction touches it (it still
+// needs a slot on the switch).
+func (g *Graph) AddTuple(t TupleID) {
+	if _, ok := g.freq[t]; !ok {
+		g.freq[t] = 0
+	}
+}
+
+// AddTxn folds one transaction's accesses into the graph: every pair of
+// distinct tuples gains co-access weight, and declared dependencies add
+// directed weight.
+func (g *Graph) AddTxn(accesses []Access) {
+	for i, a := range accesses {
+		g.freq[a.Tuple]++
+		for j := i + 1; j < len(accesses); j++ {
+			b := accesses[j]
+			if a.Tuple == b.Tuple {
+				continue
+			}
+			e := g.edge(a.Tuple, b.Tuple)
+			e.weight++
+		}
+		if a.DependsOn >= 0 && a.DependsOn < i {
+			dep := accesses[a.DependsOn]
+			if dep.Tuple != a.Tuple {
+				e := g.edge(dep.Tuple, a.Tuple)
+				if dep.Tuple < a.Tuple {
+					e.fwd++
+				} else {
+					e.rev++
+				}
+			}
+		}
+	}
+}
+
+func (g *Graph) edge(a, b TupleID) *edgeInfo {
+	k := edgeKey{a, b}
+	if a > b {
+		k = edgeKey{b, a}
+	}
+	e, ok := g.edges[k]
+	if !ok {
+		e = &edgeInfo{}
+		g.edges[k] = e
+	}
+	return e
+}
+
+// Tuples returns all registered tuples in deterministic (sorted) order.
+func (g *Graph) Tuples() []TupleID {
+	out := make([]TupleID, 0, len(g.freq))
+	for t := range g.freq {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumTuples returns the number of registered tuples.
+func (g *Graph) NumTuples() int { return len(g.freq) }
+
+// TotalEdgeWeight returns the sum of all co-access weights.
+func (g *Graph) TotalEdgeWeight() int64 {
+	var sum int64
+	for _, e := range g.edges {
+		sum += e.weight
+	}
+	return sum
+}
+
+// CutWeight returns the total weight of edges whose endpoints are in
+// different partitions under the given assignment.
+func (g *Graph) CutWeight(part map[TupleID]int) int64 {
+	var cut int64
+	for k, e := range g.edges {
+		if part[k.u] != part[k.v] {
+			cut += e.weight
+		}
+	}
+	return cut
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("layout.Graph{tuples=%d edges=%d weight=%d}", len(g.freq), len(g.edges), g.TotalEdgeWeight())
+}
+
+// maxCut partitions the tuples into k groups of at most capacity tuples
+// each, heuristically maximizing the cut weight. It is a greedy placement
+// in descending incident-weight order followed by first-improvement local
+// search (node moves), the classic scheme the MQLib heuristics build on.
+func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
+	tuples := g.Tuples()
+	if k <= 0 {
+		panic("layout: maxCut with k <= 0")
+	}
+	if len(tuples) > k*capacity {
+		panic(fmt.Sprintf("layout: %d tuples exceed %d partitions x %d capacity", len(tuples), k, capacity))
+	}
+
+	// adjacency for fast gain computation
+	adj := make(map[TupleID][]struct {
+		other TupleID
+		w     int64
+	})
+	for key, e := range g.edges {
+		if e.weight == 0 {
+			continue
+		}
+		adj[key.u] = append(adj[key.u], struct {
+			other TupleID
+			w     int64
+		}{key.v, e.weight})
+		adj[key.v] = append(adj[key.v], struct {
+			other TupleID
+			w     int64
+		}{key.u, e.weight})
+	}
+
+	// Order nodes by total incident weight, heaviest first, so that the
+	// placement of high-contention tuples is decided while all partitions
+	// are still open.
+	incident := make(map[TupleID]int64)
+	for t, ns := range adj {
+		for _, n := range ns {
+			incident[t] += n.w
+		}
+	}
+	order := append([]TupleID(nil), tuples...)
+	sort.Slice(order, func(i, j int) bool {
+		if incident[order[i]] != incident[order[j]] {
+			return incident[order[i]] > incident[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	part := make(map[TupleID]int, len(tuples))
+	size := make([]int, k)
+
+	internalWeight := func(t TupleID, p int) int64 {
+		var w int64
+		for _, n := range adj[t] {
+			if q, ok := part[n.other]; ok && q == p {
+				w += n.w
+			}
+		}
+		return w
+	}
+
+	for _, t := range order {
+		best, bestW := -1, int64(1<<62)
+		for p := 0; p < k; p++ {
+			if size[p] >= capacity {
+				continue
+			}
+			w := internalWeight(t, p)
+			// Prefer lower internal weight (maximizes cut); break ties
+			// toward the emptiest partition for balance.
+			if w < bestW || (w == bestW && (best == -1 || size[p] < size[best])) {
+				best, bestW = p, w
+			}
+		}
+		if best == -1 {
+			panic("layout: no partition with free capacity")
+		}
+		part[t] = best
+		size[best]++
+	}
+
+	// Local search: single-node moves plus pairwise swaps. Moves alone
+	// cannot improve capacity-tight instances (all partitions full), so a
+	// swap pass exchanges a conflicted node with a node from a better
+	// partition when that lowers total internal weight.
+	edgeW := func(a, b TupleID) int64 {
+		for _, n := range adj[a] {
+			if n.other == b {
+				return n.w
+			}
+		}
+		return 0
+	}
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for _, t := range order {
+			cur := part[t]
+			curW := internalWeight(t, cur)
+			for p := 0; p < k; p++ {
+				if p == cur || size[p] >= capacity {
+					continue
+				}
+				if internalWeight(t, p) < curW {
+					part[t] = p
+					size[cur]--
+					size[p]++
+					curW = internalWeight(t, p)
+					cur = p
+					improved = true
+					break
+				}
+			}
+			if curW == 0 {
+				continue
+			}
+			// Swap pass for conflicted nodes: try exchanging t with a
+			// node of each other partition.
+			for _, u := range order {
+				pu := part[u]
+				if pu == cur || u == t {
+					continue
+				}
+				w := edgeW(t, u)
+				old := curW + internalWeight(u, pu)
+				nw := internalWeight(t, pu) - w + internalWeight(u, cur) - w
+				if nw < old {
+					part[t], part[u] = pu, cur
+					cur = pu
+					curW = internalWeight(t, cur)
+					improved = true
+					if curW == 0 {
+						break
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return part
+}

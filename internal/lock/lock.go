@@ -1,0 +1,259 @@
+// Package lock implements the per-node two-phase-locking concurrency
+// control of P4DB's host DBMS: a pessimistic lock table with the two
+// deadlock-prevention policies the paper evaluates, NO_WAIT (abort
+// immediately on any lock conflict) and WAIT_DIE (a transaction waits only
+// for locks owned by younger transactions, otherwise it aborts).
+//
+// The table is driven by the discrete-event simulator: waiting blocks the
+// calling process on a signal that the releasing transaction fires, so
+// lock hold times and queueing delays appear on the virtual timeline
+// exactly as they would on a real node.
+package lock
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// Policy selects the deadlock-prevention scheme.
+type Policy int
+
+// Policies.
+const (
+	// NoWait aborts a transaction as soon as a lock request is denied.
+	NoWait Policy = iota
+	// WaitDie lets a transaction wait only if every conflicting owner is
+	// younger (has a larger timestamp); otherwise the requester dies.
+	WaitDie
+)
+
+func (p Policy) String() string {
+	if p == WaitDie {
+		return "WAIT_DIE"
+	}
+	return "NO_WAIT"
+}
+
+// ParsePolicy converts the paper's spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "NO_WAIT", "no_wait", "nowait":
+		return NoWait, nil
+	case "WAIT_DIE", "wait_die", "waitdie":
+		return WaitDie, nil
+	}
+	return 0, fmt.Errorf("lock: unknown policy %q", s)
+}
+
+// Key identifies a lockable object; callers encode table and primary key.
+type Key uint64
+
+// Abort reasons. Both satisfy errors.Is(err, ErrAbort).
+var (
+	ErrAbort    = errors.New("lock: transaction must abort")
+	ErrConflict = fmt.Errorf("%w: NO_WAIT conflict", ErrAbort)
+	ErrDie      = fmt.Errorf("%w: WAIT_DIE die", ErrAbort)
+)
+
+// Txn is a transaction's lock context: its age timestamp and the set of
+// keys it holds. Timestamps must be unique across the whole cluster
+// (the paper assigns them at transaction start).
+type Txn struct {
+	TS   uint64
+	held map[Key]Mode
+}
+
+// NewTxn creates a lock context with the given unique timestamp.
+func NewTxn(ts uint64) *Txn {
+	return &Txn{TS: ts, held: make(map[Key]Mode, 8)}
+}
+
+// Holds reports the mode the transaction holds on key (and whether any).
+func (t *Txn) Holds(key Key) (Mode, bool) {
+	m, ok := t.held[key]
+	return m, ok
+}
+
+// NumHeld returns the number of locks held.
+func (t *Txn) NumHeld() int { return len(t.held) }
+
+type waiter struct {
+	txn  *Txn
+	mode Mode
+	sig  *sim.Signal
+}
+
+type entry struct {
+	owners  map[*Txn]Mode
+	waiters []*waiter
+}
+
+// Stats counts lock-table events.
+type Stats struct {
+	Acquired  int64
+	Conflicts int64 // denied or waited requests
+	Waits     int64 // requests that waited (WAIT_DIE only)
+	Aborts    int64 // requests that returned an abort error
+}
+
+// Table is one node's lock table.
+type Table struct {
+	env     *sim.Env
+	policy  Policy
+	entries map[Key]*entry
+
+	// Stats is exported for benchmarks.
+	Stats Stats
+}
+
+// NewTable creates an empty lock table with the given policy.
+func NewTable(env *sim.Env, policy Policy) *Table {
+	return &Table{env: env, policy: policy, entries: make(map[Key]*entry)}
+}
+
+// Policy returns the table's deadlock-prevention policy.
+func (tb *Table) Policy() Policy { return tb.policy }
+
+// compatible reports whether a request of mode m by txn conflicts with the
+// current owners (ignoring txn's own holding, which is an upgrade).
+func compatible(e *entry, txn *Txn, m Mode) bool {
+	for o, om := range e.owners {
+		if o == txn {
+			continue
+		}
+		if m == Exclusive || om == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// olderThanAllConflicting reports whether txn's timestamp precedes every
+// conflicting owner's (the WAIT_DIE wait condition).
+func olderThanAllConflicting(e *entry, txn *Txn, m Mode) bool {
+	for o, om := range e.owners {
+		if o == txn {
+			continue
+		}
+		if m == Exclusive || om == Exclusive {
+			if txn.TS >= o.TS {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Acquire requests key in mode m for txn, blocking the calling process if
+// the policy allows waiting. It returns nil on grant or an abort error
+// (ErrConflict / ErrDie) the caller must translate into a transaction
+// abort. Re-acquiring a held lock in the same or weaker mode is a no-op;
+// Shared->Exclusive upgrades follow the same conflict rules.
+func (tb *Table) Acquire(p *sim.Proc, txn *Txn, key Key, m Mode) error {
+	if held, ok := txn.held[key]; ok && (held == Exclusive || m == Shared) {
+		return nil // already sufficient
+	}
+	e := tb.entries[key]
+	if e == nil {
+		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		tb.entries[key] = e
+	}
+	if compatible(e, txn, m) {
+		e.owners[txn] = m
+		txn.held[key] = m
+		tb.Stats.Acquired++
+		return nil
+	}
+	tb.Stats.Conflicts++
+	if tb.policy == NoWait {
+		tb.Stats.Aborts++
+		return ErrConflict
+	}
+	// WAIT_DIE: wait only on younger owners.
+	if !olderThanAllConflicting(e, txn, m) {
+		tb.Stats.Aborts++
+		return ErrDie
+	}
+	tb.Stats.Waits++
+	w := &waiter{txn: txn, mode: m, sig: tb.env.NewSignal()}
+	e.waiters = append(e.waiters, w)
+	if err := p.AwaitErr(w.sig); err != nil {
+		tb.Stats.Aborts++
+		return err
+	}
+	// The releaser already installed us as owner before firing.
+	return nil
+}
+
+// ReleaseAll releases every lock txn holds and grants eligible waiters.
+// It is called at commit and at abort; grants happen at the current
+// virtual time.
+func (tb *Table) ReleaseAll(txn *Txn) {
+	for key := range txn.held {
+		e := tb.entries[key]
+		if e == nil {
+			continue
+		}
+		delete(e.owners, txn)
+		tb.grantWaiters(key, e)
+		if len(e.owners) == 0 && len(e.waiters) == 0 {
+			delete(tb.entries, key)
+		}
+	}
+	txn.held = make(map[Key]Mode, 8)
+}
+
+// grantWaiters admits waiters from the head of the FIFO queue while they
+// are compatible with the current owners.
+func (tb *Table) grantWaiters(key Key, e *entry) {
+	for len(e.waiters) > 0 {
+		w := e.waiters[0]
+		if !compatible(e, w.txn, w.mode) {
+			// Head might be an upgrade blocked by other shared owners;
+			// nothing behind it can jump the queue for Exclusive, but a
+			// compatible Shared request further back may proceed if the
+			// head itself is Shared-compatible. Keeping strict FIFO here
+			// avoids starvation of upgrades.
+			return
+		}
+		e.waiters = e.waiters[1:]
+		e.owners[w.txn] = w.mode
+		w.txn.held[key] = w.mode
+		tb.Stats.Acquired++
+		w.sig.Fire(nil)
+	}
+}
+
+// Owners returns the number of current owners of key (for tests).
+func (tb *Table) Owners(key Key) int {
+	if e := tb.entries[key]; e != nil {
+		return len(e.owners)
+	}
+	return 0
+}
+
+// WaiterCount returns the number of queued waiters on key (for tests).
+func (tb *Table) WaiterCount(key Key) int {
+	if e := tb.entries[key]; e != nil {
+		return len(e.waiters)
+	}
+	return 0
+}

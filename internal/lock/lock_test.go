@@ -1,0 +1,342 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1, t2 := NewTxn(1), NewTxn(2)
+	e.Spawn("p", func(p *sim.Proc) {
+		if err := tb.Acquire(p, t1, 10, Shared); err != nil {
+			t.Errorf("t1: %v", err)
+		}
+		if err := tb.Acquire(p, t2, 10, Shared); err != nil {
+			t.Errorf("t2: %v", err)
+		}
+		if tb.Owners(10) != 2 {
+			t.Errorf("owners = %d, want 2", tb.Owners(10))
+		}
+	})
+	e.Run()
+}
+
+func TestExclusiveConflictsNoWait(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1, t2 := NewTxn(1), NewTxn(2)
+	e.Spawn("p", func(p *sim.Proc) {
+		if err := tb.Acquire(p, t1, 10, Exclusive); err != nil {
+			t.Errorf("t1: %v", err)
+		}
+		err := tb.Acquire(p, t2, 10, Exclusive)
+		if !errors.Is(err, ErrAbort) || !errors.Is(err, ErrConflict) {
+			t.Errorf("t2 err = %v, want ErrConflict", err)
+		}
+		err = tb.Acquire(p, t2, 10, Shared)
+		if !errors.Is(err, ErrConflict) {
+			t.Errorf("t2 shared err = %v, want ErrConflict", err)
+		}
+	})
+	e.Run()
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1 := NewTxn(1)
+	e.Spawn("p", func(p *sim.Proc) {
+		if err := tb.Acquire(p, t1, 5, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Acquire(p, t1, 5, Exclusive); err != nil {
+			t.Errorf("re-acquire X: %v", err)
+		}
+		if err := tb.Acquire(p, t1, 5, Shared); err != nil {
+			t.Errorf("S after X: %v", err)
+		}
+		if t1.NumHeld() != 1 {
+			t.Errorf("NumHeld = %d, want 1", t1.NumHeld())
+		}
+	})
+	e.Run()
+}
+
+func TestUpgradeSoleOwner(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1 := NewTxn(1)
+	e.Spawn("p", func(p *sim.Proc) {
+		if err := tb.Acquire(p, t1, 5, Shared); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Acquire(p, t1, 5, Exclusive); err != nil {
+			t.Errorf("sole-owner upgrade failed: %v", err)
+		}
+		if m, _ := t1.Holds(5); m != Exclusive {
+			t.Errorf("mode = %v, want X", m)
+		}
+	})
+	e.Run()
+}
+
+func TestUpgradeConflictNoWait(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1, t2 := NewTxn(1), NewTxn(2)
+	e.Spawn("p", func(p *sim.Proc) {
+		_ = tb.Acquire(p, t1, 5, Shared)
+		_ = tb.Acquire(p, t2, 5, Shared)
+		if err := tb.Acquire(p, t1, 5, Exclusive); !errors.Is(err, ErrConflict) {
+			t.Errorf("upgrade with co-owner: %v, want conflict", err)
+		}
+	})
+	e.Run()
+}
+
+func TestReleaseAllFreesLocks(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1, t2 := NewTxn(1), NewTxn(2)
+	e.Spawn("p", func(p *sim.Proc) {
+		_ = tb.Acquire(p, t1, 1, Exclusive)
+		_ = tb.Acquire(p, t1, 2, Shared)
+		tb.ReleaseAll(t1)
+		if t1.NumHeld() != 0 {
+			t.Errorf("NumHeld = %d after release", t1.NumHeld())
+		}
+		if err := tb.Acquire(p, t2, 1, Exclusive); err != nil {
+			t.Errorf("lock not freed: %v", err)
+		}
+	})
+	e.Run()
+}
+
+func TestWaitDieOlderWaits(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, WaitDie)
+	old, young := NewTxn(1), NewTxn(2)
+	var grantedAt sim.Time
+	e.Spawn("young", func(p *sim.Proc) {
+		if err := tb.Acquire(p, young, 7, Exclusive); err != nil {
+			t.Errorf("young: %v", err)
+		}
+		p.Sleep(100)
+		tb.ReleaseAll(young)
+	})
+	e.Spawn("old", func(p *sim.Proc) {
+		p.Sleep(10) // let young take the lock first
+		if err := tb.Acquire(p, old, 7, Exclusive); err != nil {
+			t.Errorf("old should wait, got %v", err)
+		}
+		grantedAt = p.Now()
+	})
+	e.Run()
+	if grantedAt != 100 {
+		t.Fatalf("old granted at %v, want 100 (young's release)", grantedAt)
+	}
+}
+
+func TestWaitDieYoungerDies(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, WaitDie)
+	old, young := NewTxn(1), NewTxn(2)
+	e.Spawn("p", func(p *sim.Proc) {
+		if err := tb.Acquire(p, old, 7, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		err := tb.Acquire(p, young, 7, Exclusive)
+		if !errors.Is(err, ErrDie) {
+			t.Errorf("young err = %v, want ErrDie", err)
+		}
+	})
+	e.Run()
+}
+
+func TestWaitDieNeverDeadlocks(t *testing.T) {
+	// Many transactions locking overlapping key pairs in opposite orders:
+	// with WAIT_DIE the simulation must always drain (no deadlock leaves
+	// parked processes, which Run would expose as a non-empty Live set).
+	e := sim.NewEnv(17)
+	tb := NewTable(e, WaitDie)
+	var ts uint64
+	committed := 0
+	for w := 0; w < 16; w++ {
+		rng := e.Rand().Fork(uint64(w))
+		e.Spawn("w", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				ts++
+				txn := NewTxn(ts)
+				k1 := Key(rng.Intn(5))
+				k2 := Key(rng.Intn(5))
+				ok := true
+				if err := tb.Acquire(p, txn, k1, Exclusive); err != nil {
+					ok = false
+				}
+				if ok {
+					p.Sleep(sim.Time(rng.Intn(50)))
+					if err := tb.Acquire(p, txn, k2, Exclusive); err != nil {
+						ok = false
+					}
+				}
+				if ok {
+					p.Sleep(sim.Time(rng.Intn(50)))
+					committed++
+				}
+				tb.ReleaseAll(txn)
+				p.Sleep(sim.Time(rng.Intn(20)))
+			}
+		})
+	}
+	e.Run()
+	if e.Live() != 0 {
+		t.Fatalf("%d processes still parked: deadlock", e.Live())
+	}
+	if committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if tb.Stats.Aborts == 0 {
+		t.Fatal("expected some WAIT_DIE aborts under contention")
+	}
+}
+
+func TestMutualExclusionInvariant(t *testing.T) {
+	// Property: at no instant do two transactions hold X on the same key.
+	// We track a critical-section counter guarded by the lock.
+	for _, pol := range []Policy{NoWait, WaitDie} {
+		e := sim.NewEnv(23)
+		tb := NewTable(e, pol)
+		inCS := 0
+		var ts uint64
+		violations := 0
+		for w := 0; w < 12; w++ {
+			rng := e.Rand().Fork(uint64(w))
+			e.Spawn("w", func(p *sim.Proc) {
+				for i := 0; i < 40; i++ {
+					ts++
+					txn := NewTxn(ts)
+					if err := tb.Acquire(p, txn, 1, Exclusive); err == nil {
+						inCS++
+						if inCS > 1 {
+							violations++
+						}
+						p.Sleep(sim.Time(rng.Intn(30) + 1))
+						inCS--
+					}
+					tb.ReleaseAll(txn)
+					p.Sleep(sim.Time(rng.Intn(10)))
+				}
+			})
+		}
+		e.Run()
+		if violations > 0 {
+			t.Fatalf("policy %v: %d mutual-exclusion violations", pol, violations)
+		}
+	}
+}
+
+func TestWaitersGrantedFIFO(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, WaitDie)
+	holder := NewTxn(100)
+	var order []int
+	e.Spawn("holder", func(p *sim.Proc) {
+		_ = tb.Acquire(p, holder, 9, Exclusive)
+		p.Sleep(1000)
+		tb.ReleaseAll(holder)
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		txn := NewTxn(uint64(i + 1)) // older than holder -> waits
+		e.Spawn("waiter", func(p *sim.Proc) {
+			p.Sleep(sim.Time(10 * (i + 1))) // arrive in order 0,1,2
+			if err := tb.Acquire(p, txn, 9, Exclusive); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order = append(order, i)
+			p.Sleep(5)
+			tb.ReleaseAll(txn)
+		})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestSharedWaitersGrantedTogether(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, WaitDie)
+	holder := NewTxn(100)
+	var grantTimes []sim.Time
+	e.Spawn("holder", func(p *sim.Proc) {
+		_ = tb.Acquire(p, holder, 9, Exclusive)
+		p.Sleep(500)
+		tb.ReleaseAll(holder)
+	})
+	for i := 0; i < 3; i++ {
+		txn := NewTxn(uint64(i + 1))
+		e.Spawn("reader", func(p *sim.Proc) {
+			p.Sleep(10)
+			if err := tb.Acquire(p, txn, 9, Shared); err != nil {
+				t.Errorf("reader: %v", err)
+				return
+			}
+			grantTimes = append(grantTimes, p.Now())
+		})
+	}
+	e.Run()
+	if len(grantTimes) != 3 {
+		t.Fatalf("grants = %d, want 3", len(grantTimes))
+	}
+	for _, g := range grantTimes {
+		if g != 500 {
+			t.Fatalf("shared waiters not granted together: %v", grantTimes)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy("NO_WAIT"); err != nil || p != NoWait {
+		t.Fatalf("NO_WAIT: %v %v", p, err)
+	}
+	if p, err := ParsePolicy("WAIT_DIE"); err != nil || p != WaitDie {
+		t.Fatalf("WAIT_DIE: %v %v", p, err)
+	}
+	if _, err := ParsePolicy("2PL"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1, t2 := NewTxn(1), NewTxn(2)
+	e.Spawn("p", func(p *sim.Proc) {
+		_ = tb.Acquire(p, t1, 1, Exclusive)
+		_ = tb.Acquire(p, t2, 1, Exclusive) // conflict + abort
+	})
+	e.Run()
+	if tb.Stats.Acquired != 1 || tb.Stats.Conflicts != 1 || tb.Stats.Aborts != 1 {
+		t.Fatalf("stats = %+v", tb.Stats)
+	}
+}
+
+func TestEntryGarbageCollected(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1 := NewTxn(1)
+	e.Spawn("p", func(p *sim.Proc) {
+		_ = tb.Acquire(p, t1, 1, Exclusive)
+		tb.ReleaseAll(t1)
+	})
+	e.Run()
+	if len(tb.entries) != 0 {
+		t.Fatalf("entries leaked: %d", len(tb.entries))
+	}
+}

@@ -1,0 +1,177 @@
+// Package metrics provides counters, latency histograms and per-component
+// time breakdowns for the simulated DBMS. All types are plain (non-atomic)
+// because the discrete-event simulator runs one process at a time; metric
+// updates are therefore race-free by construction.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Component identifies where transaction time is spent, matching the
+// latency breakdown of Figure 18a in the paper.
+type Component int
+
+// Breakdown components.
+const (
+	LockAcquisition Component = iota
+	LocalAccess
+	RemoteAccess
+	SwitchTxn
+	TxnEngine
+	numComponents
+)
+
+// String returns the paper's label for the component.
+func (c Component) String() string {
+	switch c {
+	case LockAcquisition:
+		return "Lock Acquisition"
+	case LocalAccess:
+		return "Local Access"
+	case RemoteAccess:
+		return "Remote Access"
+	case SwitchTxn:
+		return "Switch Txn"
+	case TxnEngine:
+		return "Txn Engine"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Breakdown accumulates virtual time per component.
+type Breakdown struct {
+	total [numComponents]sim.Time
+	n     int64
+}
+
+// Add accrues d to component c.
+func (b *Breakdown) Add(c Component, d sim.Time) { b.total[c] += d }
+
+// AddTxn records that one transaction contributed to the breakdown
+// (used to compute per-transaction averages).
+func (b *Breakdown) AddTxn() { b.n++ }
+
+// Total returns the accumulated time for component c.
+func (b *Breakdown) Total(c Component) sim.Time { return b.total[c] }
+
+// PerTxn returns the average time per recorded transaction for c.
+func (b *Breakdown) PerTxn(c Component) sim.Time {
+	if b.n == 0 {
+		return 0
+	}
+	return b.total[c] / sim.Time(b.n)
+}
+
+// Txns returns the number of transactions recorded.
+func (b *Breakdown) Txns() int64 { return b.n }
+
+// Components lists all breakdown components in display order.
+func Components() []Component {
+	return []Component{LockAcquisition, LocalAccess, RemoteAccess, SwitchTxn, TxnEngine}
+}
+
+// Merge adds other's totals into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for i := range b.total {
+		b.total[i] += other.total[i]
+	}
+	b.n += other.n
+}
+
+// Histogram records sim.Time samples and reports count, mean and
+// percentiles. Samples are kept verbatim; simulated runs are short enough
+// that exact percentiles are affordable and reproducible.
+type Histogram struct {
+	samples []sim.Time
+	sum     sim.Time
+	sorted  bool
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v sim.Time) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 when empty.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(p/100*float64(len(h.samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() sim.Time { return h.Percentile(100) }
+
+// Merge appends other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	h.samples = append(h.samples, other.samples...)
+	h.sum += other.sum
+	h.sorted = false
+}
+
+// Counters tracks the commit/abort accounting a benchmark run reports.
+type Counters struct {
+	CommittedHot  int64 // hot transactions committed (on switch or on hot tuples)
+	CommittedCold int64 // cold transactions committed
+	CommittedWarm int64 // warm transactions committed
+	Aborts        int64 // abort events (a transaction may abort several times before committing)
+	Recircs       int64 // switch packet recirculations observed by this worker
+	MultiPass     int64 // switch transactions that needed more than one pass
+	SinglePass    int64 // switch transactions executed in a single pass
+}
+
+// Committed returns total committed transactions across classes.
+func (c *Counters) Committed() int64 {
+	return c.CommittedHot + c.CommittedCold + c.CommittedWarm
+}
+
+// Merge adds other into c.
+func (c *Counters) Merge(other *Counters) {
+	c.CommittedHot += other.CommittedHot
+	c.CommittedCold += other.CommittedCold
+	c.CommittedWarm += other.CommittedWarm
+	c.Aborts += other.Aborts
+	c.Recircs += other.Recircs
+	c.MultiPass += other.MultiPass
+	c.SinglePass += other.SinglePass
+}
+
+// AbortRate returns aborts / (aborts + committed), the fraction of
+// execution attempts that failed.
+func (c *Counters) AbortRate() float64 {
+	att := float64(c.Aborts + c.Committed())
+	if att == 0 {
+		return 0
+	}
+	return float64(c.Aborts) / att
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	var b Breakdown
+	b.Add(LockAcquisition, 10)
+	b.Add(LockAcquisition, 5)
+	b.Add(SwitchTxn, 7)
+	if b.Total(LockAcquisition) != 15 || b.Total(SwitchTxn) != 7 {
+		t.Fatalf("totals wrong: %v %v", b.Total(LockAcquisition), b.Total(SwitchTxn))
+	}
+}
+
+func TestBreakdownPerTxn(t *testing.T) {
+	var b Breakdown
+	b.Add(RemoteAccess, 100)
+	b.AddTxn()
+	b.AddTxn()
+	if got := b.PerTxn(RemoteAccess); got != 50 {
+		t.Fatalf("PerTxn = %v, want 50", got)
+	}
+	var empty Breakdown
+	if empty.PerTxn(RemoteAccess) != 0 {
+		t.Fatal("PerTxn on empty breakdown should be 0")
+	}
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(LocalAccess, 3)
+	a.AddTxn()
+	b.Add(LocalAccess, 4)
+	b.AddTxn()
+	a.Merge(&b)
+	if a.Total(LocalAccess) != 7 || a.Txns() != 2 {
+		t.Fatalf("merge wrong: %v txns=%d", a.Total(LocalAccess), a.Txns())
+	}
+}
+
+func TestComponentStrings(t *testing.T) {
+	for _, c := range Components() {
+		if c.String() == "" {
+			t.Fatalf("component %d has empty label", c)
+		}
+	}
+}
+
+func TestHistogramMeanAndPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 50 { // (1+..+100)/100 = 50.5 truncated
+		t.Fatalf("Mean = %v, want 50", h.Mean())
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Fatalf("P50 = %v, want 50", p)
+	}
+	if p := h.Percentile(99); p != 99 {
+		t.Fatalf("P99 = %v, want 99", p)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %v, want 100", h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramRecordAfterPercentile(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	_ = h.Percentile(50)
+	h.Record(1) // must re-sort lazily
+	if got := h.Percentile(1); got != 1 {
+		t.Fatalf("P1 = %v, want 1", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	b.Record(20)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 15 {
+		t.Fatalf("merge wrong: count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := Counters{CommittedHot: 3, CommittedCold: 2, CommittedWarm: 1, Aborts: 6}
+	if c.Committed() != 6 {
+		t.Fatalf("Committed = %d, want 6", c.Committed())
+	}
+	if got := c.AbortRate(); got != 0.5 {
+		t.Fatalf("AbortRate = %v, want 0.5", got)
+	}
+	var zero Counters
+	if zero.AbortRate() != 0 {
+		t.Fatal("AbortRate of zero counters should be 0")
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := Counters{CommittedHot: 1, Aborts: 2, Recircs: 3, SinglePass: 4}
+	b := Counters{CommittedCold: 5, CommittedWarm: 6, MultiPass: 7}
+	a.Merge(&b)
+	if a.Committed() != 12 || a.Recircs != 3 || a.MultiPass != 7 || a.SinglePass != 4 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}

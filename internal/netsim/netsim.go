@@ -1,0 +1,163 @@
+// Package netsim models the rack network of the P4DB deployment: N
+// database nodes all attached to one top-of-rack programmable switch.
+//
+// The key property from the paper is that the switch sits on the path
+// between any two nodes, so a node reaches the switch in half the one-way
+// latency it needs to reach another node. All latencies are virtual times
+// on the discrete-event simulator's clock.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a database node (0-based). The switch is not a NodeID;
+// it is addressed by the dedicated *ToSwitch helpers.
+type NodeID int
+
+// Latency describes the one-way delays of the rack fabric. A node-to-node
+// message traverses two links (node→switch→node); a node-to-switch message
+// traverses one, which is the paper's "½ RTT" advantage for in-switch
+// transactions.
+type Latency struct {
+	// NodeToSwitch is the one-way delay from a node's NIC to the switch
+	// pipeline ingress (includes NIC + DPDK processing).
+	NodeToSwitch sim.Time
+	// NodeToNode is the one-way delay between two distinct nodes. For a
+	// single-switch rack this is 2*NodeToSwitch plus switch forwarding.
+	NodeToNode sim.Time
+}
+
+// DefaultLatency mirrors the paper's 10G/DPDK testbed at a small scale:
+// reaching the switch costs half of reaching a peer node.
+func DefaultLatency() Latency {
+	return Latency{
+		NodeToSwitch: 4 * sim.Microsecond,
+		NodeToNode:   8 * sim.Microsecond,
+	}
+}
+
+// Network is the rack fabric: the set of nodes plus latency parameters.
+type Network struct {
+	env      *sim.Env
+	numNodes int
+	lat      Latency
+
+	// MsgsSent counts one-way messages for diagnostics.
+	MsgsSent int64
+}
+
+// New creates a network of numNodes nodes attached to one switch.
+func New(env *sim.Env, numNodes int, lat Latency) *Network {
+	if numNodes <= 0 {
+		panic("netsim: numNodes must be positive")
+	}
+	return &Network{env: env, numNodes: numNodes, lat: lat}
+}
+
+// NumNodes returns the number of database nodes.
+func (n *Network) NumNodes() int { return n.numNodes }
+
+// Latency returns the fabric's latency parameters.
+func (n *Network) Latency() Latency { return n.lat }
+
+// check panics on an invalid node id; topology bugs should fail loudly.
+func (n *Network) check(id NodeID) {
+	if id < 0 || int(id) >= n.numNodes {
+		panic(fmt.Sprintf("netsim: invalid node id %d (nodes=%d)", id, n.numNodes))
+	}
+}
+
+// oneWay returns the one-way latency between two nodes (zero if the same
+// node: loopback is modelled as free next to µs-scale fabric latencies).
+func (n *Network) oneWay(from, to NodeID) sim.Time {
+	if from == to {
+		return 0
+	}
+	return n.lat.NodeToNode
+}
+
+// RPC performs a synchronous round trip from one node to another: the
+// calling process sleeps the request latency, runs handler (which executes
+// "at" the remote node and may itself block, e.g. on remote locks), then
+// sleeps the response latency. Same-node RPCs skip the fabric entirely.
+func (n *Network) RPC(p *sim.Proc, from, to NodeID, handler func()) {
+	n.check(from)
+	n.check(to)
+	d := n.oneWay(from, to)
+	if d > 0 {
+		n.MsgsSent += 2
+		p.Sleep(d)
+		handler()
+		p.Sleep(d)
+		return
+	}
+	handler()
+}
+
+// RPCToSwitch performs a synchronous round trip from a node to the switch:
+// half the node-to-node one-way cost in each direction.
+func (n *Network) RPCToSwitch(p *sim.Proc, from NodeID, handler func()) {
+	n.check(from)
+	n.MsgsSent += 2
+	p.Sleep(n.lat.NodeToSwitch)
+	handler()
+	p.Sleep(n.lat.NodeToSwitch)
+}
+
+// Send delivers a one-way message: fn runs at the destination after the
+// fabric latency. The sender does not wait.
+func (n *Network) Send(from, to NodeID, fn func()) {
+	n.check(from)
+	n.check(to)
+	n.MsgsSent++
+	n.env.After(n.oneWay(from, to), fn)
+}
+
+// SendToSwitch delivers a one-way message from a node to the switch
+// control point (used e.g. for asynchronous lock releases to an in-switch
+// lock manager). The sender does not wait.
+func (n *Network) SendToSwitch(from NodeID, fn func()) {
+	n.check(from)
+	n.MsgsSent++
+	n.env.After(n.lat.NodeToSwitch, fn)
+}
+
+// SwitchMulticast delivers fn(node) at every node after the switch-to-node
+// latency, modelling the switch's hardware multicast used for the combined
+// Decision&Switch phase of warm-transaction 2PC (Figure 10). All replicas
+// arrive at the same virtual instant because the switch replicates in the
+// data plane.
+func (n *Network) SwitchMulticast(fn func(NodeID)) {
+	for i := 0; i < n.numNodes; i++ {
+		id := NodeID(i)
+		n.MsgsSent++
+		n.env.After(n.lat.NodeToSwitch, func() { fn(id) })
+	}
+}
+
+// Fanout runs handler(i) concurrently "at" each target node and blocks the
+// caller until all have completed, modelling a parallel RPC fan-out such as
+// the 2PC prepare round. Handlers may block (e.g. waiting on locks).
+func (n *Network) Fanout(p *sim.Proc, from NodeID, targets []NodeID, handler func(sub *sim.Proc, to NodeID)) {
+	n.check(from)
+	if len(targets) == 0 {
+		return
+	}
+	wg := n.env.NewWaitGroup(len(targets))
+	for _, to := range targets {
+		to := to
+		n.check(to)
+		d := n.oneWay(from, to)
+		n.MsgsSent += 2
+		n.env.Spawn(fmt.Sprintf("rpc-%d-%d", from, to), func(sub *sim.Proc) {
+			sub.Sleep(d)
+			handler(sub, to)
+			sub.Sleep(d)
+			wg.Done()
+		})
+	}
+	p.Wait(wg)
+}

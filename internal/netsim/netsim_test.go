@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func lat() Latency {
+	return Latency{NodeToSwitch: 1 * sim.Microsecond, NodeToNode: 2 * sim.Microsecond}
+}
+
+func TestRPCCostsFullRoundTrip(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 4, lat())
+	var done sim.Time
+	var handlerAt sim.Time
+	e.Spawn("caller", func(p *sim.Proc) {
+		n.RPC(p, 0, 1, func() { handlerAt = p.Now() })
+		done = p.Now()
+	})
+	e.Run()
+	if handlerAt != 2*sim.Microsecond {
+		t.Fatalf("handler ran at %v, want 2µs (one-way)", handlerAt)
+	}
+	if done != 4*sim.Microsecond {
+		t.Fatalf("RPC finished at %v, want 4µs (full RTT)", done)
+	}
+}
+
+func TestRPCToSwitchIsHalfRTT(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 4, lat())
+	var done sim.Time
+	e.Spawn("caller", func(p *sim.Proc) {
+		n.RPCToSwitch(p, 0, func() {})
+		done = p.Now()
+	})
+	e.Run()
+	if done != 2*sim.Microsecond {
+		t.Fatalf("switch RPC = %v, want 2µs = half of node RTT", done)
+	}
+}
+
+func TestLocalRPCIsFree(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 4, lat())
+	var done sim.Time
+	ran := false
+	e.Spawn("caller", func(p *sim.Proc) {
+		n.RPC(p, 2, 2, func() { ran = true })
+		done = p.Now()
+	})
+	e.Run()
+	if !ran || done != 0 {
+		t.Fatalf("local RPC ran=%v at %v, want free", ran, done)
+	}
+}
+
+func TestSendOneWay(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 2, lat())
+	var at sim.Time = -1
+	n.Send(0, 1, func() { at = e.Now() })
+	e.Run()
+	if at != 2*sim.Microsecond {
+		t.Fatalf("message arrived at %v, want 2µs", at)
+	}
+}
+
+func TestSwitchMulticastReachesAllNodesSimultaneously(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 5, lat())
+	arrivals := map[NodeID]sim.Time{}
+	n.SwitchMulticast(func(id NodeID) { arrivals[id] = e.Now() })
+	e.Run()
+	if len(arrivals) != 5 {
+		t.Fatalf("multicast reached %d nodes, want 5", len(arrivals))
+	}
+	for id, at := range arrivals {
+		if at != 1*sim.Microsecond {
+			t.Fatalf("node %d got multicast at %v, want 1µs", id, at)
+		}
+	}
+}
+
+func TestFanoutIsParallel(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 4, lat())
+	var done sim.Time
+	e.Spawn("coord", func(p *sim.Proc) {
+		n.Fanout(p, 0, []NodeID{1, 2, 3}, func(sub *sim.Proc, to NodeID) {
+			sub.Sleep(5 * sim.Microsecond) // remote work
+		})
+		done = p.Now()
+	})
+	e.Run()
+	// Parallel: 2µs out + 5µs work + 2µs back = 9µs, NOT 3*9.
+	if done != 9*sim.Microsecond {
+		t.Fatalf("fanout took %v, want 9µs (parallel)", done)
+	}
+}
+
+func TestFanoutEmptyTargets(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 2, lat())
+	ok := false
+	e.Spawn("coord", func(p *sim.Proc) {
+		n.Fanout(p, 0, nil, func(sub *sim.Proc, to NodeID) { t.Error("handler on empty fanout") })
+		ok = true
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("fanout with no targets never returned")
+	}
+}
+
+func TestInvalidNodePanics(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 2, lat())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid node id")
+		}
+	}()
+	n.Send(0, 7, func() {})
+}
+
+func TestHalfRTTInvariant(t *testing.T) {
+	l := DefaultLatency()
+	if l.NodeToNode != 2*l.NodeToSwitch {
+		t.Fatalf("default latency violates the ½-RTT property: %v vs %v", l.NodeToNode, l.NodeToSwitch)
+	}
+}
+
+func TestMsgsSentAccounting(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 3, lat())
+	e.Spawn("p", func(p *sim.Proc) {
+		n.RPC(p, 0, 1, func() {})          // 2 msgs
+		n.RPCToSwitch(p, 0, func() {})     // 2 msgs
+		n.Send(0, 1, func() {})            // 1 msg
+		n.SwitchMulticast(func(NodeID) {}) // 3 msgs
+	})
+	e.Run()
+	if n.MsgsSent != 8 {
+		t.Fatalf("MsgsSent = %d, want 8", n.MsgsSent)
+	}
+}

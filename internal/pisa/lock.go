@@ -1,0 +1,65 @@
+package pisa
+
+// LockReg is the 2-bit pipeline lock register of Listing 1. Real Tofino
+// hardware cannot test-and-set an arbitrary bitmask in one stateful ALU
+// operation, but it can support exactly two lock instances packed into one
+// register, which is why the paper's fine-grained locking stops at two
+// locks. TryLock mirrors the RegisterAction: it fails if any requested
+// instance is already set and otherwise sets all requested instances
+// atomically (the simulator's run-to-completion execution provides the
+// atomicity the hardware gets from single-cycle stateful ALUs).
+type LockReg struct {
+	left  uint8
+	right uint8
+}
+
+// TryLock attempts to acquire the requested lock instances. It returns
+// false, changing nothing, if any requested instance is already held.
+func (l *LockReg) TryLock(left, right bool) bool {
+	lv, rv := b2u(left), b2u(right)
+	if lv+l.left == 2 || rv+l.right == 2 {
+		return false
+	}
+	l.left += lv
+	l.right += rv
+	return true
+}
+
+// Free reports whether all requested instances are currently unheld
+// (the admission test for single-pass transactions).
+func (l *LockReg) Free(left, right bool) bool {
+	if left && l.left != 0 {
+		return false
+	}
+	if right && l.right != 0 {
+		return false
+	}
+	return true
+}
+
+// Unlock releases the requested instances. Releasing an unheld instance
+// indicates a protocol bug and panics.
+func (l *LockReg) Unlock(left, right bool) {
+	if left {
+		if l.left == 0 {
+			panic("pisa: unlock of free left pipeline lock")
+		}
+		l.left = 0
+	}
+	if right {
+		if l.right == 0 {
+			panic("pisa: unlock of free right pipeline lock")
+		}
+		l.right = 0
+	}
+}
+
+// Held reports the current state of both instances.
+func (l *LockReg) Held() (left, right bool) { return l.left != 0, l.right != 0 }
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

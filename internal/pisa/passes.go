@@ -1,0 +1,47 @@
+package pisa
+
+import "repro/internal/txnwire"
+
+// arrayPos linearizes a (stage, array) coordinate for ordering.
+func arrayPos(in txnwire.Instr) int {
+	return int(in.Stage)<<8 | int(in.Array)
+}
+
+// SplitPasses partitions an instruction sequence into the pipeline passes
+// the switch memory model requires (Section 4.1):
+//
+//   - within one pass, register-array positions must be strictly
+//     increasing in (stage, array) order — the pipeline flows forward and
+//     each stateful ALU fires at most once per packet;
+//   - an instruction whose position is not after the previous one starts a
+//     new pass (the packet recirculates and comes around again).
+//
+// The instruction ORDER is preserved: operations may depend on each other
+// (e.g. a read feeding a later write), so the splitter never reorders, it
+// only inserts pass boundaries greedily. A sequence already laid out by
+// the declustering algorithm in ascending stage order therefore yields a
+// single pass.
+func SplitPasses(instrs []txnwire.Instr) [][]txnwire.Instr {
+	if len(instrs) == 0 {
+		return nil
+	}
+	var passes [][]txnwire.Instr
+	start := 0
+	last := -1
+	for i, in := range instrs {
+		pos := arrayPos(in)
+		if pos <= last {
+			passes = append(passes, instrs[start:i])
+			start = i
+		}
+		last = pos
+	}
+	passes = append(passes, instrs[start:])
+	return passes
+}
+
+// NumPasses returns how many pipeline passes the instruction sequence
+// needs; 1 means the transaction is single-pass.
+func NumPasses(instrs []txnwire.Instr) int {
+	return len(SplitPasses(instrs))
+}

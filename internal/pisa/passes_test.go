@@ -1,0 +1,198 @@
+package pisa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/txnwire"
+)
+
+func ins(stage, array uint8, idx uint32) txnwire.Instr {
+	return txnwire.Instr{Op: txnwire.OpRead, Stage: stage, Array: array, Index: idx}
+}
+
+func TestSplitPassesEmpty(t *testing.T) {
+	if got := SplitPasses(nil); got != nil {
+		t.Fatalf("SplitPasses(nil) = %v, want nil", got)
+	}
+}
+
+func TestSplitPassesAscendingIsSinglePass(t *testing.T) {
+	instrs := []txnwire.Instr{ins(0, 0, 1), ins(0, 1, 2), ins(3, 0, 3), ins(5, 2, 4)}
+	if n := NumPasses(instrs); n != 1 {
+		t.Fatalf("NumPasses = %d, want 1", n)
+	}
+}
+
+func TestSplitPassesSameArrayTwice(t *testing.T) {
+	// Read then write of the same tuple: the memory model forbids two
+	// accesses to one register array in a pass (Figure 6's example).
+	instrs := []txnwire.Instr{ins(0, 0, 1), ins(1, 0, 2), ins(2, 0, 3), ins(0, 0, 1), ins(1, 0, 2)}
+	passes := SplitPasses(instrs)
+	if len(passes) != 2 {
+		t.Fatalf("passes = %d, want 2", len(passes))
+	}
+	if len(passes[0]) != 3 || len(passes[1]) != 2 {
+		t.Fatalf("pass sizes = %d,%d want 3,2", len(passes[0]), len(passes[1]))
+	}
+}
+
+func TestSplitPassesDescendingOrder(t *testing.T) {
+	// Each access at or before the previous position forces a new pass.
+	instrs := []txnwire.Instr{ins(3, 0, 1), ins(2, 0, 2), ins(1, 0, 3)}
+	if n := NumPasses(instrs); n != 3 {
+		t.Fatalf("NumPasses = %d, want 3", n)
+	}
+}
+
+func TestSplitPassesSameStageDifferentArray(t *testing.T) {
+	// Distinct arrays of one stage can both fire in a single pass as long
+	// as the array order ascends.
+	instrs := []txnwire.Instr{ins(2, 0, 1), ins(2, 1, 2), ins(2, 3, 3)}
+	if n := NumPasses(instrs); n != 1 {
+		t.Fatalf("NumPasses = %d, want 1", n)
+	}
+	instrs = []txnwire.Instr{ins(2, 1, 1), ins(2, 0, 2)}
+	if n := NumPasses(instrs); n != 2 {
+		t.Fatalf("NumPasses = %d, want 2 (array order descends)", n)
+	}
+}
+
+// TestSplitPassesProperties checks the two structural invariants on random
+// instruction sequences: concatenating the passes reproduces the input,
+// and every pass is strictly increasing in (stage, array).
+func TestSplitPassesProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		instrs := make([]txnwire.Instr, len(raw))
+		for i, r := range raw {
+			instrs[i] = ins(uint8(r)%12, uint8(r>>8)%4, uint32(i))
+		}
+		passes := SplitPasses(instrs)
+		var flat []txnwire.Instr
+		for _, p := range passes {
+			if len(p) == 0 {
+				return false // no empty passes
+			}
+			last := -1
+			for _, in := range p {
+				if arrayPos(in) <= last {
+					return false // not strictly increasing
+				}
+				last = arrayPos(in)
+			}
+			flat = append(flat, p...)
+		}
+		if len(flat) != len(instrs) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != instrs[i] {
+				return false // order not preserved
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPassesGreedyIsMinimal(t *testing.T) {
+	// The greedy splitter yields the minimum number of passes for a fixed
+	// instruction order: verify against brute force on small inputs.
+	minPasses := func(instrs []txnwire.Instr) int {
+		// DP over prefix: minimal cuts such that each segment ascends.
+		n := len(instrs)
+		best := make([]int, n+1)
+		for i := 1; i <= n; i++ {
+			best[i] = 1 << 30
+			for j := i - 1; j >= 0; j-- {
+				ok := true
+				last := -1
+				for k := j; k < i; k++ {
+					if arrayPos(instrs[k]) <= last {
+						ok = false
+						break
+					}
+					last = arrayPos(instrs[k])
+				}
+				if ok {
+					prev := 0
+					if j > 0 {
+						prev = best[j]
+					}
+					if prev+1 < best[i] {
+						best[i] = prev + 1
+					}
+				}
+			}
+		}
+		return best[n]
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		instrs := make([]txnwire.Instr, len(raw))
+		for i, r := range raw {
+			instrs[i] = ins(r%4, (r>>4)%2, uint32(i))
+		}
+		if len(instrs) == 0 {
+			return NumPasses(instrs) == 0
+		}
+		return NumPasses(instrs) == minPasses(instrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockRegListing1Semantics(t *testing.T) {
+	var l LockReg
+	if !l.TryLock(true, false) {
+		t.Fatal("lock of free left failed")
+	}
+	if l.TryLock(true, false) {
+		t.Fatal("double lock of left succeeded")
+	}
+	if l.TryLock(true, true) {
+		t.Fatal("lock pair with held left succeeded")
+	}
+	if !l.TryLock(false, true) {
+		t.Fatal("lock of free right failed while left held")
+	}
+	if ok := l.Free(true, false); ok {
+		t.Fatal("Free reported held left as free")
+	}
+	l.Unlock(true, false)
+	if ok := l.Free(true, false); !ok {
+		t.Fatal("Free reported released left as held")
+	}
+	l.Unlock(false, true)
+	left, right := l.Held()
+	if left || right {
+		t.Fatal("locks still held after release")
+	}
+}
+
+func TestLockRegFailedTryLockChangesNothing(t *testing.T) {
+	var l LockReg
+	l.TryLock(true, false)
+	if l.TryLock(true, true) {
+		t.Fatal("should fail")
+	}
+	// Right must NOT have been set by the failed attempt.
+	if !l.Free(false, true) {
+		t.Fatal("failed TryLock leaked a lock instance")
+	}
+}
+
+func TestUnlockFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unlocking a free lock")
+		}
+	}()
+	var l LockReg
+	l.Unlock(true, false)
+}

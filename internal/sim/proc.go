@@ -1,0 +1,53 @@
+package sim
+
+// errStopped is the sentinel panic value used to unwind a process during
+// Env.Shutdown. It never escapes the package.
+var errStopped = new(int)
+
+// Proc is a simulated process: a goroutine that the scheduler resumes one
+// at a time. All blocking primitives (Sleep, Await, queue waits built on
+// them) suspend the goroutine and return control to the scheduler.
+type Proc struct {
+	env     *Env
+	name    string
+	wake    chan struct{}
+	done    bool
+	running bool
+}
+
+// Name returns the diagnostic name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Rand returns the environment's deterministic random stream.
+func (p *Proc) Rand() *RNG { return p.env.rng }
+
+// block parks the process until the scheduler wakes it. If the environment
+// has been shut down in the meantime the process unwinds via panic, which
+// the Spawn wrapper recovers.
+func (p *Proc) block() {
+	p.running = false
+	p.env.yield <- struct{}{}
+	<-p.wake
+	p.running = true
+	if p.env.closed {
+		panic(errStopped)
+	}
+}
+
+// Sleep suspends the process for d virtual nanoseconds. Negative durations
+// are treated as zero (the process yields and resumes at the same time,
+// after already-queued same-time events).
+func (p *Proc) Sleep(d Time) {
+	p.env.schedule(d, p, nil)
+	p.block()
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

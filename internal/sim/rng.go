@@ -1,0 +1,85 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator (PCG-XSH-RR,
+// 64-bit state, 32-bit output) used for all randomness in the simulation.
+// The standard library's math/rand would work too, but a self-contained
+// generator guarantees the byte-for-byte same stream across Go versions,
+// which keeps recorded experiment outputs stable.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{inc: (seed << 1) | 1}
+	r.state = seed + 0x853c49e6748fea9b
+	r.Uint32()
+	r.state += seed
+	r.Uint32()
+	return r
+}
+
+// Fork derives an independent stream; stream i from the same parent state
+// is deterministic. Used to give each simulated worker its own sequence.
+func (r *RNG) Fork(i uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (i * 0x9e3779b97f4a7c15))
+}
+
+// Uint32 returns the next 32 random bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*6364136223846793005 + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability pct/100.
+func (r *RNG) Bool(pct int) bool {
+	return r.Intn(100) < pct
+}
+
+// Shuffle permutes a slice of ints in place (Fisher-Yates).
+func (r *RNG) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(xs)
+	return xs
+}

@@ -1,0 +1,91 @@
+package sim
+
+// Signal is a one-shot event that processes can wait on. Firing a signal
+// wakes every waiter at the current virtual time and records a value that
+// Await returns. Signals are the building block for lock grants, RPC
+// replies and 2PC votes throughout the reproduction: a waiter parks on its
+// own signal and whoever resolves the wait (lock release, wound/die abort,
+// message arrival) fires it with an outcome.
+type Signal struct {
+	env     *Env
+	fired   bool
+	val     interface{}
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal bound to the environment.
+func (e *Env) NewSignal() *Signal { return &Signal{env: e} }
+
+// Fired reports whether the signal has been fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the value the signal was fired with (nil if unfired).
+func (s *Signal) Value() interface{} { return s.val }
+
+// Fire marks the signal fired with val and wakes all waiters at the current
+// virtual time. Firing an already-fired signal is a no-op; the first value
+// wins. Fire must be called from simulation context.
+func (s *Signal) Fire(val interface{}) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.val = val
+	for _, p := range s.waiters {
+		s.env.schedule(0, p, nil)
+	}
+	s.waiters = nil
+}
+
+// FireAfter fires the signal with val after delay virtual nanoseconds.
+func (s *Signal) FireAfter(delay Time, val interface{}) {
+	s.env.After(delay, func() { s.Fire(val) })
+}
+
+// Await blocks the process until the signal fires and returns the fired
+// value. If the signal already fired, Await returns immediately.
+func (p *Proc) Await(s *Signal) interface{} {
+	if s.fired {
+		return s.val
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+	return s.val
+}
+
+// AwaitErr is Await for the common case of signals fired with an error (or
+// nil for success).
+func (p *Proc) AwaitErr(s *Signal) error {
+	v := p.Await(s)
+	if v == nil {
+		return nil
+	}
+	return v.(error)
+}
+
+// WaitGroup counts down outstanding sub-operations (e.g. parallel RPC
+// fan-out) and fires an internal signal when the count reaches zero.
+type WaitGroup struct {
+	n   int
+	sig *Signal
+}
+
+// NewWaitGroup creates a wait group expecting n completions.
+func (e *Env) NewWaitGroup(n int) *WaitGroup {
+	wg := &WaitGroup{n: n, sig: e.NewSignal()}
+	if n <= 0 {
+		wg.sig.Fire(nil)
+	}
+	return wg
+}
+
+// Done records one completion.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n == 0 {
+		w.sig.Fire(nil)
+	}
+}
+
+// Wait blocks the process until all completions have been recorded.
+func (p *Proc) Wait(w *WaitGroup) { p.Await(w.sig) }

@@ -1,0 +1,227 @@
+// Package sim implements a deterministic discrete-event simulator with a
+// virtual nanosecond clock.
+//
+// The simulator is the substrate on which the whole P4DB reproduction runs:
+// database worker threads, network message delays, switch pipeline latencies
+// and lock waits are all modelled as events on a single virtual timeline.
+// Processes are ordinary goroutines, but the scheduler runs exactly one of
+// them at a time and hands control back and forth through channels, so the
+// simulation is single-threaded in effect and fully deterministic for a
+// given seed: contention, abort patterns and throughput numbers are exactly
+// reproducible across runs and machines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on (or a span of) the virtual timeline, in nanoseconds.
+type Time int64
+
+// Convenient duration units on the virtual timeline.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit, e.g. "12.5µs".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a single entry in the scheduler's priority queue. Exactly one of
+// proc or fn is set: proc events resume a parked process, fn events run a
+// callback inline in the scheduler.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	proc *Proc
+	fn   func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, spawn processes with Spawn, then drive it with
+// Run or RunUntil. An Env must be used from a single OS goroutine (the
+// one calling Run); processes it spawns are coordinated internally.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	procs  map[*Proc]struct{}
+	closed bool
+	rng    *RNG
+	fail   interface{} // panic value propagated out of a process
+}
+
+// NewEnv returns a fresh environment whose deterministic random stream is
+// derived from seed.
+func NewEnv(seed uint64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random stream. It must only
+// be used from inside simulation context (a process or a scheduled
+// callback); doing so keeps draws in a deterministic order.
+func (e *Env) Rand() *RNG { return e.rng }
+
+// schedule enqueues an event delay nanoseconds from now.
+func (e *Env) schedule(delay Time, p *Proc, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, proc: p, fn: fn})
+}
+
+// After runs fn on the simulation timeline delay nanoseconds from now.
+// fn executes in scheduler context: it must not block, but it may fire
+// signals, spawn processes and schedule further callbacks.
+func (e *Env) After(delay Time, fn func()) {
+	e.schedule(delay, nil, fn)
+}
+
+// Spawn starts a new process executing fn and schedules it to begin at the
+// current virtual time. The name is used in diagnostics only.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil && r != errStopped {
+				// Re-panic on the scheduler side so the failure is not
+				// swallowed inside a worker goroutine.
+				p.env.fail = r
+			}
+			p.done = true
+			delete(p.env.procs, p)
+			p.env.yield <- struct{}{}
+		}()
+		if !e.closed {
+			fn(p)
+		}
+	}()
+	e.schedule(0, p, nil)
+	return p
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed (false means the
+// event queue is empty).
+func (e *Env) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.proc != nil && ev.proc.done {
+			continue // stale wake-up for a finished process
+		}
+		e.now = ev.at
+		if ev.proc != nil {
+			ev.proc.wake <- struct{}{}
+			<-e.yield
+		} else {
+			ev.fn()
+		}
+		if e.fail != nil {
+			panic(e.fail)
+		}
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue completely. It returns when no events remain,
+// i.e. every process is either finished or parked forever.
+func (e *Env) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline. Processes parked past the deadline stay parked; use Shutdown
+// to unwind them.
+func (e *Env) RunUntil(deadline Time) {
+	for e.events.Len() > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Shutdown unwinds every live process so their goroutines exit. Parked
+// processes are woken and terminate by panicking with an internal sentinel
+// that the spawn wrapper recovers. After Shutdown the environment must not
+// be used further.
+func (e *Env) Shutdown() {
+	e.closed = true
+	for len(e.procs) > 0 {
+		// Grab any live process. Wake it; its next block-point check sees
+		// e.closed and unwinds.
+		var p *Proc
+		for q := range e.procs {
+			p = q
+			break
+		}
+		if p.running {
+			// Cannot happen: Shutdown is called from scheduler context,
+			// so no process is mid-run.
+			panic("sim: Shutdown while a process is running")
+		}
+		p.wake <- struct{}{}
+		<-e.yield
+	}
+	if e.fail != nil {
+		panic(e.fail)
+	}
+}
+
+// Live returns the number of processes that have been spawned and not yet
+// finished (running or parked).
+func (e *Env) Live() int { return len(e.procs) }
+
+// Pending returns the number of queued events.
+func (e *Env) Pending() int { return e.events.Len() }

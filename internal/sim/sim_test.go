@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEnv(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv(1)
+	var woke Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 5*Microsecond {
+		t.Fatalf("woke at %v, want 5µs", woke)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEnv(1)
+	var order []int
+	e.After(30, func() { order = append(order, 3) })
+	e.After(10, func() { order = append(order, 1) })
+	e.After(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameTimeEventsAreFIFO(t *testing.T) {
+	e := NewEnv(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break violated)", i, v, i)
+		}
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEnv(1)
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(-5)
+		if p.Now() != 0 {
+			t.Errorf("clock moved backwards: %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestTwoProcessesInterleave(t *testing.T) {
+	e := NewEnv(1)
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(10)
+		trace = append(trace, "a10")
+		p.Sleep(20)
+		trace = append(trace, "a30")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(15)
+		trace = append(trace, "b15")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "a10", "b15", "a30"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSignalWakesAllWaiters(t *testing.T) {
+	e := NewEnv(1)
+	s := e.NewSignal()
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			if v := p.Await(s); v != "go" {
+				t.Errorf("Await = %v, want go", v)
+			}
+			woken++
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(100)
+		s.Fire("go")
+	})
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestAwaitFiredSignalReturnsImmediately(t *testing.T) {
+	e := NewEnv(1)
+	s := e.NewSignal()
+	s.Fire(42)
+	var got interface{}
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(9)
+		got = p.Await(s)
+		at = p.Now()
+	})
+	e.Run()
+	if got != 42 || at != 9 {
+		t.Fatalf("got %v at %v, want 42 at 9", got, at)
+	}
+}
+
+func TestSignalSecondFireIgnored(t *testing.T) {
+	e := NewEnv(1)
+	s := e.NewSignal()
+	s.Fire(1)
+	s.Fire(2)
+	if s.Value() != 1 {
+		t.Fatalf("Value = %v, want first fire to win", s.Value())
+	}
+}
+
+func TestFireAfter(t *testing.T) {
+	e := NewEnv(1)
+	s := e.NewSignal()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.Await(s)
+		at = p.Now()
+	})
+	s.FireAfter(33, nil)
+	e.Run()
+	if at != 33 {
+		t.Fatalf("woke at %v, want 33", at)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEnv(1)
+	wg := e.NewWaitGroup(3)
+	var doneAt Time
+	e.Spawn("waiter", func(p *Proc) {
+		p.Wait(wg)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		d := Time(i * 10)
+		e.After(d, wg.Done)
+	}
+	e.Run()
+	if doneAt != 30 {
+		t.Fatalf("doneAt = %v, want 30 (last Done)", doneAt)
+	}
+}
+
+func TestWaitGroupZero(t *testing.T) {
+	e := NewEnv(1)
+	wg := e.NewWaitGroup(0)
+	ran := false
+	e.Spawn("waiter", func(p *Proc) {
+		p.Wait(wg)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("waiter never resumed on zero-count group")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEnv(1)
+	count := 0
+	e.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(10)
+			count++
+		}
+	})
+	e.RunUntil(95)
+	if count != 9 {
+		t.Fatalf("count = %d, want 9 ticks by t=95", count)
+	}
+	if e.Now() != 95 {
+		t.Fatalf("Now = %v, want 95", e.Now())
+	}
+	e.Shutdown()
+}
+
+func TestShutdownUnwindsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 50; iter++ {
+		e := NewEnv(uint64(iter))
+		for i := 0; i < 20; i++ {
+			e.Spawn("w", func(p *Proc) {
+				for {
+					p.Sleep(100)
+				}
+			})
+		}
+		sig := e.NewSignal()
+		e.Spawn("blocked-forever", func(p *Proc) { p.Await(sig) })
+		e.RunUntil(10_000)
+		e.Shutdown()
+		if e.Live() != 0 {
+			t.Fatalf("Live = %d after Shutdown", e.Live())
+		}
+	}
+	// Give the runtime a moment to reap exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed uint64) []int64 {
+		e := NewEnv(seed)
+		var trace []int64
+		for i := 0; i < 8; i++ {
+			e.Spawn("w", func(p *Proc) {
+				for k := 0; k < 50; k++ {
+					p.Sleep(Time(p.Rand().Intn(100) + 1))
+					trace = append(trace, int64(p.Now()))
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestPanicInProcessPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in process did not propagate to Run")
+		}
+	}()
+	e := NewEnv(1)
+	e.Spawn("bad", func(p *Proc) {
+		p.Sleep(5)
+		panic("boom")
+	})
+	e.Run()
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGUniformityRough(t *testing.T) {
+	r := NewRNG(9)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d has %d of %d draws (non-uniform)", i, c, n)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(11)
+	a := r.Fork(1)
+	b := r.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams correlate: %d/100 equal draws", same)
+	}
+}
+
+func TestBoolPercent(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(25) {
+			hits++
+		}
+	}
+	if hits < n/4-n/50 || hits > n/4+n/50 {
+		t.Fatalf("Bool(25) hit %d of %d (expected ~25%%)", hits, n)
+	}
+}

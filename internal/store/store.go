@@ -1,0 +1,204 @@
+// Package store is the per-node in-memory storage engine of the host
+// DBMS: partitioned tables of fixed-schema rows with primary and optional
+// secondary indexes.
+//
+// Rows are arrays of int64 fields — the same fixed-point representation
+// the switch registers use — so a tuple can move between a node and the
+// switch without conversion. Tables are lazily materialized: absent keys
+// read as zero-filled rows, which lets benchmarks declare billion-row
+// keyspaces (YCSB) without allocating them.
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableID identifies a table within a node (dense, small).
+type TableID uint8
+
+// Key is a primary key within a table.
+type Key uint64
+
+// GlobalKey packs (table, key) into the single uint64 used by the lock
+// manager and the layout engine. The top byte carries the table.
+type GlobalKey uint64
+
+// Global returns the packed identifier of (table, key).
+func Global(t TableID, k Key) GlobalKey {
+	return GlobalKey(uint64(t)<<56 | uint64(k)&0x00FF_FFFF_FFFF_FFFF)
+}
+
+// Split unpacks a GlobalKey.
+func (g GlobalKey) Split() (TableID, Key) {
+	return TableID(g >> 56), Key(g & 0x00FF_FFFF_FFFF_FFFF)
+}
+
+// GlobalField packs (table, field, key) into a single identifier. The
+// switch stores individual columns (the paper offloads e.g. the district's
+// d_ytd and d_next_o_id separately), so layout and hot-index entries are
+// field-qualified, while locks stay row-granular via Global.
+func GlobalField(t TableID, f int, k Key) GlobalKey {
+	if f < 0 || f > 15 {
+		panic(fmt.Sprintf("store: field %d not encodable (0..15)", f))
+	}
+	return GlobalKey(uint64(t)<<56 | uint64(f)<<52 | uint64(k)&0x000F_FFFF_FFFF_FFFF)
+}
+
+// SplitField unpacks a field-qualified identifier.
+func (g GlobalKey) SplitField() (TableID, int, Key) {
+	return TableID(g >> 56), int(g >> 52 & 0xF), Key(g & 0x000F_FFFF_FFFF_FFFF)
+}
+
+func (g GlobalKey) String() string {
+	t, k := g.Split()
+	return fmt.Sprintf("t%d/%d", t, k)
+}
+
+// Table is one node's partition of a logical table.
+type Table struct {
+	id     TableID
+	name   string
+	fields int
+	rows   map[Key][]int64
+}
+
+// NewTable creates an empty table partition with the given row schema
+// width (number of int64 fields).
+func NewTable(id TableID, name string, fields int) *Table {
+	if fields <= 0 {
+		panic("store: table needs at least one field")
+	}
+	return &Table{id: id, name: name, fields: fields, rows: make(map[Key][]int64)}
+}
+
+// ID returns the table id.
+func (t *Table) ID() TableID { return t.id }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Fields returns the number of fields per row.
+func (t *Table) Fields() int { return t.fields }
+
+// Rows returns the number of materialized rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Get returns field f of the row at key; absent rows read as zero.
+func (t *Table) Get(k Key, f int) int64 {
+	t.checkField(f)
+	row, ok := t.rows[k]
+	if !ok {
+		return 0
+	}
+	return row[f]
+}
+
+// GetRow returns a copy of the full row (zeros if absent).
+func (t *Table) GetRow(k Key) []int64 {
+	out := make([]int64, t.fields)
+	copy(out, t.rows[k])
+	return out
+}
+
+// Set stores v into field f of the row at key, materializing it.
+func (t *Table) Set(k Key, f int, v int64) {
+	t.checkField(f)
+	row, ok := t.rows[k]
+	if !ok {
+		row = make([]int64, t.fields)
+		t.rows[k] = row
+	}
+	row[f] = v
+}
+
+// Add increments field f by delta and returns the new value.
+func (t *Table) Add(k Key, f int, delta int64) int64 {
+	t.checkField(f)
+	row, ok := t.rows[k]
+	if !ok {
+		row = make([]int64, t.fields)
+		t.rows[k] = row
+	}
+	row[f] += delta
+	return row[f]
+}
+
+// Delete removes the row at key (absent is a no-op).
+func (t *Table) Delete(k Key) { delete(t.rows, k) }
+
+// Keys returns all materialized keys in sorted order (tests and recovery).
+func (t *Table) Keys() []Key {
+	out := make([]Key, 0, len(t.rows))
+	for k := range t.rows {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *Table) checkField(f int) {
+	if f < 0 || f >= t.fields {
+		panic(fmt.Sprintf("store: field %d out of range for table %s (%d fields)", f, t.name, t.fields))
+	}
+}
+
+// Store is one node's collection of table partitions.
+type Store struct {
+	tables map[TableID]*Table
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{tables: make(map[TableID]*Table)}
+}
+
+// CreateTable registers a table partition. It panics on duplicate ids —
+// schema setup bugs should fail fast.
+func (s *Store) CreateTable(id TableID, name string, fields int) *Table {
+	if _, dup := s.tables[id]; dup {
+		panic(fmt.Sprintf("store: duplicate table id %d", id))
+	}
+	t := NewTable(id, name, fields)
+	s.tables[id] = t
+	return t
+}
+
+// Table returns the partition for id; it panics if the table was never
+// created (a schema mismatch, not a runtime condition).
+func (s *Store) Table(id TableID) *Table {
+	t, ok := s.tables[id]
+	if !ok {
+		panic(fmt.Sprintf("store: unknown table id %d", id))
+	}
+	return t
+}
+
+// SecondaryIndex maps a secondary attribute value to a primary key. P4DB
+// keeps secondary indexes on the database nodes even for hot tuples
+// (Section 6.1): a lookup first resolves the secondary key here and only
+// then consults the hot index.
+type SecondaryIndex struct {
+	name string
+	m    map[int64]Key
+}
+
+// NewSecondaryIndex creates an empty index.
+func NewSecondaryIndex(name string) *SecondaryIndex {
+	return &SecondaryIndex{name: name, m: make(map[int64]Key)}
+}
+
+// Put inserts or overwrites a mapping.
+func (ix *SecondaryIndex) Put(attr int64, pk Key) { ix.m[attr] = pk }
+
+// Lookup resolves a secondary attribute to a primary key.
+func (ix *SecondaryIndex) Lookup(attr int64) (Key, bool) {
+	pk, ok := ix.m[attr]
+	return pk, ok
+}
+
+// Delete removes a mapping.
+func (ix *SecondaryIndex) Delete(attr int64) { delete(ix.m, attr) }
+
+// Len returns the number of entries.
+func (ix *SecondaryIndex) Len() int { return len(ix.m) }

@@ -1,0 +1,148 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalKeyRoundTrip(t *testing.T) {
+	f := func(tbl uint8, key uint64) bool {
+		key &= 0x00FF_FFFF_FFFF_FFFF
+		g := Global(TableID(tbl), Key(key))
+		tb, k := g.Split()
+		return tb == TableID(tbl) && k == Key(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsentRowsReadZero(t *testing.T) {
+	tb := NewTable(1, "accounts", 2)
+	if v := tb.Get(42, 0); v != 0 {
+		t.Fatalf("absent row reads %d, want 0", v)
+	}
+	if tb.Rows() != 0 {
+		t.Fatal("Get materialized a row")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	tb := NewTable(1, "t", 3)
+	tb.Set(7, 1, 99)
+	if v := tb.Get(7, 1); v != 99 {
+		t.Fatalf("Get = %d", v)
+	}
+	if v := tb.Get(7, 0); v != 0 {
+		t.Fatalf("untouched field = %d, want 0", v)
+	}
+	if tb.Rows() != 1 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestAddReturnsNewValue(t *testing.T) {
+	tb := NewTable(1, "t", 1)
+	if v := tb.Add(5, 0, 10); v != 10 {
+		t.Fatalf("Add = %d", v)
+	}
+	if v := tb.Add(5, 0, -3); v != 7 {
+		t.Fatalf("Add = %d", v)
+	}
+}
+
+func TestGetRowCopies(t *testing.T) {
+	tb := NewTable(1, "t", 2)
+	tb.Set(1, 0, 5)
+	row := tb.GetRow(1)
+	row[0] = 999
+	if tb.Get(1, 0) != 5 {
+		t.Fatal("GetRow returned aliased storage")
+	}
+	absent := tb.GetRow(99)
+	if len(absent) != 2 || absent[0] != 0 || absent[1] != 0 {
+		t.Fatalf("absent GetRow = %v", absent)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := NewTable(1, "t", 1)
+	tb.Set(1, 0, 5)
+	tb.Delete(1)
+	if tb.Rows() != 0 || tb.Get(1, 0) != 0 {
+		t.Fatal("Delete did not remove row")
+	}
+	tb.Delete(999) // absent: no-op
+}
+
+func TestKeysSorted(t *testing.T) {
+	tb := NewTable(1, "t", 1)
+	for _, k := range []Key{5, 1, 9, 3} {
+		tb.Set(k, 0, 1)
+	}
+	ks := tb.Keys()
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Keys not sorted: %v", ks)
+		}
+	}
+}
+
+func TestFieldBoundsPanic(t *testing.T) {
+	tb := NewTable(1, "t", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad field")
+		}
+	}()
+	tb.Get(1, 2)
+}
+
+func TestStoreCreateAndLookup(t *testing.T) {
+	s := New()
+	s.CreateTable(1, "a", 1)
+	s.CreateTable(2, "b", 2)
+	if s.Table(1).Name() != "a" || s.Table(2).Fields() != 2 {
+		t.Fatal("table lookup broken")
+	}
+}
+
+func TestStoreDuplicateTablePanics(t *testing.T) {
+	s := New()
+	s.CreateTable(1, "a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate table")
+		}
+	}()
+	s.CreateTable(1, "b", 1)
+}
+
+func TestStoreUnknownTablePanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown table")
+		}
+	}()
+	s.Table(9)
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	ix := NewSecondaryIndex("name")
+	ix.Put(1001, 7)
+	if pk, ok := ix.Lookup(1001); !ok || pk != 7 {
+		t.Fatalf("Lookup = %v %v", pk, ok)
+	}
+	if _, ok := ix.Lookup(9999); ok {
+		t.Fatal("phantom lookup hit")
+	}
+	ix.Put(1001, 8) // overwrite
+	if pk, _ := ix.Lookup(1001); pk != 8 {
+		t.Fatal("overwrite failed")
+	}
+	ix.Delete(1001)
+	if ix.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}

@@ -1,0 +1,193 @@
+// Package twopc implements the two-phase commit protocol of P4DB's host
+// DBMS, including the paper's extension for warm transactions (Figure 10):
+// after a successful voting phase, the coordinator sends the switch
+// sub-transaction to the switch, which executes it and multicasts the
+// commit decision (with the switch results) to all participants in the
+// data plane — saving the dedicated decision round trip of classic 2PC.
+package twopc
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Participant is one node's involvement in a distributed transaction. The
+// handlers run "at" the participant on the simulated timeline and may
+// block (e.g. while flushing a log record).
+type Participant struct {
+	Node netsim.NodeID
+	// Prepare validates and persists the participant's sub-transaction;
+	// it returns the participant's vote.
+	Prepare func(p *sim.Proc) bool
+	// Commit applies and releases the sub-transaction.
+	Commit func(p *sim.Proc)
+	// Abort rolls the sub-transaction back and releases it.
+	Abort func(p *sim.Proc)
+}
+
+// Stats counts protocol outcomes.
+type Stats struct {
+	Commits int64
+	Aborts  int64
+}
+
+// Coordinator drives commits for one node.
+type Coordinator struct {
+	net  *netsim.Network
+	self netsim.NodeID
+
+	// Stats is exported for benchmarks.
+	Stats Stats
+}
+
+// NewCoordinator creates a coordinator running on node self.
+func NewCoordinator(net *netsim.Network, self netsim.NodeID) *Coordinator {
+	return &Coordinator{net: net, self: self}
+}
+
+// Commit runs classic 2PC over the participants: a parallel prepare round
+// collecting votes, then a parallel commit (or abort) round. It returns
+// whether the transaction committed. A participant co-located with the
+// coordinator is handled without network hops by netsim.
+func (c *Coordinator) Commit(p *sim.Proc, parts []Participant) bool {
+	votes := c.vote(p, parts)
+	if votes {
+		c.finish(p, parts, true)
+		c.Stats.Commits++
+		return true
+	}
+	c.finish(p, parts, false)
+	c.Stats.Aborts++
+	return false
+}
+
+// CommitWithSwitch runs the combined Decision&Switch phase for warm
+// transactions. After all participants vote yes, the coordinator sends the
+// switch sub-transaction (half an RTT away); switchTxn executes it at the
+// switch and returns an opaque result. The switch then multicasts the
+// decision: every participant's Commit handler runs when the multicast
+// arrives, without further round trips, and the coordinator resumes at the
+// same instant (it is one of the multicast targets). On a no vote the
+// switch transaction is never sent and a classic abort round runs instead.
+//
+// When the warm transaction has no remote participants, the voting phase
+// is skipped entirely (Section 6.2).
+func (c *Coordinator) CommitWithSwitch(p *sim.Proc, parts []Participant, switchTxn func(sub *sim.Proc)) bool {
+	remote := remoteParts(parts, c.self)
+	if len(remote) > 0 {
+		if !c.voteSubset(p, remote) {
+			c.finish(p, parts, false)
+			c.Stats.Aborts++
+			return false
+		}
+	}
+	c.SwitchPhase(p, parts, switchTxn)
+	return true
+}
+
+// SwitchPhase is the post-vote half of the combined protocol: travel to
+// the switch, execute the hot sub-transaction, and multicast the commit
+// decision to all participants. Callers that need work between the vote
+// and the send (e.g. appending the switch intent to the WAL only once the
+// outcome is decided) run Prepare themselves and then call SwitchPhase.
+func (c *Coordinator) SwitchPhase(p *sim.Proc, parts []Participant, switchTxn func(sub *sim.Proc)) {
+	// Travel to the switch and execute the hot sub-transaction there.
+	p.Sleep(c.net.Latency().NodeToSwitch)
+	switchTxn(p)
+	// The switch multicasts results + decision to every node; commit
+	// handlers run on arrival. The coordinator's own copy arrives after
+	// the same switch-to-node latency, at which point all (same-distance)
+	// participants have committed as well.
+	env := p.Env()
+	byNode := make(map[netsim.NodeID][]Participant, len(parts))
+	for _, part := range parts {
+		byNode[part.Node] = append(byNode[part.Node], part)
+	}
+	c.net.SwitchMulticast(func(id netsim.NodeID) {
+		for _, part := range byNode[id] {
+			part := part
+			env.Spawn("2pc-commit", func(sub *sim.Proc) { part.Commit(sub) })
+		}
+	})
+	p.Sleep(c.net.Latency().NodeToSwitch)
+	c.Stats.Commits++
+}
+
+// Prepare runs only the voting round and reports whether every
+// participant voted yes. Callers that interleave extra work between
+// voting and the decision (e.g. Chiller's inner region) use this together
+// with Finish.
+func (c *Coordinator) Prepare(p *sim.Proc, parts []Participant) bool {
+	return c.vote(p, parts)
+}
+
+// Finish runs only the decision round, committing or aborting every
+// participant.
+func (c *Coordinator) Finish(p *sim.Proc, parts []Participant, commit bool) {
+	c.finish(p, parts, commit)
+	if commit {
+		c.Stats.Commits++
+	} else {
+		c.Stats.Aborts++
+	}
+}
+
+// vote runs the prepare round over all participants in parallel.
+func (c *Coordinator) vote(p *sim.Proc, parts []Participant) bool {
+	ok := true
+	c.fanout(p, parts, func(sub *sim.Proc, part Participant) {
+		if !part.Prepare(sub) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// voteSubset is vote over a subset (used by the warm-transaction path).
+func (c *Coordinator) voteSubset(p *sim.Proc, parts []Participant) bool {
+	return c.vote(p, parts)
+}
+
+// finish runs the decision round (commit or abort) over all participants.
+func (c *Coordinator) finish(p *sim.Proc, parts []Participant, commit bool) {
+	c.fanout(p, parts, func(sub *sim.Proc, part Participant) {
+		if commit {
+			part.Commit(sub)
+		} else {
+			part.Abort(sub)
+		}
+	})
+}
+
+// fanout dispatches handler at every participant in parallel and waits.
+func (c *Coordinator) fanout(p *sim.Proc, parts []Participant, handler func(*sim.Proc, Participant)) {
+	if len(parts) == 0 {
+		return
+	}
+	if len(parts) == 1 {
+		part := parts[0]
+		c.net.RPC(p, c.self, part.Node, func() { handler(p, part) })
+		return
+	}
+	env := p.Env()
+	wg := env.NewWaitGroup(len(parts))
+	for _, part := range parts {
+		part := part
+		env.Spawn("2pc-rpc", func(sub *sim.Proc) {
+			c.net.RPC(sub, c.self, part.Node, func() { handler(sub, part) })
+			wg.Done()
+		})
+	}
+	p.Wait(wg)
+}
+
+// remoteParts filters out participants co-located with the coordinator.
+func remoteParts(parts []Participant, self netsim.NodeID) []Participant {
+	out := make([]Participant, 0, len(parts))
+	for _, p := range parts {
+		if p.Node != self {
+			out = append(out, p)
+		}
+	}
+	return out
+}

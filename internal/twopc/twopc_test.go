@@ -1,0 +1,244 @@
+package twopc
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func testNet(e *sim.Env, n int) *netsim.Network {
+	return netsim.New(e, n, netsim.Latency{
+		NodeToSwitch: 1 * sim.Microsecond,
+		NodeToNode:   2 * sim.Microsecond,
+	})
+}
+
+type trace struct {
+	prepares, commits, aborts int
+}
+
+func part(e *sim.Env, node netsim.NodeID, vote bool, tr *trace) Participant {
+	return Participant{
+		Node: node,
+		Prepare: func(p *sim.Proc) bool {
+			tr.prepares++
+			return vote
+		},
+		Commit: func(p *sim.Proc) { tr.commits++ },
+		Abort:  func(p *sim.Proc) { tr.aborts++ },
+	}
+}
+
+func TestClassic2PCCommits(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 4)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	var ok bool
+	e.Spawn("coord", func(p *sim.Proc) {
+		ok = c.Commit(p, []Participant{
+			part(e, 1, true, &tr), part(e, 2, true, &tr), part(e, 3, true, &tr),
+		})
+	})
+	e.Run()
+	if !ok || tr.prepares != 3 || tr.commits != 3 || tr.aborts != 0 {
+		t.Fatalf("ok=%v trace=%+v", ok, tr)
+	}
+	if c.Stats.Commits != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestClassic2PCAbortsOnNoVote(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 4)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	var ok bool
+	e.Spawn("coord", func(p *sim.Proc) {
+		ok = c.Commit(p, []Participant{
+			part(e, 1, true, &tr), part(e, 2, false, &tr),
+		})
+	})
+	e.Run()
+	if ok || tr.aborts != 2 || tr.commits != 0 {
+		t.Fatalf("ok=%v trace=%+v", ok, tr)
+	}
+}
+
+func TestClassic2PCTakesTwoRounds(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 3)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	var done sim.Time
+	e.Spawn("coord", func(p *sim.Proc) {
+		c.Commit(p, []Participant{part(e, 1, true, &tr), part(e, 2, true, &tr)})
+		done = p.Now()
+	})
+	e.Run()
+	// Two parallel rounds of one RTT (4µs) each.
+	if done != 8*sim.Microsecond {
+		t.Fatalf("2PC finished at %v, want 8µs (two RTTs)", done)
+	}
+}
+
+func TestCommitWithSwitchSavesARound(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 3)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	var done sim.Time
+	switchRan := false
+	e.Spawn("coord", func(p *sim.Proc) {
+		c.CommitWithSwitch(p, []Participant{part(e, 1, true, &tr), part(e, 2, true, &tr)},
+			func(sub *sim.Proc) { switchRan = true })
+		done = p.Now()
+	})
+	e.Run()
+	if !switchRan || tr.commits != 2 {
+		t.Fatalf("switchRan=%v trace=%+v", switchRan, tr)
+	}
+	// Voting RTT (4µs) + to switch (1µs) + multicast back (1µs) = 6µs,
+	// strictly better than classic 2PC + a separate switch trip.
+	if done != 6*sim.Microsecond {
+		t.Fatalf("combined phase finished at %v, want 6µs", done)
+	}
+}
+
+func TestCommitWithSwitchSingleNodeSkipsVoting(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 2)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	var done sim.Time
+	e.Spawn("coord", func(p *sim.Proc) {
+		// Only a local participant: Section 6.2 says no voting phase.
+		c.CommitWithSwitch(p, []Participant{part(e, 0, true, &tr)},
+			func(sub *sim.Proc) {})
+		done = p.Now()
+	})
+	e.Run()
+	if tr.prepares != 0 {
+		t.Fatalf("voting phase ran for single-node warm txn: %+v", tr)
+	}
+	// Straight to the switch and back: 2µs.
+	if done != 2*sim.Microsecond {
+		t.Fatalf("finished at %v, want 2µs", done)
+	}
+	if tr.commits != 1 {
+		t.Fatalf("local participant not committed: %+v", tr)
+	}
+}
+
+func TestCommitWithSwitchAbortsBeforeSwitch(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 3)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	switchRan := false
+	var ok bool
+	e.Spawn("coord", func(p *sim.Proc) {
+		ok = c.CommitWithSwitch(p, []Participant{part(e, 1, false, &tr)},
+			func(sub *sim.Proc) { switchRan = true })
+	})
+	e.Run()
+	if ok || switchRan {
+		t.Fatal("switch transaction sent despite failed vote — hot sub-txn must never run for aborted warm txns")
+	}
+	if tr.aborts != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestCommitWithSwitchParticipantsCommitViaMulticast(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 3)
+	c := NewCoordinator(net, 0)
+	var commitAt []sim.Time
+	mk := func(node netsim.NodeID) Participant {
+		return Participant{
+			Node:    node,
+			Prepare: func(p *sim.Proc) bool { return true },
+			Commit:  func(p *sim.Proc) { commitAt = append(commitAt, p.Now()) },
+			Abort:   func(p *sim.Proc) {},
+		}
+	}
+	e.Spawn("coord", func(p *sim.Proc) {
+		c.CommitWithSwitch(p, []Participant{mk(1), mk(2)}, func(sub *sim.Proc) {})
+	})
+	e.Run()
+	if len(commitAt) != 2 {
+		t.Fatalf("commits = %d", len(commitAt))
+	}
+	// Both participants get the decision from the switch multicast at the
+	// same instant: vote RTT (4µs) + to-switch (1µs) + multicast (1µs).
+	for _, at := range commitAt {
+		if at != 6*sim.Microsecond {
+			t.Fatalf("commitAt = %v, want both at 6µs", commitAt)
+		}
+	}
+}
+
+func TestEmptyParticipants(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 2)
+	c := NewCoordinator(net, 0)
+	var ok bool
+	e.Spawn("coord", func(p *sim.Proc) {
+		ok = c.Commit(p, nil)
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("empty 2PC should trivially commit")
+	}
+}
+
+func TestSwitchPhaseAfterManualPrepare(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 3)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	parts := []Participant{part(e, 1, true, &tr), part(e, 2, true, &tr)}
+	ran := false
+	var done sim.Time
+	e.Spawn("coord", func(p *sim.Proc) {
+		if !c.Prepare(p, parts) {
+			t.Error("prepare failed")
+		}
+		// Caller work between vote and send (e.g. WAL append) is allowed.
+		p.Sleep(100)
+		c.SwitchPhase(p, parts, func(sub *sim.Proc) { ran = true })
+		done = p.Now()
+	})
+	e.Run()
+	if !ran || tr.commits != 2 {
+		t.Fatalf("ran=%v commits=%d", ran, tr.commits)
+	}
+	// Vote RTT 4µs + 100ns + to-switch 1µs + multicast 1µs.
+	if want := 4*sim.Microsecond + 100 + 2*sim.Microsecond; done != want {
+		t.Fatalf("done at %v, want %v", done, want)
+	}
+}
+
+func TestPrepareThenFinishAbort(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 3)
+	c := NewCoordinator(net, 0)
+	var tr trace
+	parts := []Participant{part(e, 1, true, &tr), part(e, 2, false, &tr)}
+	e.Spawn("coord", func(p *sim.Proc) {
+		if c.Prepare(p, parts) {
+			t.Error("prepare should fail")
+		}
+		c.Finish(p, parts, false)
+	})
+	e.Run()
+	if tr.aborts != 2 || tr.commits != 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if c.Stats.Aborts != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}

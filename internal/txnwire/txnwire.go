@@ -1,0 +1,277 @@
+// Package txnwire defines the binary packet format for switch transactions
+// (Figure 6 of the paper): a fixed header carrying processing information
+// (is_multipass flag, required pipeline locks, recirculation counter)
+// followed by a variable number of instructions, each describing one
+// operation on a switch register array.
+//
+// P4DB maps one transaction to one network packet; database nodes encode a
+// packet from the hot transaction's operations and the switch decodes and
+// executes it in the data plane. This package implements the codec both
+// sides share, using fixed-width big-endian fields as a P4 parser would.
+package txnwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op is a switch instruction opcode. The set mirrors what a Tofino
+// RegisterAction can express in a single stateful ALU invocation: trivial
+// reads/writes, fixed-point add, and the constrained write used for simple
+// consistency checks (Section 5.1).
+type Op uint8
+
+// Opcodes.
+const (
+	// OpRead loads the register value; the operand is ignored.
+	OpRead Op = iota
+	// OpWrite stores the operand into the register.
+	OpWrite
+	// OpAdd adds the operand (fixed-point) and stores the sum; the result
+	// carries the new value. Reads-dependent-writes compile to OpAdd.
+	OpAdd
+	// OpCondAddGE0 is a constrained write: add the operand only if the sum
+	// stays >= 0, otherwise leave the register unchanged and clear OK.
+	// This implements SmallBank-style "balance must not go negative"
+	// checks without aborts.
+	OpCondAddGE0
+	// OpMax stores max(current, operand); used for monotonic counters.
+	OpMax
+	// OpReadClear atomically reads the register into the result, adds it
+	// to the packet's accumulator metadata, and zeroes the register — the
+	// "read-and-clear" RegisterAction SmallBank's Amalgamate uses.
+	OpReadClear
+	// OpAddAcc adds the packet's accumulator (the sum of all prior
+	// OpReadClear values in this transaction) plus the operand to the
+	// register. Read-dependent writes across tuples compile to
+	// OpReadClear followed by OpAddAcc in a later stage, with the value
+	// carried in packet metadata exactly as a P4 program would.
+	OpAddAcc
+	// OpAddIfOK adds the operand only if the packet's ok-flag is still
+	// set; OpCondAddGE0 clears the flag when its predicate fails. This
+	// chains a conditional transfer (SendPayment): the credit leg applies
+	// only if the debit leg succeeded.
+	OpAddIfOK
+	numOps
+)
+
+// Valid reports whether the opcode is defined.
+func (o Op) Valid() bool { return o < numOps }
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpAdd:
+		return "ADD"
+	case OpCondAddGE0:
+		return "CADD>=0"
+	case OpMax:
+		return "MAX"
+	case OpReadClear:
+		return "RDCLR"
+	case OpAddAcc:
+		return "ADDACC"
+	case OpAddIfOK:
+		return "ADDIFOK"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Instr is one operation of a switch transaction: an opcode applied to one
+// slot (Index) of one register array (Stage, Array).
+type Instr struct {
+	Op      Op
+	Stage   uint8
+	Array   uint8
+	Index   uint32
+	Operand int64
+}
+
+func (i Instr) String() string {
+	return fmt.Sprintf("%s s%d/a%d[%d] %d", i.Op, i.Stage, i.Array, i.Index, i.Operand)
+}
+
+// Header carries the processing information of Figure 6. For multi-pass
+// transactions LockLeft/LockRight name the pipeline locks to acquire on the
+// first pass and free on the last; for single-pass transactions they name
+// the locks that must be free for admission.
+type Header struct {
+	IsMultipass bool
+	LockLeft    bool
+	LockRight   bool
+	NbRecircs   uint8
+	TxnID       uint64 // caller-side id, echoed in the response
+}
+
+// Packet is one switch transaction on the wire.
+type Packet struct {
+	Header Header
+	Instrs []Instr
+}
+
+// Result is the per-instruction outcome returned by the switch: the value
+// read (or the post-write value) and whether a constrained write applied.
+type Result struct {
+	Value int64
+	OK    bool
+}
+
+// Response is the switch's reply packet: the globally-unique transaction id
+// (GID) assigned by the switch in serial execution order, the recirculation
+// count the packet accumulated, and one result per instruction.
+type Response struct {
+	TxnID   uint64
+	GID     uint64
+	Recircs uint8
+	Results []Result
+}
+
+// Wire layout sizes.
+const (
+	headerSize   = 1 + 1 + 8 + 1 // flags, nbRecircs, txnID, nInstr
+	instrSize    = 1 + 1 + 1 + 4 + 8
+	respHdrSize  = 8 + 8 + 1 + 1 // txnID, gid, recircs, nResults
+	resultSize   = 8 + 1
+	maxInstrs    = 255
+	flagMulti    = 1 << 0
+	flagLockL    = 1 << 1
+	flagLockR    = 1 << 2
+	flagResultOK = 1 << 0
+)
+
+// Codec errors.
+var (
+	ErrTooManyInstrs = errors.New("txnwire: more than 255 instructions")
+	ErrShortPacket   = errors.New("txnwire: packet truncated")
+	ErrBadOpcode     = errors.New("txnwire: invalid opcode")
+)
+
+// Encode serializes the packet.
+func Encode(p *Packet) ([]byte, error) {
+	if len(p.Instrs) > maxInstrs {
+		return nil, ErrTooManyInstrs
+	}
+	buf := make([]byte, headerSize+instrSize*len(p.Instrs))
+	var flags byte
+	if p.Header.IsMultipass {
+		flags |= flagMulti
+	}
+	if p.Header.LockLeft {
+		flags |= flagLockL
+	}
+	if p.Header.LockRight {
+		flags |= flagLockR
+	}
+	buf[0] = flags
+	buf[1] = p.Header.NbRecircs
+	binary.BigEndian.PutUint64(buf[2:], p.Header.TxnID)
+	buf[10] = uint8(len(p.Instrs))
+	off := headerSize
+	for _, in := range p.Instrs {
+		if !in.Op.Valid() {
+			return nil, ErrBadOpcode
+		}
+		buf[off] = byte(in.Op)
+		buf[off+1] = in.Stage
+		buf[off+2] = in.Array
+		binary.BigEndian.PutUint32(buf[off+3:], in.Index)
+		binary.BigEndian.PutUint64(buf[off+7:], uint64(in.Operand))
+		off += instrSize
+	}
+	return buf, nil
+}
+
+// Decode parses a packet previously produced by Encode.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < headerSize {
+		return nil, ErrShortPacket
+	}
+	flags := buf[0]
+	p := &Packet{Header: Header{
+		IsMultipass: flags&flagMulti != 0,
+		LockLeft:    flags&flagLockL != 0,
+		LockRight:   flags&flagLockR != 0,
+		NbRecircs:   buf[1],
+		TxnID:       binary.BigEndian.Uint64(buf[2:]),
+	}}
+	n := int(buf[10])
+	if len(buf) < headerSize+n*instrSize {
+		return nil, ErrShortPacket
+	}
+	if n == 0 {
+		return p, nil
+	}
+	p.Instrs = make([]Instr, n)
+	off := headerSize
+	for i := 0; i < n; i++ {
+		op := Op(buf[off])
+		if !op.Valid() {
+			return nil, ErrBadOpcode
+		}
+		p.Instrs[i] = Instr{
+			Op:      op,
+			Stage:   buf[off+1],
+			Array:   buf[off+2],
+			Index:   binary.BigEndian.Uint32(buf[off+3:]),
+			Operand: int64(binary.BigEndian.Uint64(buf[off+7:])),
+		}
+		off += instrSize
+	}
+	return p, nil
+}
+
+// EncodeResponse serializes a response packet.
+func EncodeResponse(r *Response) ([]byte, error) {
+	if len(r.Results) > maxInstrs {
+		return nil, ErrTooManyInstrs
+	}
+	buf := make([]byte, respHdrSize+resultSize*len(r.Results))
+	binary.BigEndian.PutUint64(buf[0:], r.TxnID)
+	binary.BigEndian.PutUint64(buf[8:], r.GID)
+	buf[16] = r.Recircs
+	buf[17] = uint8(len(r.Results))
+	off := respHdrSize
+	for _, res := range r.Results {
+		binary.BigEndian.PutUint64(buf[off:], uint64(res.Value))
+		if res.OK {
+			buf[off+8] = flagResultOK
+		}
+		off += resultSize
+	}
+	return buf, nil
+}
+
+// DecodeResponse parses a response packet.
+func DecodeResponse(buf []byte) (*Response, error) {
+	if len(buf) < respHdrSize {
+		return nil, ErrShortPacket
+	}
+	r := &Response{
+		TxnID:   binary.BigEndian.Uint64(buf[0:]),
+		GID:     binary.BigEndian.Uint64(buf[8:]),
+		Recircs: buf[16],
+	}
+	n := int(buf[17])
+	if len(buf) < respHdrSize+n*resultSize {
+		return nil, ErrShortPacket
+	}
+	if n == 0 {
+		return r, nil
+	}
+	r.Results = make([]Result, n)
+	off := respHdrSize
+	for i := 0; i < n; i++ {
+		r.Results[i] = Result{
+			Value: int64(binary.BigEndian.Uint64(buf[off:])),
+			OK:    buf[off+8]&flagResultOK != 0,
+		}
+		off += resultSize
+	}
+	return r, nil
+}

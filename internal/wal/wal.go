@@ -1,0 +1,231 @@
+// Package wal implements per-node write-ahead logging and the recovery
+// protocol of Section 6.1 / Appendix A.3 of the paper.
+//
+// Durability of switch transactions works as follows: a database node
+// appends the full intent (the instruction list) of every switch
+// transaction to its local log BEFORE sending the packet — switch
+// transactions count as committed at that point because the switch cannot
+// abort them. When the response arrives, the node back-fills the record
+// with the globally-unique transaction id (GID) the switch assigned in
+// serial execution order, plus the read/write results.
+//
+// If the switch crashes, its register state is reconstructed by replaying
+// all nodes' switch records in GID order. Records whose response was lost
+// (in-flight at the crash) have no GID; they are fitted into the gaps of
+// the GID sequence by searching for an order whose replay reproduces every
+// logged result (Figure 9's read/write-set dependency analysis). When no
+// dependency constrains them, any gap assignment is consistent and the
+// deterministic first one is used — exactly the paper's "any order can be
+// used during recovery".
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/store"
+	"repro/internal/txnwire"
+)
+
+// SwitchRecord is one switch transaction in a node's log.
+type SwitchRecord struct {
+	TxnID  uint64          // node-local transaction id
+	Instrs []txnwire.Instr // intent: logged before the packet is sent
+	HasGID bool
+	GID    uint64
+	// Results mirror the switch response (one per instruction); present
+	// only when HasGID.
+	Results []txnwire.Result
+}
+
+// ColdWrite is one redo entry of a cold sub-transaction.
+type ColdWrite struct {
+	Table store.TableID
+	Key   store.Key
+	Field int
+	Value int64
+}
+
+// ColdRecord is the commit record of a transaction's cold part.
+type ColdRecord struct {
+	TxnID     uint64
+	Writes    []ColdWrite
+	Committed bool
+}
+
+// Log is one node's write-ahead log.
+type Log struct {
+	nodeID     int
+	switchRecs []*SwitchRecord
+	coldRecs   []*ColdRecord
+}
+
+// NewLog creates an empty log for the given node.
+func NewLog(nodeID int) *Log { return &Log{nodeID: nodeID} }
+
+// NodeID returns the owning node.
+func (l *Log) NodeID() int { return l.nodeID }
+
+// AppendSwitchIntent logs the intent of a switch transaction before it is
+// sent and returns the record so the caller can back-fill the response.
+func (l *Log) AppendSwitchIntent(txnID uint64, instrs []txnwire.Instr) *SwitchRecord {
+	rec := &SwitchRecord{TxnID: txnID, Instrs: append([]txnwire.Instr(nil), instrs...)}
+	l.switchRecs = append(l.switchRecs, rec)
+	return rec
+}
+
+// Complete back-fills the switch response into the record.
+func (r *SwitchRecord) Complete(resp *txnwire.Response) {
+	r.HasGID = true
+	r.GID = resp.GID
+	r.Results = append([]txnwire.Result(nil), resp.Results...)
+}
+
+// AppendCold logs a cold commit record.
+func (l *Log) AppendCold(txnID uint64, writes []ColdWrite) {
+	l.coldRecs = append(l.coldRecs, &ColdRecord{TxnID: txnID, Writes: writes, Committed: true})
+}
+
+// SwitchRecords returns the log's switch records in append order.
+func (l *Log) SwitchRecords() []*SwitchRecord { return l.switchRecs }
+
+// ColdRecords returns the log's cold records in append order.
+func (l *Log) ColdRecords() []*ColdRecord { return l.coldRecs }
+
+// Replayer re-executes one whole switch transaction during recovery with
+// the exact data-plane semantics (including the per-packet metadata that
+// chains read-dependent and conditional writes). *pisa.Switch satisfies it
+// via its ApplyTxn method.
+type Replayer interface {
+	ApplyTxn(instrs []txnwire.Instr) []txnwire.Result
+}
+
+// ErrInconsistentLogs reports that no ordering of the GID-less records
+// reproduces the logged results — the logs contradict each other.
+var ErrInconsistentLogs = errors.New("wal: no consistent order for in-flight switch transactions")
+
+// OrderSwitchRecords merges the switch records of all logs into the serial
+// order the switch executed them in. Records with GIDs take their logged
+// position; GID-less (in-flight) records are fitted into the remaining
+// positions by backtracking search, validated by replaying on fresh state:
+// an order is consistent when every record with logged results reproduces
+// them exactly.
+//
+// fresh must return a Replayer initialized to the switch state at the time
+// of the offload (the recovery baseline).
+func OrderSwitchRecords(logs []*Log, fresh func() Replayer) ([]*SwitchRecord, error) {
+	var known []*SwitchRecord
+	var unknown []*SwitchRecord
+	for _, l := range logs {
+		for _, r := range l.switchRecs {
+			if r.HasGID {
+				known = append(known, r)
+			} else {
+				unknown = append(unknown, r)
+			}
+		}
+	}
+	total := len(known) + len(unknown)
+	seq := make([]*SwitchRecord, total)
+	for _, r := range known {
+		if r.GID >= uint64(total) {
+			return nil, fmt.Errorf("wal: GID %d out of range (total %d records)", r.GID, total)
+		}
+		if seq[r.GID] != nil {
+			return nil, fmt.Errorf("wal: duplicate GID %d in logs", r.GID)
+		}
+		seq[r.GID] = r
+	}
+	var gaps []int
+	for i, r := range seq {
+		if r == nil {
+			gaps = append(gaps, i)
+		}
+	}
+	if len(gaps) != len(unknown) {
+		return nil, fmt.Errorf("wal: %d gaps for %d in-flight records", len(gaps), len(unknown))
+	}
+	if len(unknown) == 0 {
+		if !consistent(seq, fresh()) {
+			return nil, ErrInconsistentLogs
+		}
+		return seq, nil
+	}
+
+	used := make([]bool, len(unknown))
+	var place func(gi int) bool
+	place = func(gi int) bool {
+		if gi == len(gaps) {
+			return consistent(seq, fresh())
+		}
+		for ui := range unknown {
+			if used[ui] {
+				continue
+			}
+			used[ui] = true
+			seq[gaps[gi]] = unknown[ui]
+			if place(gi + 1) {
+				return true
+			}
+			seq[gaps[gi]] = nil
+			used[ui] = false
+		}
+		return false
+	}
+	if !place(0) {
+		return nil, ErrInconsistentLogs
+	}
+	return seq, nil
+}
+
+// consistent replays seq on r and checks every logged result.
+func consistent(seq []*SwitchRecord, r Replayer) bool {
+	for _, rec := range seq {
+		got := r.ApplyTxn(rec.Instrs)
+		if !rec.HasGID {
+			continue
+		}
+		for i := range rec.Results {
+			if i >= len(got) {
+				return false
+			}
+			if got[i].Value != rec.Results[i].Value || got[i].OK != rec.Results[i].OK {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RecoverSwitch reconstructs the switch state after a crash: it orders all
+// logged switch transactions (see OrderSwitchRecords) and replays them on
+// target, which the caller must first restore to the offload baseline. It
+// returns the number of transactions replayed and the next GID the
+// recovered switch should assign.
+func RecoverSwitch(logs []*Log, fresh func() Replayer, target Replayer) (replayed int, nextGID uint64, err error) {
+	seq, err := OrderSwitchRecords(logs, fresh)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range seq {
+		target.ApplyTxn(rec.Instrs)
+	}
+	return len(seq), uint64(len(seq)), nil
+}
+
+// RecoverNode redoes all committed cold writes of a node's log against a
+// store, in log order. (The model logs after-images at commit, so redo is
+// idempotent and needs no undo phase.)
+func RecoverNode(l *Log, st *store.Store) int {
+	n := 0
+	for _, rec := range l.coldRecs {
+		if !rec.Committed {
+			continue
+		}
+		for _, w := range rec.Writes {
+			st.Table(w.Table).Set(w.Key, w.Field, w.Value)
+		}
+		n++
+	}
+	return n
+}

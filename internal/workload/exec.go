@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+	"repro/internal/txnwire"
+)
+
+// Executor evaluates operations against node stores with exactly the
+// semantics the switch data plane implements for the corresponding
+// opcodes, including the transaction-scoped accumulator (ReadClear/AddAcc)
+// and ok-flag (CondAddGE0/AddIfOK) chaining. The host DBMS uses one
+// Executor per transaction attempt; keeping the semantics in one place
+// guarantees that a transaction computes the same results whether its hot
+// part runs on the switch or (in the baselines) on a node.
+type Executor struct {
+	Acc int64
+	OK  bool
+}
+
+// NewExecutor returns a fresh per-transaction executor.
+func NewExecutor() Executor { return Executor{OK: true} }
+
+// Apply executes op against the table and returns the switch-equivalent
+// result. The caller is responsible for capturing undo state beforehand
+// when the operation writes.
+func (e *Executor) Apply(tb *store.Table, op Op) txnwire.Result {
+	switch op.Kind {
+	case Read:
+		return txnwire.Result{Value: tb.Get(op.Key, op.Field), OK: true}
+	case Write:
+		tb.Set(op.Key, op.Field, op.Value)
+		return txnwire.Result{Value: op.Value, OK: true}
+	case Add:
+		return txnwire.Result{Value: tb.Add(op.Key, op.Field, op.Value), OK: true}
+	case CondAddGE0:
+		cur := tb.Get(op.Key, op.Field)
+		if cur+op.Value >= 0 {
+			return txnwire.Result{Value: tb.Add(op.Key, op.Field, op.Value), OK: true}
+		}
+		e.OK = false
+		return txnwire.Result{Value: cur, OK: false}
+	case ReadClear:
+		old := tb.Get(op.Key, op.Field)
+		e.Acc += old
+		tb.Set(op.Key, op.Field, 0)
+		return txnwire.Result{Value: old, OK: true}
+	case AddAcc:
+		return txnwire.Result{Value: tb.Add(op.Key, op.Field, e.Acc+op.Value), OK: true}
+	case AddIfOK:
+		if e.OK {
+			return txnwire.Result{Value: tb.Add(op.Key, op.Field, op.Value), OK: true}
+		}
+		return txnwire.Result{Value: tb.Get(op.Key, op.Field), OK: false}
+	default:
+		panic(fmt.Sprintf("workload: unknown op kind %d", op.Kind))
+	}
+}

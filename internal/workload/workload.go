@@ -1,0 +1,140 @@
+// Package workload implements the three OLTP benchmarks of the paper's
+// evaluation — YCSB (A/B/C), SmallBank and TPC-C (NewOrder+Payment) — as
+// transaction generators over the partitioned store.
+//
+// A generator owns the partitioning scheme (which node is home to which
+// key), the skew (which tuples are hot and what fraction of accesses they
+// receive) and the transaction logic expressed as a list of operations.
+// The same operation list serves three purposes: the host DBMS executes it
+// under 2PL, the hot-set detector replays it offline, and — for hot
+// operations — the layout compiler turns it into switch instructions.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/txnwire"
+)
+
+// OpKind is the logical operation type, mirroring the switch opcode set so
+// hot operations translate one-to-one into instructions.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// Read returns the field value.
+	Read OpKind = iota
+	// Write blindly stores Value.
+	Write
+	// Add increments by Value and returns the new value.
+	Add
+	// CondAddGE0 adds Value only if the result stays non-negative (a
+	// constrained write); on failure it clears the transaction ok-flag.
+	CondAddGE0
+	// ReadClear reads the old value, adds it to the transaction
+	// accumulator and zeroes the field.
+	ReadClear
+	// AddAcc adds accumulator+Value to the field.
+	AddAcc
+	// AddIfOK adds Value only if the ok-flag is still set.
+	AddIfOK
+)
+
+// WireOp maps the kind to its switch opcode.
+func (k OpKind) WireOp() txnwire.Op {
+	switch k {
+	case Read:
+		return txnwire.OpRead
+	case Write:
+		return txnwire.OpWrite
+	case Add:
+		return txnwire.OpAdd
+	case CondAddGE0:
+		return txnwire.OpCondAddGE0
+	case ReadClear:
+		return txnwire.OpReadClear
+	case AddAcc:
+		return txnwire.OpAddAcc
+	case AddIfOK:
+		return txnwire.OpAddIfOK
+	default:
+		panic(fmt.Sprintf("workload: unknown op kind %d", k))
+	}
+}
+
+// IsWrite reports whether the kind mutates state.
+func (k OpKind) IsWrite() bool { return k != Read }
+
+// Op is one operation of a transaction.
+type Op struct {
+	Table store.TableID
+	Key   store.Key
+	Field int
+	Home  netsim.NodeID // partition owner of Key
+	Kind  OpKind
+	Value int64
+	// DependsOn is the index of an earlier operation this one depends on
+	// (-1 for none); it constrains switch instruction ordering and feeds
+	// the directed edges of the layout graph.
+	DependsOn int
+}
+
+// LockKey returns the row-granular lock identifier.
+func (o Op) LockKey() store.GlobalKey { return store.Global(o.Table, o.Key) }
+
+// TupleKey returns the field-qualified switch-tuple identifier.
+func (o Op) TupleKey() store.GlobalKey { return store.GlobalField(o.Table, o.Field, o.Key) }
+
+// Txn is one generated transaction.
+type Txn struct {
+	Label string // transaction type, e.g. "Payment"
+	Ops   []Op
+}
+
+// Distributed reports whether the transaction touches a node other than
+// self.
+func (t *Txn) Distributed(self netsim.NodeID) bool {
+	for _, op := range t.Ops {
+		if op.Home != self {
+			return true
+		}
+	}
+	return false
+}
+
+// Generator produces transactions for a specific benchmark configuration.
+type Generator interface {
+	// Name identifies the benchmark ("YCSB-A", "SmallBank", "TPC-C").
+	Name() string
+	// Nodes returns the number of database nodes the generator partitions
+	// data over.
+	Nodes() int
+	// Populate creates this benchmark's tables on every node's store and
+	// loads the node's partition (stores[i] belongs to node i).
+	Populate(stores []*store.Store)
+	// Home returns the partition owner of a key.
+	Home(t store.TableID, k store.Key) netsim.NodeID
+	// Next generates the next transaction for a worker on node self.
+	Next(rng *sim.RNG, self netsim.NodeID) *Txn
+}
+
+// pickDistinct draws n distinct values in [0, limit) using rng.
+func pickDistinct(rng *sim.RNG, n int, limit int64) []int64 {
+	if int64(n) > limit {
+		panic("workload: cannot pick more distinct values than the range holds")
+	}
+	out := make([]int64, 0, n)
+	seen := make(map[int64]struct{}, n)
+	for len(out) < n {
+		v := rng.Int63n(limit)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// YCSBTable is the single table of the YCSB benchmark.
+const YCSBTable store.TableID = 0
+
+// YCSBConfig parameterizes the YCSB generator following Section 7.2: a
+// single range-partitioned table, transactions of OpsPerTxn independent
+// read/write operations, and a per-node hot-set that receives HotAccessPct
+// of all accesses.
+type YCSBConfig struct {
+	NumNodes    int
+	RowsPerNode int64 // logical partition size (rows materialize lazily)
+	HotPerNode  int   // hot keys per node (paper: 50)
+	WritePct    int   // write ratio within a txn: A=50, B=5, C=0
+	HotTxnPct   int   // fraction of transactions on the hot-set (paper: 75%)
+	DistPct     int   // fraction of distributed transactions
+	OpsPerTxn   int   // operations per transaction (paper: 8)
+}
+
+// YCSBWorkloadA..C return the paper's workload mixes (update-heavy 50/50,
+// read-heavy 95/5, read-only 100/0) at the defaults of Section 7.2.
+func YCSBWorkloadA(nodes int) YCSBConfig { return ycsbBase(nodes, 50) }
+func YCSBWorkloadB(nodes int) YCSBConfig { return ycsbBase(nodes, 5) }
+func YCSBWorkloadC(nodes int) YCSBConfig { return ycsbBase(nodes, 0) }
+
+func ycsbBase(nodes, writePct int) YCSBConfig {
+	return YCSBConfig{
+		NumNodes:    nodes,
+		RowsPerNode: 1 << 27, // 1B rows over 8 nodes, lazily materialized
+		HotPerNode:  50,
+		WritePct:    writePct,
+		HotTxnPct:   75,
+		DistPct:     20,
+		OpsPerTxn:   8,
+	}
+}
+
+// YCSB is the Yahoo! Cloud Serving Benchmark generator.
+type YCSB struct {
+	cfg YCSBConfig
+}
+
+// NewYCSB validates the configuration and returns a generator.
+func NewYCSB(cfg YCSBConfig) *YCSB {
+	if cfg.NumNodes <= 0 || cfg.RowsPerNode <= 0 || cfg.OpsPerTxn <= 0 {
+		panic("workload: invalid YCSB config")
+	}
+	if int64(cfg.HotPerNode) > cfg.RowsPerNode {
+		panic("workload: hot set larger than partition")
+	}
+	return &YCSB{cfg: cfg}
+}
+
+// Name implements Generator.
+func (y *YCSB) Name() string {
+	switch y.cfg.WritePct {
+	case 50:
+		return "YCSB-A"
+	case 5:
+		return "YCSB-B"
+	case 0:
+		return "YCSB-C"
+	}
+	return fmt.Sprintf("YCSB(w=%d%%)", y.cfg.WritePct)
+}
+
+// Nodes implements Generator.
+func (y *YCSB) Nodes() int { return y.cfg.NumNodes }
+
+// Config returns the generator's configuration.
+func (y *YCSB) Config() YCSBConfig { return y.cfg }
+
+// Populate implements Generator. YCSB rows default to zero values and
+// materialize lazily, so only the table is created.
+func (y *YCSB) Populate(stores []*store.Store) {
+	for _, st := range stores {
+		st.CreateTable(YCSBTable, "usertable", 1)
+	}
+}
+
+// Home implements Generator: keys are range-partitioned.
+func (y *YCSB) Home(t store.TableID, k store.Key) netsim.NodeID {
+	return netsim.NodeID(int64(k) / y.cfg.RowsPerNode)
+}
+
+// hotKey returns hot tuple i of a node (the first HotPerNode keys of its
+// range).
+func (y *YCSB) hotKey(node netsim.NodeID, i int64) store.Key {
+	return store.Key(int64(node)*y.cfg.RowsPerNode + i)
+}
+
+// coldKey returns a uniformly random cold key of a node.
+func (y *YCSB) coldKey(rng *sim.RNG, node netsim.NodeID) store.Key {
+	off := int64(y.cfg.HotPerNode) + rng.Int63n(y.cfg.RowsPerNode-int64(y.cfg.HotPerNode))
+	return store.Key(int64(node)*y.cfg.RowsPerNode + off)
+}
+
+// Next implements Generator. A transaction is either entirely hot or
+// entirely cold (HotTxnPct), and either local or distributed (DistPct);
+// distributed transactions draw each operation's node uniformly.
+//
+// Operation j of a hot transaction draws its key from congruence class
+// j mod OpsPerTxn of the hot range, so the operations of one transaction
+// never share a class. This mirrors the paper's YCSB switch program, in
+// which every hot transaction executes in a single pipeline pass: a
+// conflict-free register assignment exists (one set of register arrays
+// per class) and the declustering algorithm finds it from the co-access
+// pattern alone.
+func (y *YCSB) Next(rng *sim.RNG, self netsim.NodeID) *Txn {
+	hot := rng.Bool(y.cfg.HotTxnPct)
+	dist := rng.Bool(y.cfg.DistPct)
+	txn := &Txn{Label: "YCSB", Ops: make([]Op, 0, y.cfg.OpsPerTxn)}
+	seen := make(map[store.Key]struct{}, y.cfg.OpsPerTxn)
+	for len(txn.Ops) < y.cfg.OpsPerTxn {
+		node := self
+		if dist {
+			node = netsim.NodeID(rng.Intn(y.cfg.NumNodes))
+		}
+		var key store.Key
+		if hot {
+			j := len(txn.Ops)
+			classSize := (y.cfg.HotPerNode - j + y.cfg.OpsPerTxn - 1) / y.cfg.OpsPerTxn
+			key = y.hotKey(node, int64(j+y.cfg.OpsPerTxn*rng.Intn(classSize)))
+		} else {
+			key = y.coldKey(rng, node)
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		kind := Read
+		var val int64
+		if rng.Bool(y.cfg.WritePct) {
+			kind = Write
+			val = int64(rng.Uint32())
+		}
+		txn.Ops = append(txn.Ops, Op{
+			Table: YCSBTable, Key: key, Field: 0, Home: node,
+			Kind: kind, Value: val, DependsOn: -1,
+		})
+	}
+	return txn
+}
+
+// HotCandidates enumerates every hot tuple the generator will ever emit,
+// in deterministic order (used to bound detection samples in tests).
+func (y *YCSB) HotCandidates() []store.GlobalKey {
+	out := make([]store.GlobalKey, 0, y.cfg.NumNodes*y.cfg.HotPerNode)
+	for n := 0; n < y.cfg.NumNodes; n++ {
+		for i := 0; i < y.cfg.HotPerNode; i++ {
+			out = append(out, store.GlobalField(YCSBTable, 0, y.hotKey(netsim.NodeID(n), int64(i))))
+		}
+	}
+	return out
+}
