@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	p4db-bench [-fig id] [-quick] [-measure ms] [-seed n] [-v]
+//	p4db-bench [-fig id] [-system names] [-quick] [-measure ms] [-seed n] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
 // 18a, 18b, or "all" (default). The appendix raw-throughput figures 19-21
 // are the txn/s columns of figures 11/13/14.
+//
+// -system selects execution engines by registry name (comma-separated,
+// e.g. -system=p4db,lmswitch,chiller) and replaces the engines the sweep
+// figures compare against the No-Switch baseline; any engine registered
+// in internal/engine is selectable without touching this command.
 package main
 
 import (
@@ -19,11 +24,13 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (or 'all')")
+	system := flag.String("system", "", "engine(s) for the sweep figures, e.g. p4db,lmswitch (default: each figure's paper set)")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	measureMs := flag.Float64("measure", 0, "override measurement window in virtual ms")
 	samples := flag.Int("samples", 0, "override detection sample size")
@@ -53,6 +60,18 @@ func main() {
 			ts = append(ts, v)
 		}
 		opts.Threads = ts
+	}
+	if *system != "" {
+		var systems []string
+		for _, part := range strings.Split(*system, ",") {
+			name := strings.TrimSpace(part)
+			if _, err := engine.Lookup(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			systems = append(systems, name)
+		}
+		opts.Systems = systems
 	}
 	opts.Seed = *seed
 	if *verbose {

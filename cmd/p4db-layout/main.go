@@ -1,7 +1,9 @@
 // Command p4db-layout runs the offline preparation step in isolation:
-// sample a workload, detect the hot-set, compute the declustered layout
-// and report how many of the sampled hot transactions would execute in a
-// single pipeline pass — the metric Section 4's data layout optimizes.
+// build a cluster for the selected engine (which performs sampling,
+// hot-set detection, the declustered layout computation and — for P4DB —
+// the register offload), then replay a fresh workload sample and report
+// how many of the hot transactions would execute in a single pipeline
+// pass — the metric Section 4's data layout optimizes.
 package main
 
 import (
@@ -9,21 +11,28 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/hotset"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/layout"
 	"repro/internal/netsim"
-	"repro/internal/pisa"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
 	wl := flag.String("workload", "smallbank", "ycsb-a | ycsb-b | ycsb-c | smallbank | tpcc")
+	system := flag.String("system", "p4db", "execution engine (registry name) whose offline prep to run")
 	nodes := flag.Int("nodes", 8, "database nodes")
 	samples := flag.Int("samples", 60000, "sampled transactions for detection")
 	random := flag.Bool("random", false, "use the random (worst-case) layout instead of the declustered one")
 	seed := flag.Uint64("seed", 42, "sampling seed")
 	flag.Parse()
+
+	eng, err := engine.Lookup(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var gen workload.Generator
 	switch *wl {
@@ -42,37 +51,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	rng := sim.NewRNG(*seed)
-	txns := make([][]hotset.Access, 0, *samples)
-	raw := make([]*workload.Txn, 0, *samples)
-	for i := 0; i < *samples; i++ {
-		txn := gen.Next(rng, netsim.NodeID(i%*nodes))
-		accs := make([]hotset.Access, len(txn.Ops))
-		for j, op := range txn.Ops {
-			accs[j] = hotset.Access{Key: op.TupleKey(), DependsOn: op.DependsOn}
-		}
-		txns = append(txns, accs)
-		raw = append(raw, txn)
-	}
+	// The cluster constructor performs the whole offline pipeline of
+	// Figure 3 — sampling, detection, (profile-refined) layout and the
+	// engine's Prepare step — exactly as the benchmarks run it.
+	cfg := core.DefaultConfig()
+	cfg.Engine = *system
+	cfg.Nodes = *nodes
+	cfg.SampleTxns = *samples
+	cfg.RandomLayout = *random
+	cfg.Seed = *seed
+	c := core.NewCluster(cfg, gen)
+	defer c.Env().Shutdown()
 
-	swCfg := pisa.DefaultConfig()
-	hs := hotset.DetectAuto(txns, swCfg.Capacity())
-	spec := layout.Spec{Stages: swCfg.Stages, ArraysPerStage: swCfg.ArraysPerStage, SlotsPerArray: swCfg.SlotsPerArray}
-	var l *layout.Layout
-	if *random {
-		l = layout.Random(hs.Graph(), spec, sim.NewRNG(*seed^0xBAD))
-	} else {
-		l = layout.Optimal(hs.Graph(), spec)
-	}
+	l := c.Layout()
+	ix := c.HotIndex()
+	spec := layout.Spec{Stages: cfg.Switch.Stages, ArraysPerStage: cfg.Switch.ArraysPerStage, SlotsPerArray: cfg.Switch.SlotsPerArray}
 
+	fmt.Printf("engine:         %s (%s)\n", eng.Label(), eng.Name())
 	fmt.Printf("workload:       %s (%d nodes, %d sampled txns)\n", gen.Name(), *nodes, *samples)
-	fmt.Printf("hot tuples:     %d (graph: %v)\n", hs.Size(), hs.Graph())
+	fmt.Printf("hot tuples:     %d on the switch layout\n", ix.OnSwitchCount())
 	fmt.Printf("layout:         %d tuples over %d stages x %d arrays\n",
 		l.NumTuples(), spec.Stages, spec.ArraysPerStage)
 
-	ix := hotset.BuildIndex(hs, l)
+	// Replay a fresh sample against the computed layout.
+	rng := sim.NewRNG(*seed)
 	single, multi, hot := 0, 0, 0
-	for _, txn := range raw {
+	for i := 0; i < *samples; i++ {
+		txn := gen.Next(rng, netsim.NodeID(i%*nodes))
 		allHot := len(txn.Ops) > 0
 		ops := make([]layout.HotOp, 0, len(txn.Ops))
 		for _, op := range txn.Ops {
@@ -95,7 +100,7 @@ func main() {
 			multi++
 		}
 	}
-	fmt.Printf("hot txns:       %d of %d sampled\n", hot, len(raw))
+	fmt.Printf("hot txns:       %d of %d sampled\n", hot, *samples)
 	if hot > 0 {
 		fmt.Printf("single-pass:    %d (%.2f%%)\n", single, 100*float64(single)/float64(hot))
 		fmt.Printf("multi-pass:     %d (%.2f%%)\n", multi, 100*float64(multi)/float64(hot))

@@ -25,6 +25,7 @@ func main() {
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
+	cfg.Engine = "p4db" // recovery needs the switch, so the engine is fixed
 	cfg.Nodes = *nodes
 	cfg.WorkersPerNode = 4
 	cfg.Seed = *seed

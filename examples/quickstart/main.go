@@ -1,19 +1,29 @@
-// Quickstart: build a 4-node P4DB cluster with a simulated Tofino switch,
-// run a skewed YCSB workload, and compare against the traditional
-// distributed DBMS without switch support.
+// Quickstart: build a 4-node cluster with a simulated Tofino switch, run
+// a skewed YCSB workload under a selectable execution engine, and compare
+// against the traditional distributed DBMS without switch support.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-system p4db|lmswitch|chiller|occ|...]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
+	system := flag.String("system", "p4db", "execution engine to compare against the No-Switch baseline")
+	flag.Parse()
+	if _, err := engine.Lookup(*system); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	// The workload: YCSB-A (50% writes), 8 operations per transaction,
 	// 75% of transactions on 50 hot keys per node, 20% distributed.
 	newGen := func(nodes int) *workload.YCSB {
@@ -22,9 +32,9 @@ func main() {
 		return workload.NewYCSB(cfg)
 	}
 
-	run := func(sys core.System) *core.Result {
+	run := func(sys string) *core.Result {
 		cfg := core.DefaultConfig()
-		cfg.System = sys
+		cfg.Engine = sys
 		cfg.Nodes = 4
 		cfg.WorkersPerNode = 12
 		cfg.SampleTxns = 12000
@@ -34,19 +44,22 @@ func main() {
 	}
 
 	fmt.Println("running the No-Switch baseline...")
-	base := run(core.NoSwitch)
-	fmt.Println("running P4DB (hot tuples offloaded to the switch)...")
-	p4db := run(core.P4DB)
+	base := run("noswitch")
+	chosen := base
+	if *system != "noswitch" {
+		fmt.Printf("running %s...\n", *system)
+		chosen = run(*system)
+	}
 
-	fmt.Printf("\n%-10s %14s %9s %8s %12s\n", "system", "txn/s", "abort%", "hot%", "mean latency")
-	for _, r := range []*core.Result{base, p4db} {
+	fmt.Printf("\n%-16s %14s %9s %8s %12s\n", "system", "txn/s", "abort%", "hot%", "mean latency")
+	for _, r := range []*core.Result{base, chosen} {
 		hotPct := 0.0
 		if c := r.Counters.Committed(); c > 0 {
 			hotPct = 100 * float64(r.Counters.CommittedHot) / float64(c)
 		}
-		fmt.Printf("%-10s %14.0f %8.1f%% %7.1f%% %12v\n",
-			r.System, r.Throughput(), 100*r.Counters.AbortRate(), hotPct, r.Latency.Mean())
+		fmt.Printf("%-16s %14.0f %8.1f%% %7.1f%% %12v\n",
+			r.EngineLabel, r.Throughput(), 100*r.Counters.AbortRate(), hotPct, r.Latency.Mean())
 	}
 	fmt.Printf("\nspeedup: %.2fx (paper reports up to 5x for YCSB under high contention)\n",
-		p4db.Throughput()/base.Throughput())
+		chosen.Throughput()/base.Throughput())
 }

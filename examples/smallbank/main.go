@@ -24,6 +24,7 @@ func main() {
 	gen := workload.NewSmallBank(sbc)
 
 	cfg := core.DefaultConfig()
+	cfg.Engine = "p4db" // resolved in the engine registry
 	cfg.Nodes = nodes
 	cfg.WorkersPerNode = 12
 	cfg.SampleTxns = 15000

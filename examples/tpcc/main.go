@@ -21,16 +21,16 @@ func main() {
 	const nodes = 4
 	gen := workload.NewTPCC(workload.DefaultTPCC(nodes, nodes)) // 1 warehouse per node: maximum contention
 
-	for _, sys := range []core.System{core.NoSwitch, core.P4DB} {
+	for _, sys := range []string{"noswitch", "p4db"} {
 		cfg := core.DefaultConfig()
-		cfg.System = sys
+		cfg.Engine = sys
 		cfg.Nodes = nodes
 		cfg.WorkersPerNode = 16
 		cfg.SampleTxns = 15000
 		cluster := core.NewCluster(cfg, workload.NewTPCC(workload.DefaultTPCC(nodes, nodes)))
 		res := cluster.Run(1*sim.Millisecond, 5*sim.Millisecond)
 
-		fmt.Printf("\n=== %s ===\n", sys)
+		fmt.Printf("\n=== %s ===\n", res.EngineLabel)
 		fmt.Printf("throughput:  %.0f txn/s   aborts: %d\n", res.Throughput(), res.Counters.Aborts)
 		fmt.Printf("warm txns:   %d (cold part on nodes + hot part on switch)\n", res.Counters.CommittedWarm)
 		fmt.Printf("latency:     mean %v, p99 %v\n", res.Latency.Mean(), res.Latency.Percentile(99))

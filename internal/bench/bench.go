@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -30,6 +31,10 @@ type Options struct {
 	Samples  int   // offline detection sample size
 	Threads  []int // worker-per-node sweep (paper: 8..20)
 	DistPcts []int // distributed-transaction sweep (paper: 25/50/75)
+	// Systems overrides the engines the sweep figures compare against the
+	// No-Switch baseline (engine registry names); nil keeps each figure's
+	// paper defaults.
+	Systems  []string
 	Seed     uint64
 	Progress io.Writer // per-run progress lines; nil for silent
 }
@@ -67,10 +72,11 @@ func (o Options) progressf(format string, args ...interface{}) {
 	}
 }
 
-// config assembles a core.Config for one run.
-func (o Options) config(sys core.System, pol lock.Policy, workers int) core.Config {
+// config assembles a core.Config for one run; sys is an engine registry
+// name ("p4db", "noswitch", "lmswitch", "chiller", "occ", ...).
+func (o Options) config(sys string, pol lock.Policy, workers int) core.Config {
 	cfg := core.DefaultConfig()
-	cfg.System = sys
+	cfg.Engine = sys
 	cfg.Policy = pol
 	cfg.Nodes = o.Nodes
 	cfg.WorkersPerNode = workers
@@ -155,9 +161,27 @@ func Print(w io.Writer, rows []Row) {
 	}
 }
 
+// systemsOr returns the configured engine override for the sweep figures,
+// or the figure's own defaults.
+func (o Options) systemsOr(defaults []string) []string {
+	if len(o.Systems) > 0 {
+		return o.Systems
+	}
+	return defaults
+}
+
+// label resolves an engine name to its paper display name.
+func label(sys string) string {
+	e, err := engine.Lookup(sys)
+	if err != nil {
+		return sys
+	}
+	return e.Label()
+}
+
 // seriesName labels a system+policy combination like the paper's legends.
-func seriesName(sys core.System, pol lock.Policy) string {
-	return fmt.Sprintf("%s (%s)", sys, pol)
+func seriesName(sys string, pol lock.Policy) string {
+	return fmt.Sprintf("%s (%s)", label(sys), pol)
 }
 
 // latPerTxnUs converts a breakdown component to µs per transaction.

@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/lock"
 )
 
@@ -53,9 +52,9 @@ func TestFig12HotFractions(t *testing.T) {
 			continue
 		}
 		switch r.Series {
-		case seriesName(core.NoSwitch, lock.NoWait):
+		case seriesName("noswitch", lock.NoWait):
 			ns = r.HotFrac
-		case seriesName(core.P4DB, lock.NoWait):
+		case seriesName("p4db", lock.NoWait):
 			p4 = r.HotFrac
 		}
 	}

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/pisa"
@@ -31,11 +30,11 @@ func Fig01(o Options) []Row {
 	workers := o.Threads[len(o.Threads)-1]
 	for _, w := range workloads {
 		var base float64
-		for _, sys := range []core.System{core.NoSwitch, core.P4DB} {
+		for _, sys := range []string{"noswitch", "p4db"} {
 			o.progressf("fig01 %s %s\n", w.name, sys)
 			res := o.run(o.config(sys, lock.NoWait, workers), w.gen())
-			r := fill(Row{Figure: "Figure 1", Workload: w.name, Series: sys.String(), X: "20% dist"}, res)
-			if sys == core.NoSwitch {
+			r := fill(Row{Figure: "Figure 1", Workload: w.name, Series: label(sys), X: "20% dist"}, res)
+			if sys == "noswitch" {
 				base = r.Throughput
 			} else if base > 0 {
 				r.Speedup = r.Throughput / base
@@ -50,15 +49,16 @@ func Fig01(o Options) []Row {
 // baseline with matching lock policy, for one generator factory, across a
 // one-dimensional sweep. Raw No-Switch rows are included (they double as
 // the raw-throughput appendix figures 19-21).
-func (o Options) sweepSystems(fig, wlName string, systems []core.System, xs []string, workers func(i int) int, gen func(i int) workload.Generator) []Row {
+func (o Options) sweepSystems(fig, wlName string, systems []string, xs []string, workers func(i int) int, gen func(i int) workload.Generator) []Row {
+	systems = o.systemsOr(systems)
 	var rows []Row
 	for i, x := range xs {
 		for _, pol := range bothPolicies {
 			o.progressf("%s %s x=%s base %v\n", fig, wlName, x, pol)
-			base := o.run(o.config(core.NoSwitch, pol, workers(i)), gen(i))
+			base := o.run(o.config("noswitch", pol, workers(i)), gen(i))
 			rows = append(rows, fill(Row{
 				Figure: fig, Workload: wlName,
-				Series: seriesName(core.NoSwitch, pol), X: x, Speedup: 1,
+				Series: seriesName("noswitch", pol), X: x, Speedup: 1,
 			}, base))
 			for _, sys := range systems {
 				o.progressf("%s %s x=%s %v %v\n", fig, wlName, x, sys, pol)
@@ -88,7 +88,7 @@ func Fig11Contention(o Options) []Row {
 			xs[i] = fmt.Sprintf("%d thr", t)
 		}
 		rows = append(rows, o.sweepSystems("Figure 11 (threads)", wl.name,
-			[]core.System{core.LMSwitch, core.P4DB}, xs,
+			[]string{"lmswitch", "p4db"}, xs,
 			func(i int) int { return o.Threads[i] },
 			func(i int) workload.Generator { return o.ycsb(wl.writePct, 20, 75) })...)
 	}
@@ -110,7 +110,7 @@ func Fig11Distributed(o Options) []Row {
 			xs[i] = fmt.Sprintf("%d%% dist", d)
 		}
 		rows = append(rows, o.sweepSystems("Figure 11 (distributed)", wl.name,
-			[]core.System{core.LMSwitch, core.P4DB}, xs,
+			[]string{"lmswitch", "p4db"}, xs,
 			func(i int) int { return workers },
 			func(i int) workload.Generator { return o.ycsb(wl.writePct, o.DistPcts[i], 75) })...)
 	}
@@ -127,7 +127,7 @@ func Fig12(o Options) []Row {
 		name     string
 		writePct int
 	}{{"YCSB-A", 50}, {"YCSB-B", 5}, {"YCSB-C", 0}} {
-		for _, sys := range []core.System{core.NoSwitch, core.P4DB} {
+		for _, sys := range []string{"noswitch", "p4db"} {
 			for _, pol := range bothPolicies {
 				o.progressf("fig12 %s %v %v\n", wl.name, sys, pol)
 				res := o.run(o.config(sys, pol, workers), o.ycsb(wl.writePct, 20, 75))
@@ -154,7 +154,7 @@ func Fig13Contention(o Options) []Row {
 		}
 		rows = append(rows, o.sweepSystems("Figure 13 (threads)",
 			fmt.Sprintf("SB %dx%d", o.Nodes, hot),
-			[]core.System{core.P4DB}, xs,
+			[]string{"p4db"}, xs,
 			func(i int) int { return o.Threads[i] },
 			func(i int) workload.Generator { return o.smallbank(hot, 20) })...)
 	}
@@ -173,7 +173,7 @@ func Fig13Distributed(o Options) []Row {
 		}
 		rows = append(rows, o.sweepSystems("Figure 13 (distributed)",
 			fmt.Sprintf("SB %dx%d", o.Nodes, hot),
-			[]core.System{core.P4DB}, xs,
+			[]string{"p4db"}, xs,
 			func(i int) int { return workers },
 			func(i int) workload.Generator { return o.smallbank(hot, o.DistPcts[i]) })...)
 	}
@@ -192,7 +192,7 @@ func Fig14Contention(o Options) []Row {
 		}
 		rows = append(rows, o.sweepSystems("Figure 14 (threads)",
 			fmt.Sprintf("TPCC %dWH", wh),
-			[]core.System{core.P4DB}, xs,
+			[]string{"p4db"}, xs,
 			func(i int) int { return o.Threads[i] },
 			func(i int) workload.Generator { return o.tpcc(wh, 20) })...)
 	}
@@ -211,7 +211,7 @@ func Fig14Distributed(o Options) []Row {
 		}
 		rows = append(rows, o.sweepSystems("Figure 14 (distributed)",
 			fmt.Sprintf("TPCC %dWH", wh),
-			[]core.System{core.P4DB}, xs,
+			[]string{"p4db"}, xs,
 			func(i int) int { return workers },
 			func(i int) workload.Generator { return o.tpcc(wh, o.DistPcts[i]) })...)
 	}
@@ -227,16 +227,16 @@ func Fig15ab(o Options) []Row {
 	for _, hotPct := range []int{0, 25, 50, 75, 100} {
 		for _, pol := range bothPolicies {
 			o.progressf("fig15ab hot=%d %v\n", hotPct, pol)
-			base := o.run(o.config(core.NoSwitch, pol, workers), o.ycsb(50, 20, hotPct))
+			base := o.run(o.config("noswitch", pol, workers), o.ycsb(50, 20, hotPct))
 			rows = append(rows, fill(Row{
 				Figure: "Figure 15a/b", Workload: "YCSB-A",
-				Series: seriesName(core.NoSwitch, pol),
+				Series: seriesName("noswitch", pol),
 				X:      fmt.Sprintf("%d%% hot", hotPct), Speedup: 1,
 			}, base))
-			res := o.run(o.config(core.P4DB, pol, workers), o.ycsb(50, 20, hotPct))
+			res := o.run(o.config("p4db", pol, workers), o.ycsb(50, 20, hotPct))
 			r := fill(Row{
 				Figure: "Figure 15a/b", Workload: "YCSB-A",
-				Series: seriesName(core.P4DB, pol),
+				Series: seriesName("p4db", pol),
 				X:      fmt.Sprintf("%d%% hot", hotPct),
 			}, res)
 			if base.Throughput() > 0 {
@@ -269,7 +269,7 @@ func Fig15c(o Options) []Row {
 	var base float64
 	for _, s := range steps {
 		o.progressf("fig15c %s\n", s.name)
-		cfg := o.config(core.P4DB, lock.NoWait, workers)
+		cfg := o.config("p4db", lock.NoWait, workers)
 		cfg.RandomLayout = s.random
 		cfg.Switch.FastRecirc = s.fastRecirc
 		cfg.Switch.FineLocks = s.fineLocks
@@ -308,7 +308,7 @@ func Fig16(o Options) []Row {
 			}
 			for _, thr := range o.Threads {
 				o.progressf("fig16 %s %s %d thr\n", w.name, series, thr)
-				cfg := o.config(core.P4DB, lock.NoWait, thr)
+				cfg := o.config("p4db", lock.NoWait, thr)
 				cfg.RandomLayout = random
 				res := o.run(cfg, w.gen())
 				rows = append(rows, fill(Row{
@@ -340,14 +340,14 @@ func Fig17(o Options) []Row {
 			return workload.NewYCSB(cfg)
 		}
 		o.progressf("fig17 base hot=%d\n", total)
-		base := o.run(o.config(core.NoSwitch, lock.NoWait, workers), gen())
+		base := o.run(o.config("noswitch", lock.NoWait, workers), gen())
 		rows = append(rows, fill(Row{
 			Figure: "Figure 17", Workload: "YCSB-A",
 			Series: "No-Switch", X: x, Speedup: 1,
 		}, base))
 		for _, capRows := range capacities {
 			o.progressf("fig17 cap=%d hot=%d\n", capRows, total)
-			cfg := o.config(core.P4DB, lock.NoWait, workers)
+			cfg := o.config("p4db", lock.NoWait, workers)
 			cfg.Switch = pisa.DefaultConfig()
 			cfg.Switch.SlotsPerArray = capRows / (cfg.Switch.Stages * cfg.Switch.ArraysPerStage)
 			g := gen()
@@ -372,13 +372,13 @@ func Fig17(o Options) []Row {
 func Fig18a(o Options) []Row {
 	var rows []Row
 	workers := o.Threads[len(o.Threads)-1]
-	for _, sys := range []core.System{core.NoSwitch, core.P4DB} {
+	for _, sys := range []string{"noswitch", "p4db"} {
 		o.progressf("fig18a %v\n", sys)
 		res := o.run(o.config(sys, lock.NoWait, workers), o.tpcc(o.Nodes, 20))
 		for _, comp := range metrics.Components() {
 			rows = append(rows, Row{
 				Figure: "Figure 18a", Workload: "TPCC 8WH",
-				Series: sys.String(), X: comp.String(),
+				Series: label(sys), X: comp.String(),
 				Value:     latPerTxnUs(&res.Breakdown, comp),
 				MeanLatUs: float64(res.Latency.Mean()) / float64(sim.Microsecond),
 			})
@@ -393,13 +393,13 @@ func Fig18a(o Options) []Row {
 func Fig18b(o Options) []Row {
 	steps := []struct {
 		name string
-		sys  core.System
+		sys  string
 		dist int
 	}{
-		{"Plain 2PL", core.NoSwitch, 80},
-		{"+Opt. Part.", core.NoSwitch, 20},
-		{"+Chiller", core.Chiller, 20},
-		{"+P4DB", core.P4DB, 20},
+		{"Plain 2PL", "noswitch", 80},
+		{"+Opt. Part.", "noswitch", 20},
+		{"+Chiller", "chiller", 20},
+		{"+P4DB", "p4db", 20},
 	}
 	var rows []Row
 	workers := o.Threads[len(o.Threads)-1]

@@ -3,104 +3,78 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/hotset"
 	"repro/internal/layout"
-	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/pisa"
 	"repro/internal/sim"
 	"repro/internal/store"
-	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
-// Node is one database server: its store partition, lock table, WAL and
-// measurement state.
-type Node struct {
-	id    netsim.NodeID
-	store *store.Store
-	locks *lock.Table
-	log   *wal.Log
-	occ   *occState
-
-	counters  metrics.Counters
-	breakdown metrics.Breakdown
-	latency   metrics.Histogram
-}
-
-// ID returns the node id.
-func (n *Node) ID() netsim.NodeID { return n.id }
-
-// Store exposes the node's storage (examples and tests).
-func (n *Node) Store() *store.Store { return n.store }
-
-// Log exposes the node's write-ahead log (recovery).
-func (n *Node) Log() *wal.Log { return n.log }
-
 // Cluster is the whole system under test: nodes, network, switch, the
-// offloaded hot-set and its layout.
+// offloaded hot-set and its layout, driven by the configured execution
+// engine.
 type Cluster struct {
-	cfg   Config
-	env   *sim.Env
-	net   *netsim.Network
-	gen   workload.Generator
-	nodes []*Node
+	cfg Config
+	env *sim.Env
+	gen workload.Generator
+	eng engine.Engine
+	ctx *engine.Context
 
-	sw       *pisa.Switch
-	hotIdx   *hotset.Index
-	layout   *layout.Layout
 	baseline []int64 // switch registers right after offload (recovery base)
-
-	// lmLocks is the in-switch central lock manager of the LM-Switch
-	// baseline, reachable at half an RTT.
-	lmLocks *lock.Table
-
-	nextTS    uint64
-	measuring bool
-	hotLabel  map[store.GlobalKey]bool // tuples classified hot (all systems)
 }
 
 // NewCluster builds and loads the system: it creates the nodes, populates
-// the benchmark's partitions, runs the offline hot-tuple detection, and —
-// for P4DB — computes the declustered layout and offloads the hot tuples
-// into the switch registers.
+// the benchmark's partitions, runs the offline hot-tuple detection and
+// layout computation, and hands the result to the configured engine's
+// Prepare step (which, for P4DB, offloads the hot tuples into the switch
+// registers).
 func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 	if gen.Nodes() != cfg.Nodes {
 		panic(fmt.Sprintf("core: generator partitions %d nodes, config has %d", gen.Nodes(), cfg.Nodes))
 	}
-	env := sim.NewEnv(cfg.Seed)
-	c := &Cluster{
-		cfg: cfg,
-		env: env,
-		net: netsim.New(env, cfg.Nodes, cfg.Latency),
-		gen: gen,
-		sw:  pisa.New(env, cfg.Switch),
+	eng, err := engine.Lookup(cfg.Engine)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
+	env := sim.NewEnv(cfg.Seed)
+	ctx := &engine.Context{
+		Env:       env,
+		Net:       netsim.New(env, cfg.Nodes, cfg.Latency),
+		Sw:        pisa.New(env, cfg.Switch),
+		Gen:       gen,
+		Costs:     cfg.Costs,
+		Scheme:    cfg.Scheme,
+		Policy:    cfg.Policy,
+		SwitchCfg: cfg.Switch,
+	}
+	c := &Cluster{cfg: cfg, env: env, gen: gen, eng: eng, ctx: ctx}
 	stores := make([]*store.Store, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		stores[i] = store.New()
-		c.nodes = append(c.nodes, &Node{
-			id:    netsim.NodeID(i),
-			store: stores[i],
-			locks: lock.NewTable(env, cfg.Policy),
-			log:   wal.NewLog(i),
-			occ:   newOCCState(),
-		})
+		n := engine.NewNode(netsim.NodeID(i), env, cfg.Policy)
+		stores[i] = n.Store()
+		ctx.Nodes = append(ctx.Nodes, n)
 	}
 	gen.Populate(stores)
 
-	c.detectAndOffload()
-	if cfg.System == LMSwitch {
-		c.lmLocks = lock.NewTable(env, cfg.Policy)
+	c.detect()
+	if err := eng.Prepare(ctx); err != nil {
+		panic(fmt.Sprintf("core: engine %q failed to prepare: %v", eng.Name(), err))
+	}
+	if ctx.UseSwitch {
+		c.baseline = ctx.Sw.Snapshot()
 	}
 	return c
 }
 
-// detectAndOffload performs the offline preparation step of Figure 3:
-// replay a workload sample, select the hot-set, compute the data layout
-// and load the switch registers.
-func (c *Cluster) detectAndOffload() {
+// detect performs the strategy-independent part of the offline preparation
+// step of Figure 3: replay a workload sample, select the hot-set and
+// compute the data layout. Loading the switch registers is the P4DB
+// engine's Prepare step.
+func (c *Cluster) detect() {
 	sampleRNG := sim.NewRNG(c.cfg.Seed ^ 0x5EED)
 	samples := make([][]hotset.Access, 0, c.cfg.SampleTxns)
 	for i := 0; i < c.cfg.SampleTxns; i++ {
@@ -122,9 +96,9 @@ func (c *Cluster) detectAndOffload() {
 		hs = hotset.DetectAuto(samples, cap)
 	}
 
-	c.hotLabel = make(map[store.GlobalKey]bool, hs.Size())
+	c.ctx.HotLabel = make(map[store.GlobalKey]bool, hs.Size())
 	for _, k := range hs.Keys() {
-		c.hotLabel[k] = true
+		c.ctx.HotLabel[k] = true
 	}
 
 	spec := layout.Spec{
@@ -138,21 +112,8 @@ func (c *Cluster) detectAndOffload() {
 	} else {
 		l = refineLayout(hs, samples, spec)
 	}
-	c.layout = l
-	c.hotIdx = hotset.BuildIndex(hs, l)
-
-	if c.cfg.System == P4DB {
-		// Load current tuple values into the assigned registers.
-		for _, tid := range l.Tuples() {
-			gk := store.GlobalKey(tid)
-			table, field, key := gk.SplitField()
-			home := c.gen.Home(table, key)
-			v := c.nodes[home].store.Table(table).Get(key, field)
-			s, _ := l.SlotOf(tid)
-			c.sw.WriteRegister(s.Stage, s.Array, s.Index, v)
-		}
-		c.baseline = c.sw.Snapshot()
-	}
+	c.ctx.Layout = l
+	c.ctx.HotIdx = hotset.BuildIndex(hs, l)
 }
 
 // refineLayout is the profile-guided step of the layout algorithm: the
@@ -206,43 +167,40 @@ func refineLayout(hs *hotset.HotSet, samples [][]hotset.Access, spec layout.Spec
 func (c *Cluster) Env() *sim.Env { return c.env }
 
 // Switch returns the switch model.
-func (c *Cluster) Switch() *pisa.Switch { return c.sw }
+func (c *Cluster) Switch() *pisa.Switch { return c.ctx.Sw }
 
 // Node returns node i.
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+func (c *Cluster) Node(i int) *Node { return c.ctx.Nodes[i] }
 
 // HotIndex returns the replicated hot index.
-func (c *Cluster) HotIndex() *hotset.Index { return c.hotIdx }
+func (c *Cluster) HotIndex() *hotset.Index { return c.ctx.HotIdx }
 
 // Layout returns the computed switch layout.
-func (c *Cluster) Layout() *layout.Layout { return c.layout }
+func (c *Cluster) Layout() *layout.Layout { return c.ctx.Layout }
 
 // Baseline returns the switch register snapshot taken right after the
-// offload (the recovery base state).
+// offload (the recovery base state); nil for engines that leave the
+// switch registers unused.
 func (c *Cluster) Baseline() []int64 { return c.baseline }
 
-// onSwitch reports whether an operation's tuple lives on the switch.
-func (c *Cluster) onSwitch(op workload.Op) bool {
-	return c.cfg.System == P4DB && c.hotIdx.OnSwitch(op.TupleKey())
-}
+// Engine returns the execution strategy the cluster runs.
+func (c *Cluster) Engine() engine.Engine { return c.eng }
 
-// isHotTuple reports whether the tuple was classified hot by detection
-// (independent of whether it fits on the switch); baselines use this for
-// LM-Switch lock placement and Chiller's inner region.
-func (c *Cluster) isHotTuple(op workload.Op) bool {
-	return c.hotLabel[op.TupleKey()]
-}
+// EngineContext exposes the shared engine substrate (tests and drivers
+// that execute transactions outside the closed worker loop).
+func (c *Cluster) EngineContext() *engine.Context { return c.ctx }
 
 // Result is the outcome of a measured run.
 type Result struct {
-	System     System
-	Workload   string
-	Duration   sim.Time
-	Counters   metrics.Counters
-	Breakdown  metrics.Breakdown
-	Latency    metrics.Histogram
-	SwitchTxns int64
-	Recircs    int64
+	Engine      string // engine registry name, e.g. "p4db" (valid as Config.Engine)
+	EngineLabel string // the engine's display label, e.g. "P4DB"
+	Workload    string
+	Duration    sim.Time
+	Counters    metrics.Counters
+	Breakdown   metrics.Breakdown
+	Latency     metrics.Histogram
+	SwitchTxns  int64
+	Recircs     int64
 }
 
 // Throughput returns committed transactions per (virtual) second.
@@ -257,31 +215,32 @@ func (r *Result) Throughput() float64 {
 // measure virtual time and returns the measured-window result. The
 // environment is shut down afterwards; a Cluster is single-use.
 func (c *Cluster) Run(warmup, measure sim.Time) *Result {
-	for _, n := range c.nodes {
+	for _, n := range c.ctx.Nodes {
 		n := n
 		for w := 0; w < c.cfg.WorkersPerNode; w++ {
-			rng := c.env.Rand().Fork(uint64(n.id)<<16 | uint64(w))
-			c.env.Spawn(fmt.Sprintf("worker-%d-%d", n.id, w), func(p *sim.Proc) {
-				c.workerLoop(p, n, rng)
+			rng := c.env.Rand().Fork(uint64(n.ID())<<16 | uint64(w))
+			c.env.Spawn(fmt.Sprintf("worker-%d-%d", n.ID(), w), func(p *sim.Proc) {
+				c.ctx.RunWorker(p, c.eng, n, rng)
 			})
 		}
 	}
 	c.env.RunUntil(warmup)
-	c.measuring = true
-	swBefore := c.sw.Stats
+	c.ctx.SetMeasuring(true)
+	swBefore := c.ctx.Sw.Stats
 	c.env.RunUntil(warmup + measure)
-	c.measuring = false
+	c.ctx.SetMeasuring(false)
 	res := &Result{
-		System:     c.cfg.System,
-		Workload:   c.gen.Name(),
-		Duration:   measure,
-		SwitchTxns: c.sw.Stats.Txns - swBefore.Txns,
-		Recircs:    c.sw.Stats.Recircs - swBefore.Recircs,
+		Engine:      c.eng.Name(),
+		EngineLabel: c.eng.Label(),
+		Workload:    c.gen.Name(),
+		Duration:    measure,
+		SwitchTxns:  c.ctx.Sw.Stats.Txns - swBefore.Txns,
+		Recircs:     c.ctx.Sw.Stats.Recircs - swBefore.Recircs,
 	}
-	for _, n := range c.nodes {
-		res.Counters.Merge(&n.counters)
-		res.Breakdown.Merge(&n.breakdown)
-		res.Latency.Merge(&n.latency)
+	for _, n := range c.ctx.Nodes {
+		res.Counters.Merge(n.Counters())
+		res.Breakdown.Merge(n.Breakdown())
+		res.Latency.Merge(n.Latency())
 	}
 	c.env.Shutdown()
 	return res

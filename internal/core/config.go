@@ -1,96 +1,44 @@
-// Package core is P4DB itself: the distributed transaction engine that
-// exposes a programmable switch as an additional database node for hot
-// tuples (Sections 3, 5 and 6 of the paper), plus the evaluation baselines
-// (No-Switch, LM-Switch, Chiller-style early lock release).
-//
-// A Cluster wires together every substrate — the discrete-event simulator,
-// the rack network, the PISA switch model, per-node stores, lock tables
-// and write-ahead logs — performs the offline offload step (hot-set
-// detection, declustered layout, register loading) and runs closed-loop
-// worker processes that generate, classify and execute transactions:
-//
-//   - hot transactions compile to one switch packet and execute abort-free
-//     in the data plane;
-//   - cold transactions run under two-phase locking with 2PC when
-//     distributed;
-//   - warm transactions execute their cold part first and trigger the
-//     switch sub-transaction inside the combined Decision&Switch commit
-//     phase (Figure 10).
 package core
 
 import (
+	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/netsim"
 	"repro/internal/pisa"
-	"repro/internal/sim"
 	"repro/internal/store"
 )
 
-// System selects which of the paper's systems the cluster runs.
-type System int
-
-// Systems under evaluation.
-const (
-	// NoSwitch is the traditional distributed DBMS baseline: the switch
-	// only forwards packets.
-	NoSwitch System = iota
-	// P4DB offloads hot tuples to the switch and executes hot/warm
-	// transactions through it.
-	P4DB
-	// LMSwitch uses the switch only as a central lock manager for hot
-	// tuples (the NetLock-style baseline of Section 7.1).
-	LMSwitch
-	// Chiller is the contention-centric 2PL scheme of Figure 18b: hot
-	// operations execute in a late inner region with early lock release.
-	Chiller
+// The concurrency-control vocabulary lives in internal/engine with the
+// strategies that use it; core re-exports it so cluster configuration
+// stays a single import.
+type (
+	// CostModel holds the per-operation CPU costs of a database node.
+	CostModel = engine.CostModel
+	// CCScheme selects the host DBMS's concurrency control family.
+	CCScheme = engine.CCScheme
+	// Node is one database server: its store partition, lock table, WAL
+	// and measurement state.
+	Node = engine.Node
 )
 
-// String returns the paper's name for the system.
-func (s System) String() string {
-	switch s {
-	case NoSwitch:
-		return "No-Switch"
-	case P4DB:
-		return "P4DB"
-	case LMSwitch:
-		return "LM-Switch"
-	case Chiller:
-		return "Chiller"
-	default:
-		return "System(?)"
-	}
-}
-
-// CostModel holds the per-operation CPU costs of a database node on the
-// virtual timeline. They are small next to network latencies, as on the
-// paper's DPDK testbed.
-type CostModel struct {
-	// LocalAccess is one tuple read/write in local memory.
-	LocalAccess sim.Time
-	// LockOp is one lock-table operation (acquire attempt or release).
-	LockOp sim.Time
-	// LogAppend is one write-ahead-log append.
-	LogAppend sim.Time
-	// TxnOverhead is the fixed begin/commit bookkeeping per transaction.
-	TxnOverhead sim.Time
-	// AbortBackoff is the mean randomized backoff before a retry.
-	AbortBackoff sim.Time
-}
+// Schemes.
+const (
+	// CC2PL is pessimistic two-phase locking (the paper's main setup).
+	CC2PL = engine.CC2PL
+	// CCOCC is backward-validation optimistic CC (Appendix A.4).
+	CCOCC = engine.CCOCC
+)
 
 // DefaultCosts returns the calibrated node cost model.
-func DefaultCosts() CostModel {
-	return CostModel{
-		LocalAccess:  200 * sim.Nanosecond,
-		LockOp:       100 * sim.Nanosecond,
-		LogAppend:    300 * sim.Nanosecond,
-		TxnOverhead:  1500 * sim.Nanosecond,
-		AbortBackoff: 5 * sim.Microsecond,
-	}
-}
+func DefaultCosts() CostModel { return engine.DefaultCosts() }
 
 // Config describes one cluster under test.
 type Config struct {
-	System         System
+	// Engine names the execution strategy, resolved in the engine
+	// registry: "p4db", "noswitch", "lmswitch", "chiller" or "occ" (see
+	// engine.Names for the live list). New strategies become selectable
+	// here by registering themselves — no core change required.
+	Engine         string
 	Nodes          int
 	WorkersPerNode int
 	Policy         lock.Policy
@@ -121,11 +69,11 @@ type Config struct {
 	Seed uint64
 }
 
-// DefaultConfig returns the paper's standard setup: 8 nodes, NO_WAIT, the
-// default switch and latency models.
+// DefaultConfig returns the paper's standard setup: P4DB on 8 nodes,
+// NO_WAIT, the default switch and latency models.
 func DefaultConfig() Config {
 	return Config{
-		System:         P4DB,
+		Engine:         "p4db",
 		Nodes:          8,
 		WorkersPerNode: 20,
 		Policy:         lock.NoWait,

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/pisa"
 	"repro/internal/sim"
@@ -13,9 +14,9 @@ import (
 )
 
 // smallConfig returns a fast-to-simulate cluster for tests.
-func smallConfig(sys System) Config {
+func smallConfig(eng string) Config {
 	cfg := DefaultConfig()
-	cfg.System = sys
+	cfg.Engine = eng
 	cfg.Nodes = 4
 	cfg.WorkersPerNode = 6
 	cfg.Switch.SlotsPerArray = 256
@@ -37,7 +38,7 @@ func runShort(t *testing.T, cfg Config, gen workload.Generator) *Result {
 }
 
 func TestP4DBRunsYCSB(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	res := runShort(t, cfg, ycsbGen(cfg, 50))
 	if res.Counters.Committed() == 0 {
 		t.Fatal("nothing committed")
@@ -58,7 +59,7 @@ func TestP4DBRunsYCSB(t *testing.T) {
 }
 
 func TestP4DBHotOnlyIsAbortFree(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	wcfg := workload.YCSBWorkloadA(cfg.Nodes)
 	wcfg.HotTxnPct = 100
 	wcfg.RowsPerNode = 1 << 20
@@ -72,7 +73,7 @@ func TestP4DBHotOnlyIsAbortFree(t *testing.T) {
 }
 
 func TestNoSwitchAbortsUnderContention(t *testing.T) {
-	cfg := smallConfig(NoSwitch)
+	cfg := smallConfig("noswitch")
 	cfg.WorkersPerNode = 12
 	res := runShort(t, cfg, ycsbGen(cfg, 50))
 	if res.Counters.Committed() == 0 {
@@ -87,7 +88,7 @@ func TestNoSwitchAbortsUnderContention(t *testing.T) {
 // on a skewed update-heavy workload.
 func TestHeadlineClaim(t *testing.T) {
 	var thr [2]float64
-	for i, sys := range []System{NoSwitch, P4DB} {
+	for i, sys := range []string{"noswitch", "p4db"} {
 		cfg := smallConfig(sys)
 		cfg.WorkersPerNode = 12
 		res := runShort(t, cfg, ycsbGen(cfg, 50))
@@ -102,13 +103,13 @@ func TestHeadlineClaim(t *testing.T) {
 }
 
 func TestLMSwitchRunsAndGainsLittle(t *testing.T) {
-	cfg := smallConfig(LMSwitch)
+	cfg := smallConfig("lmswitch")
 	cfg.WorkersPerNode = 12
 	lm := runShort(t, cfg, ycsbGen(cfg, 50))
 	if lm.Counters.Committed() == 0 {
 		t.Fatal("LM-Switch committed nothing")
 	}
-	cfgP := smallConfig(P4DB)
+	cfgP := smallConfig("p4db")
 	cfgP.WorkersPerNode = 12
 	p4 := runShort(t, cfgP, ycsbGen(cfgP, 50))
 	if lm.Throughput() >= p4.Throughput() {
@@ -117,7 +118,7 @@ func TestLMSwitchRunsAndGainsLittle(t *testing.T) {
 }
 
 func TestChillerRuns(t *testing.T) {
-	cfg := smallConfig(Chiller)
+	cfg := smallConfig("chiller")
 	res := runShort(t, cfg, ycsbGen(cfg, 50))
 	if res.Counters.Committed() == 0 {
 		t.Fatal("Chiller committed nothing")
@@ -126,7 +127,7 @@ func TestChillerRuns(t *testing.T) {
 
 func TestBothPoliciesRun(t *testing.T) {
 	for _, pol := range []lock.Policy{lock.NoWait, lock.WaitDie} {
-		cfg := smallConfig(NoSwitch)
+		cfg := smallConfig("noswitch")
 		cfg.Policy = pol
 		res := runShort(t, cfg, ycsbGen(cfg, 50))
 		if res.Counters.Committed() == 0 {
@@ -139,7 +140,7 @@ func TestBothPoliciesRun(t *testing.T) {
 // debits are constrained writes, so under serializable execution no
 // balance — on the nodes or in the switch registers — can end up negative.
 func TestSmallBankNoNegativeBalances(t *testing.T) {
-	for _, sys := range []System{NoSwitch, P4DB, Chiller} {
+	for _, sys := range []string{"noswitch", "p4db", "chiller"} {
 		cfg := smallConfig(sys)
 		sbc := workload.DefaultSmallBank(cfg.Nodes, 5)
 		sbc.AccountsPerNode = 500
@@ -155,7 +156,7 @@ func TestSmallBankNoNegativeBalances(t *testing.T) {
 				for _, k := range st.Table(tb).Keys() {
 					// Skip tuples that moved to the switch: their node
 					// copy is stale by design.
-					if sys == P4DB && c.HotIndex().OnSwitch(store.GlobalField(tb, 0, k)) {
+					if sys == "p4db" && c.HotIndex().OnSwitch(store.GlobalField(tb, 0, k)) {
 						continue
 					}
 					if v := st.Table(tb).Get(k, 0); v < 0 {
@@ -164,7 +165,7 @@ func TestSmallBankNoNegativeBalances(t *testing.T) {
 				}
 			}
 		}
-		if sys == P4DB {
+		if sys == "p4db" {
 			for _, tid := range c.Layout().Tuples() {
 				s, _ := c.Layout().SlotOf(tid)
 				if v := c.Switch().ReadRegister(s.Stage, s.Array, s.Index); v < 0 {
@@ -176,7 +177,7 @@ func TestSmallBankNoNegativeBalances(t *testing.T) {
 }
 
 func TestTPCCWarmTransactions(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	gen := workload.NewTPCC(workload.DefaultTPCC(cfg.Nodes, 8))
 	res := runShort(t, cfg, gen)
 	if res.Counters.CommittedWarm == 0 {
@@ -188,7 +189,7 @@ func TestTPCCWarmTransactions(t *testing.T) {
 }
 
 func TestOffloadLoadsValues(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	sbc := workload.DefaultSmallBank(cfg.Nodes, 5)
 	sbc.AccountsPerNode = 200
 	gen := workload.NewSmallBank(sbc)
@@ -213,7 +214,7 @@ func TestOffloadLoadsValues(t *testing.T) {
 }
 
 func TestHotSetDetectionFindsConfiguredHotTuples(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	gen := ycsbGen(cfg, 50)
 	c := NewCluster(cfg, gen)
 	want := gen.HotCandidates()
@@ -230,7 +231,7 @@ func TestHotSetDetectionFindsConfiguredHotTuples(t *testing.T) {
 }
 
 func TestCapacityCapSpills(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	cfg.HotSetCap = 20 // fewer than the 4*50 configured hot keys
 	gen := ycsbGen(cfg, 50)
 	c := NewCluster(cfg, gen)
@@ -246,7 +247,7 @@ func TestCapacityCapSpills(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() int64 {
-		cfg := smallConfig(P4DB)
+		cfg := smallConfig("p4db")
 		res := runShort(t, cfg, ycsbGen(cfg, 50))
 		return res.Counters.Committed()
 	}
@@ -259,7 +260,7 @@ func TestDeterminism(t *testing.T) {
 // TestSwitchRecoveryEndToEnd drives hot transactions to completion, then
 // crashes the switch and reconstructs its state from the node WALs.
 func TestSwitchRecoveryEndToEnd(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	sbc := workload.DefaultSmallBank(cfg.Nodes, 5)
 	sbc.AccountsPerNode = 200
 	sbc.HotTxnPct = 100
@@ -274,10 +275,10 @@ func TestSwitchRecoveryEndToEnd(t *testing.T) {
 		c.Env().Spawn("driver", func(p *sim.Proc) {
 			for k := 0; k < 50; k++ {
 				txn := gen.Next(rng, n.ID())
-				if c.classify(txn) != classHot {
+				if c.EngineContext().Classify(txn) != engine.ClassHot {
 					continue
 				}
-				c.execHot(p, n, txn)
+				c.EngineContext().ExecHot(p, n, txn)
 			}
 		})
 	}

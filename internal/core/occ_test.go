@@ -8,14 +8,14 @@ import (
 	"repro/internal/workload"
 )
 
-func occConfig(sys System) Config {
-	cfg := smallConfig(sys)
+func occConfig(eng string) Config {
+	cfg := smallConfig(eng)
 	cfg.Scheme = CCOCC
 	return cfg
 }
 
 func TestOCCRunsYCSB(t *testing.T) {
-	cfg := occConfig(NoSwitch)
+	cfg := occConfig("noswitch")
 	res := runShort(t, cfg, ycsbGen(cfg, 50))
 	if res.Counters.Committed() == 0 {
 		t.Fatal("OCC committed nothing")
@@ -26,7 +26,7 @@ func TestOCCRunsYCSB(t *testing.T) {
 }
 
 func TestOCCP4DBRunsAllClasses(t *testing.T) {
-	cfg := occConfig(P4DB)
+	cfg := occConfig("p4db")
 	gen := workload.NewTPCC(workload.DefaultTPCC(cfg.Nodes, cfg.Nodes*2))
 	res := runShort(t, cfg, gen)
 	if res.Counters.CommittedWarm == 0 {
@@ -41,7 +41,7 @@ func TestOCCP4DBRunsAllClasses(t *testing.T) {
 // exactly as under 2PL — validation plus pinning makes the read-check-
 // write of constrained ops atomic.
 func TestOCCNoNegativeBalances(t *testing.T) {
-	for _, sys := range []System{NoSwitch, P4DB} {
+	for _, sys := range []string{"noswitch", "p4db"} {
 		cfg := occConfig(sys)
 		sbc := workload.DefaultSmallBank(cfg.Nodes, 5)
 		sbc.AccountsPerNode = 500
@@ -55,7 +55,7 @@ func TestOCCNoNegativeBalances(t *testing.T) {
 			st := c.Node(i).Store()
 			for _, tb := range []store.TableID{workload.SBChecking, workload.SBSavings} {
 				for _, k := range st.Table(tb).Keys() {
-					if sys == P4DB && c.HotIndex().OnSwitch(store.GlobalField(tb, 0, k)) {
+					if sys == "p4db" && c.HotIndex().OnSwitch(store.GlobalField(tb, 0, k)) {
 						continue
 					}
 					if v := st.Table(tb).Get(k, 0); v < 0 {
@@ -71,7 +71,7 @@ func TestOCCNoNegativeBalances(t *testing.T) {
 // there is no concurrency, so OCC validation can never fail and the run
 // must be abort-free.
 func TestOCCSerializableHistory(t *testing.T) {
-	cfg := occConfig(NoSwitch)
+	cfg := occConfig("noswitch")
 	cfg.Nodes = 1
 	cfg.WorkersPerNode = 1
 	sbc := workload.DefaultSmallBank(cfg.Nodes, 3)
@@ -101,17 +101,13 @@ func TestOCCSerializableHistory(t *testing.T) {
 }
 
 func TestOCCVersionsAdvance(t *testing.T) {
-	cfg := occConfig(NoSwitch)
+	cfg := occConfig("noswitch")
 	gen := ycsbGen(cfg, 50)
 	c := NewCluster(cfg, gen)
 	c.Run(500*sim.Microsecond, 2*sim.Millisecond)
 	bumped := 0
 	for i := 0; i < cfg.Nodes; i++ {
-		for _, v := range c.Node(i).occ.versions {
-			if v > 0 {
-				bumped++
-			}
-		}
+		bumped += c.Node(i).OCCVersionsAdvanced()
 	}
 	if bumped == 0 {
 		t.Fatal("no row versions advanced — writes were not installed through OCC")
@@ -120,7 +116,7 @@ func TestOCCVersionsAdvance(t *testing.T) {
 	// between transactions or were unwound; committed/aborted txns always
 	// unpin).
 	for i := 0; i < cfg.Nodes; i++ {
-		if n := len(c.Node(i).occ.pins); n > 10 {
+		if n := c.Node(i).OCCPinsHeld(); n > 10 {
 			t.Fatalf("node %d still holds %d pins after shutdown", i, n)
 		}
 	}
@@ -131,18 +127,12 @@ func TestOCCVersionsAdvance(t *testing.T) {
 func TestOCCvs2PLComparable(t *testing.T) {
 	var thr [2]float64
 	for i, scheme := range []CCScheme{CC2PL, CCOCC} {
-		cfg := smallConfig(NoSwitch)
+		cfg := smallConfig("noswitch")
 		cfg.Scheme = scheme
 		res := runShort(t, cfg, ycsbGen(cfg, 50))
 		thr[i] = res.Throughput()
 	}
 	if thr[0] == 0 || thr[1] == 0 {
 		t.Fatalf("throughputs: 2PL=%.0f OCC=%.0f", thr[0], thr[1])
-	}
-}
-
-func TestCCSchemeStrings(t *testing.T) {
-	if CC2PL.String() != "2PL" || CCOCC.String() != "OCC" {
-		t.Fatal("scheme names wrong")
 	}
 }

@@ -8,10 +8,10 @@ import (
 )
 
 // runShape measures one YCSB-A point for shape tests (4 nodes for speed).
-func runShape(t *testing.T, sys System, workers, distPct, hotPct int) *Result {
+func runShape(t *testing.T, sys string, workers, distPct, hotPct int) *Result {
 	t.Helper()
 	cfg := DefaultConfig()
-	cfg.System = sys
+	cfg.Engine = sys
 	cfg.Nodes = 4
 	cfg.WorkersPerNode = workers
 	cfg.SampleTxns = 15000
@@ -25,8 +25,8 @@ func runShape(t *testing.T, sys System, workers, distPct, hotPct int) *Result {
 
 func speedupAt(t *testing.T, workers, distPct, hotPct int) float64 {
 	t.Helper()
-	ns := runShape(t, NoSwitch, workers, distPct, hotPct)
-	p4 := runShape(t, P4DB, workers, distPct, hotPct)
+	ns := runShape(t, "noswitch", workers, distPct, hotPct)
+	p4 := runShape(t, "p4db", workers, distPct, hotPct)
 	if ns.Throughput() == 0 {
 		t.Fatal("baseline committed nothing")
 	}

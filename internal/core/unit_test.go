@@ -3,46 +3,17 @@ package core
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
-	"repro/internal/txnwire"
 	"repro/internal/workload"
 )
 
-func TestCrossTemperatureDeps(t *testing.T) {
-	hotByKey := func(hotKey uint64) func(workload.Op) bool {
-		return func(op workload.Op) bool { return uint64(op.Key) == hotKey }
-	}
-	// dep within one temperature: fine.
-	txn := &workload.Txn{Ops: []workload.Op{
-		{Key: 1, DependsOn: -1},
-		{Key: 1, DependsOn: 0},
-	}}
-	if crossTemperatureDeps(txn, hotByKey(1)) {
-		t.Fatal("same-temperature dep flagged")
-	}
-	// hot op depending on cold op: cross.
-	txn2 := &workload.Txn{Ops: []workload.Op{
-		{Key: 2, DependsOn: -1},
-		{Key: 1, DependsOn: 0},
-	}}
-	if !crossTemperatureDeps(txn2, hotByKey(1)) {
-		t.Fatal("cross-temperature dep not flagged")
-	}
-	// no deps at all: fine regardless of mix.
-	txn3 := &workload.Txn{Ops: []workload.Op{
-		{Key: 1, DependsOn: -1},
-		{Key: 2, DependsOn: -1},
-	}}
-	if crossTemperatureDeps(txn3, hotByKey(1)) {
-		t.Fatal("independent mixed ops flagged")
-	}
-}
-
 func TestClassifyHotColdWarm(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	gen := ycsbGen(cfg, 50)
 	c := NewCluster(cfg, gen)
 	defer c.Env().Shutdown()
+	ctx := c.EngineContext()
 	hotKey := gen.HotCandidates()[0]
 	table, field, key := hotKey.SplitField()
 	hotOp := workload.Op{Table: table, Key: key, Field: field, Kind: workload.Read, DependsOn: -1}
@@ -50,19 +21,19 @@ func TestClassifyHotColdWarm(t *testing.T) {
 	if !c.HotIndex().OnSwitch(hotOp.TupleKey()) {
 		t.Skip("first hot candidate not detected (sampling variance)")
 	}
-	if got := c.classify(&workload.Txn{Ops: []workload.Op{hotOp}}); got != classHot {
+	if got := ctx.Classify(&workload.Txn{Ops: []workload.Op{hotOp}}); got != engine.ClassHot {
 		t.Fatalf("classify(hot) = %v", got)
 	}
-	if got := c.classify(&workload.Txn{Ops: []workload.Op{coldOp}}); got != classCold {
+	if got := ctx.Classify(&workload.Txn{Ops: []workload.Op{coldOp}}); got != engine.ClassCold {
 		t.Fatalf("classify(cold) = %v", got)
 	}
-	if got := c.classify(&workload.Txn{Ops: []workload.Op{hotOp, coldOp}}); got != classWarm {
+	if got := ctx.Classify(&workload.Txn{Ops: []workload.Op{hotOp, coldOp}}); got != engine.ClassWarm {
 		t.Fatalf("classify(mixed) = %v", got)
 	}
 }
 
 func TestGIDsInLogsAreUniqueAcrossNodes(t *testing.T) {
-	cfg := smallConfig(P4DB)
+	cfg := smallConfig("p4db")
 	wcfg := workload.YCSBWorkloadA(cfg.Nodes)
 	wcfg.HotTxnPct = 100
 	wcfg.RowsPerNode = 1 << 20
@@ -87,40 +58,12 @@ func TestGIDsInLogsAreUniqueAcrossNodes(t *testing.T) {
 	}
 }
 
-func TestSwitchLocksForMirrorsPisa(t *testing.T) {
-	cfg := smallConfig(P4DB)
-	gen := ycsbGen(cfg, 50)
-	c := NewCluster(cfg, gen)
-	defer c.Env().Shutdown()
-	// Low-half instruction -> left lock only.
-	l, r := c.switchLocksFor(instrsAtStages(0, 2))
-	if !l || r {
-		t.Fatalf("low half: left=%v right=%v", l, r)
-	}
-	// High-half instruction -> right lock only.
-	l, r = c.switchLocksFor(instrsAtStages(10, 11))
-	if l || !r {
-		t.Fatalf("high half: left=%v right=%v", l, r)
-	}
-	// Spanning -> both.
-	l, r = c.switchLocksFor(instrsAtStages(0, 11))
-	if !l || !r {
-		t.Fatalf("span: left=%v right=%v", l, r)
-	}
-}
-
-func TestSystemStrings(t *testing.T) {
-	for _, s := range []System{NoSwitch, P4DB, LMSwitch, Chiller} {
-		if s.String() == "" || s.String() == "System(?)" {
-			t.Fatalf("system %d has no name", s)
+func TestUnknownEngineNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster accepted an unregistered engine name")
 		}
-	}
-}
-
-// instrsAtStages builds two read instructions at the given stages.
-func instrsAtStages(a, b uint8) []txnwire.Instr {
-	return []txnwire.Instr{
-		{Op: txnwire.OpRead, Stage: a},
-		{Op: txnwire.OpRead, Stage: b},
-	}
+	}()
+	cfg := smallConfig("no-such-engine")
+	NewCluster(cfg, ycsbGen(cfg, 50))
 }

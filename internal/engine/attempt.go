@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/twopc"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// undoRec is one before-image captured for rollback.
+type undoRec struct {
+	node  netsim.NodeID
+	table store.TableID
+	key   store.Key
+	field int
+	old   int64
+}
+
+// attempt is the state of one execution attempt of one transaction.
+type attempt struct {
+	ts     uint64
+	locks  map[netsim.NodeID]*lock.Txn
+	inner  map[netsim.NodeID]*lock.Txn // Chiller's inner-region locks
+	lm     *lock.Txn                   // LM-Switch central locks
+	undo   []undoRec
+	writes []wal.ColdWrite
+	exec   workload.Executor
+}
+
+func (c *Context) newAttempt() *attempt {
+	c.nextTS++
+	return &attempt{
+		ts:    c.nextTS,
+		locks: make(map[netsim.NodeID]*lock.Txn, 2),
+		exec:  workload.NewExecutor(),
+	}
+}
+
+// lockTxn returns (creating on demand) the attempt's lock context at node.
+func (at *attempt) lockTxn(id netsim.NodeID) *lock.Txn {
+	t, ok := at.locks[id]
+	if !ok {
+		t = lock.NewTxn(at.ts)
+		at.locks[id] = t
+	}
+	return t
+}
+
+// innerTxn returns the Chiller inner-region lock context at node.
+func (at *attempt) innerTxn(id netsim.NodeID) *lock.Txn {
+	if at.inner == nil {
+		at.inner = make(map[netsim.NodeID]*lock.Txn, 2)
+	}
+	t, ok := at.inner[id]
+	if !ok {
+		t = lock.NewTxn(at.ts)
+		at.inner[id] = t
+	}
+	return t
+}
+
+// remoteNodes lists the nodes other than self where the attempt holds
+// (outer) locks — the 2PC participants.
+func (at *attempt) remoteNodes(self netsim.NodeID) []netsim.NodeID {
+	var out []netsim.NodeID
+	for id := range at.locks {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// applyOp executes one operation against a node's store, capturing undo
+// and redo images.
+func (c *Context) applyOp(at *attempt, id netsim.NodeID, op workload.Op) {
+	tb := c.Nodes[id].store.Table(op.Table)
+	if op.Kind.IsWrite() {
+		at.undo = append(at.undo, undoRec{
+			node: id, table: op.Table, key: op.Key, field: op.Field,
+			old: tb.Get(op.Key, op.Field),
+		})
+	}
+	at.exec.Apply(tb, op)
+	if op.Kind.IsWrite() {
+		at.writes = append(at.writes, wal.ColdWrite{
+			Table: op.Table, Key: op.Key, Field: op.Field,
+			Value: tb.Get(op.Key, op.Field),
+		})
+	}
+}
+
+// lockMode maps an operation to its lock mode.
+func lockMode(op workload.Op) lock.Mode {
+	if op.Kind.IsWrite() {
+		return lock.Exclusive
+	}
+	return lock.Shared
+}
+
+// execOps acquires locks and executes the given operations under 2PL,
+// visiting remote nodes over the network. On a lock conflict it rolls the
+// attempt back (releasing everything) and returns the abort error.
+func (c *Context) execOps(p *sim.Proc, n *Node, at *attempt, ops []workload.Op) error {
+	for _, op := range ops {
+		if op.Home == n.id {
+			t0 := p.Now()
+			p.Sleep(c.Costs.LockOp)
+			err := n.locks.Acquire(p, at.lockTxn(n.id), lock.Key(op.LockKey()), lockMode(op))
+			c.charge(n, metrics.LockAcquisition, t0, p)
+			if err != nil {
+				c.abort(p, n, at)
+				return err
+			}
+			t1 := p.Now()
+			p.Sleep(c.Costs.LocalAccess)
+			c.applyOp(at, n.id, op)
+			c.charge(n, metrics.LocalAccess, t1, p)
+			continue
+		}
+		t0 := p.Now()
+		var lerr error
+		op := op
+		c.Net.RPC(p, n.id, op.Home, func() {
+			rn := c.Nodes[op.Home]
+			p.Sleep(c.Costs.LockOp)
+			lerr = rn.locks.Acquire(p, at.lockTxn(op.Home), lock.Key(op.LockKey()), lockMode(op))
+			if lerr == nil {
+				p.Sleep(c.Costs.LocalAccess)
+				c.applyOp(at, op.Home, op)
+			}
+		})
+		c.charge(n, metrics.RemoteAccess, t0, p)
+		if lerr != nil {
+			c.abort(p, n, at)
+			return lerr
+		}
+	}
+	return nil
+}
+
+// abort rolls back every write of the attempt and releases all locks.
+// Local state unwinds immediately; remote nodes are notified with one-way
+// messages (their locks stay held for the message latency, as on a real
+// network).
+func (c *Context) abort(p *sim.Proc, n *Node, at *attempt) {
+	byNode := make(map[netsim.NodeID][]undoRec)
+	for _, u := range at.undo {
+		byNode[u.node] = append(byNode[u.node], u)
+	}
+	rollback := func(id netsim.NodeID) {
+		undos := byNode[id]
+		for i := len(undos) - 1; i >= 0; i-- {
+			u := undos[i]
+			c.Nodes[id].store.Table(u.table).Set(u.key, u.field, u.old)
+		}
+	}
+	for id, lt := range at.locks {
+		if id == n.id {
+			rollback(id)
+			n.locks.ReleaseAll(lt)
+			continue
+		}
+		id, lt := id, lt
+		c.Net.Send(n.id, id, func() {
+			rollback(id)
+			c.Nodes[id].locks.ReleaseAll(lt)
+		})
+	}
+	if at.lm != nil {
+		lm := at.lm
+		c.Net.SendToSwitch(n.id, func() { c.LMLocks.ReleaseAll(lm) })
+	}
+}
+
+// execCold executes an entire transaction under 2PL/2PC — the cold path
+// of P4DB and the whole No-Switch baseline. P4DB and Chiller also fall
+// back to it when a transaction's dependencies cross the temperature
+// split.
+func (c *Context) execCold(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	at := c.newAttempt()
+	t0 := p.Now()
+	p.Sleep(c.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+	if err := c.execOps(p, n, at, txn.Ops); err != nil {
+		return err
+	}
+	c.commitCold(p, n, at)
+	return nil
+}
+
+// commitCold commits the attempt's node-side state: single-node commits
+// log and release locally; distributed commits run 2PC over the remote
+// participants.
+func (c *Context) commitCold(p *sim.Proc, n *Node, at *attempt) {
+	t0 := p.Now()
+	remotes := at.remoteNodes(n.id)
+	if len(remotes) == 0 {
+		p.Sleep(c.Costs.LogAppend)
+		n.log.AppendCold(at.ts, at.writes)
+		n.locks.ReleaseAll(at.lockTxn(n.id))
+		c.charge(n, metrics.TxnEngine, t0, p)
+		return
+	}
+	coord := twopc.NewCoordinator(c.Net, n.id)
+	coord.Commit(p, c.coldParticipants(at, remotes))
+	p.Sleep(c.Costs.LogAppend)
+	n.log.AppendCold(at.ts, at.writes)
+	n.locks.ReleaseAll(at.lockTxn(n.id))
+	c.charge(n, metrics.TxnEngine, t0, p)
+}
+
+// coldParticipants builds the 2PC participant handlers for the attempt's
+// remote nodes: prepare appends the participant's log record, commit
+// releases its locks, abort rolls its writes back first.
+func (c *Context) coldParticipants(at *attempt, remotes []netsim.NodeID) []twopc.Participant {
+	parts := make([]twopc.Participant, 0, len(remotes))
+	for _, id := range remotes {
+		id := id
+		rn := c.Nodes[id]
+		parts = append(parts, twopc.Participant{
+			Node: id,
+			Prepare: func(sp *sim.Proc) bool {
+				sp.Sleep(c.Costs.LogAppend)
+				return true
+			},
+			Commit: func(sp *sim.Proc) {
+				rn.locks.ReleaseAll(at.lockTxn(id))
+			},
+			Abort: func(sp *sim.Proc) {
+				for i := len(at.undo) - 1; i >= 0; i-- {
+					u := at.undo[i]
+					if u.node == id {
+						rn.store.Table(u.table).Set(u.key, u.field, u.old)
+					}
+				}
+				rn.locks.ReleaseAll(at.lockTxn(id))
+			},
+		})
+	}
+	return parts
+}

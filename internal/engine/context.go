@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"repro/internal/hotset"
+	"repro/internal/layout"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// CCScheme selects the host DBMS's concurrency control family.
+type CCScheme int
+
+// Schemes.
+const (
+	// CC2PL is pessimistic two-phase locking (the paper's main setup,
+	// with the NO_WAIT / WAIT_DIE policies).
+	CC2PL CCScheme = iota
+	// CCOCC is backward-validation optimistic concurrency control
+	// (Appendix A.4).
+	CCOCC
+)
+
+func (s CCScheme) String() string {
+	if s == CCOCC {
+		return "OCC"
+	}
+	return "2PL"
+}
+
+// CostModel holds the per-operation CPU costs of a database node on the
+// virtual timeline. They are small next to network latencies, as on the
+// paper's DPDK testbed.
+type CostModel struct {
+	// LocalAccess is one tuple read/write in local memory.
+	LocalAccess sim.Time
+	// LockOp is one lock-table operation (acquire attempt or release).
+	LockOp sim.Time
+	// LogAppend is one write-ahead-log append.
+	LogAppend sim.Time
+	// TxnOverhead is the fixed begin/commit bookkeeping per transaction.
+	TxnOverhead sim.Time
+	// AbortBackoff is the mean randomized backoff before a retry.
+	AbortBackoff sim.Time
+}
+
+// DefaultCosts returns the calibrated node cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		LocalAccess:  200 * sim.Nanosecond,
+		LockOp:       100 * sim.Nanosecond,
+		LogAppend:    300 * sim.Nanosecond,
+		TxnOverhead:  1500 * sim.Nanosecond,
+		AbortBackoff: 5 * sim.Microsecond,
+	}
+}
+
+// Node is one database server: its store partition, lock table, WAL and
+// measurement state.
+type Node struct {
+	id    netsim.NodeID
+	store *store.Store
+	locks *lock.Table
+	log   *wal.Log
+	occ   *occState
+
+	counters  metrics.Counters
+	breakdown metrics.Breakdown
+	latency   metrics.Histogram
+}
+
+// NewNode builds a node with an empty store, a lock table under the given
+// policy, a fresh write-ahead log and OCC bookkeeping.
+func NewNode(id netsim.NodeID, env *sim.Env, pol lock.Policy) *Node {
+	return &Node{
+		id:    id,
+		store: store.New(),
+		locks: lock.NewTable(env, pol),
+		log:   wal.NewLog(int(id)),
+		occ:   newOCCState(),
+	}
+}
+
+// ID returns the node id.
+func (n *Node) ID() netsim.NodeID { return n.id }
+
+// Store exposes the node's storage (examples and tests).
+func (n *Node) Store() *store.Store { return n.store }
+
+// Log exposes the node's write-ahead log (recovery).
+func (n *Node) Log() *wal.Log { return n.log }
+
+// Counters exposes the node's commit/abort counters (result merging).
+func (n *Node) Counters() *metrics.Counters { return &n.counters }
+
+// Breakdown exposes the node's latency breakdown (result merging).
+func (n *Node) Breakdown() *metrics.Breakdown { return &n.breakdown }
+
+// Latency exposes the node's latency histogram (result merging).
+func (n *Node) Latency() *metrics.Histogram { return &n.latency }
+
+// OCCVersionsAdvanced counts rows whose OCC version moved past zero —
+// i.e. rows that received at least one committed optimistic write
+// (diagnostics and tests).
+func (n *Node) OCCVersionsAdvanced() int {
+	bumped := 0
+	for _, v := range n.occ.versions {
+		if v > 0 {
+			bumped++
+		}
+	}
+	return bumped
+}
+
+// OCCPinsHeld counts rows currently pinned by validating transactions
+// (diagnostics and tests).
+func (n *Node) OCCPinsHeld() int { return len(n.occ.pins) }
+
+// Context is the shared substrate every engine composes: the simulated
+// cluster hardware (nodes, network, switch), the workload, the hot-set
+// artifacts of the offline preparation step, and the bookkeeping all
+// strategies share (timestamps, measurement gating). internal/core builds
+// one Context per cluster and passes it to every Engine call.
+type Context struct {
+	Env   *sim.Env
+	Net   *netsim.Network
+	Sw    *pisa.Switch
+	Gen   workload.Generator
+	Nodes []*Node
+
+	Costs     CostModel
+	Scheme    CCScheme
+	Policy    lock.Policy
+	SwitchCfg pisa.Config
+
+	// Hot-set artifacts of the offline preparation step (Figure 3).
+	Layout   *layout.Layout
+	HotIdx   *hotset.Index
+	HotLabel map[store.GlobalKey]bool
+
+	// UseSwitch is set by the P4DB engine's Prepare once the hot tuples
+	// are offloaded into the switch registers; only then does OnSwitch
+	// route operations to the data plane.
+	UseSwitch bool
+	// LMLocks is the in-switch central lock manager of the LM-Switch
+	// baseline, reachable at half an RTT (set by its Prepare).
+	LMLocks *lock.Table
+
+	nextTS    uint64
+	measuring bool
+}
+
+// SetMeasuring gates statistics collection: only virtual time spent inside
+// the measurement window is charged to counters and histograms.
+func (c *Context) SetMeasuring(on bool) { c.measuring = on }
+
+// OnSwitch reports whether an operation's tuple lives on the switch.
+func (c *Context) OnSwitch(op workload.Op) bool {
+	return c.UseSwitch && c.HotIdx.OnSwitch(op.TupleKey())
+}
+
+// IsHotTuple reports whether the tuple was classified hot by detection
+// (independent of whether it fits on the switch); baselines use this for
+// LM-Switch lock placement and Chiller's inner region.
+func (c *Context) IsHotTuple(op workload.Op) bool {
+	return c.HotLabel[op.TupleKey()]
+}
+
+// TxnOnHotSet reports whether every operation touches detected-hot tuples.
+func (c *Context) TxnOnHotSet(txn *workload.Txn) bool {
+	for _, op := range txn.Ops {
+		if !c.IsHotTuple(op) {
+			return false
+		}
+	}
+	return true
+}
+
+// Classify assigns the P4DB transaction class (Section 3.2): hot = all
+// tuples on the switch, cold = none, warm = mixed.
+func (c *Context) Classify(txn *workload.Txn) Class {
+	hot, cold := 0, 0
+	for _, op := range txn.Ops {
+		if c.OnSwitch(op) {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	switch {
+	case cold == 0 && hot > 0:
+		return ClassHot
+	case hot == 0:
+		return ClassCold
+	default:
+		return ClassWarm
+	}
+}
+
+// charge attributes elapsed virtual time to a breakdown component.
+func (c *Context) charge(n *Node, comp metrics.Component, since sim.Time, p *sim.Proc) {
+	if c.measuring {
+		n.breakdown.Add(comp, p.Now()-since)
+	}
+}
+
+// RunWorker is one closed-loop worker: generate, execute with retries,
+// account. It never returns; the simulation environment unwinds it at
+// shutdown.
+func (c *Context) RunWorker(p *sim.Proc, eng Engine, n *Node, rng *sim.RNG) {
+	for {
+		txn := c.Gen.Next(rng, n.id)
+		start := p.Now()
+		var cls Class
+		attempts := 0
+		for {
+			var err error
+			cls, err = eng.Execute(c, p, n, txn)
+			if err == nil {
+				break
+			}
+			if c.measuring {
+				n.counters.Aborts++
+			}
+			// Randomized backoff that grows with consecutive failures,
+			// bounded at 8x — standard NO_WAIT retry damping.
+			if attempts < 8 {
+				attempts++
+			}
+			backoff := c.Costs.AbortBackoff/2 + sim.Time(rng.Int63n(int64(c.Costs.AbortBackoff)))
+			p.Sleep(backoff * sim.Time(attempts))
+		}
+		if c.measuring {
+			n.latency.Record(p.Now() - start)
+			n.breakdown.AddTxn()
+			switch cls {
+			case ClassHot:
+				n.counters.CommittedHot++
+			case ClassWarm:
+				n.counters.CommittedWarm++
+			default:
+				// In the baselines a transaction on hot tuples still
+				// counts as a hot transaction for the Figure 12
+				// breakdown, even though it executes on the nodes.
+				if c.TxnOnHotSet(txn) {
+					n.counters.CommittedHot++
+				} else {
+					n.counters.CommittedCold++
+				}
+			}
+		}
+	}
+}

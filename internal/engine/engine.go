@@ -1,0 +1,115 @@
+// Package engine holds the pluggable transaction-execution strategies of
+// the reproduction: P4DB itself (hot/warm/cold transactions through the
+// switch) and the evaluation baselines (No-Switch 2PL/2PC, LM-Switch
+// central locking, Chiller-style regional locking, and the OCC scheme of
+// Appendix A.4).
+//
+// Each strategy implements the Engine interface and registers itself by
+// name in an init function; the cluster in internal/core resolves the
+// configured engine through Lookup and drives it via Execute. The shared
+// machinery every strategy composes — attempt/undo bookkeeping, 2PL lock
+// management, 2PC participant assembly, switch-packet compilation,
+// commit/abort and metrics charging — lives on the Context so adding a new
+// strategy means one new file and one Register call.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Class is the paper's hot/cold/warm transaction classification
+// (Section 3.2). Engines report the class of every committed transaction
+// so the worker loop can account it for the Figure 12 breakdown.
+type Class int
+
+// Classes.
+const (
+	ClassCold Class = iota
+	ClassHot
+	ClassWarm
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCold:
+		return "cold"
+	case ClassHot:
+		return "hot"
+	case ClassWarm:
+		return "warm"
+	default:
+		return "Class(?)"
+	}
+}
+
+// Engine is one transaction-execution strategy. Implementations are
+// stateless singletons: all run state lives on the Context (and its
+// nodes), so one Engine value can serve any number of clusters.
+type Engine interface {
+	// Name is the registry key, e.g. "p4db" or "noswitch".
+	Name() string
+	// Label is the paper's display name, e.g. "P4DB" or "No-Switch".
+	Label() string
+	// Prepare runs once after the cluster performed hot-set detection and
+	// layout computation, before any transaction executes. Strategies use
+	// it to claim the switch (register offload) or build strategy-specific
+	// structures (the LM-Switch central lock table).
+	Prepare(ctx *Context) error
+	// Execute runs one attempt of one transaction from node n. It returns
+	// the transaction's class on commit, or an abort error after rolling
+	// every side effect back; the worker loop retries with backoff.
+	Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Engine)
+)
+
+// Register adds an engine under its Name. It panics on an empty or
+// duplicate name — registration happens in init functions, where a
+// conflict is a programming error.
+func Register(e Engine) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate Register(%q)", name))
+	}
+	registry[name] = e
+}
+
+// Lookup resolves an engine by registry name.
+func Lookup(name string) (Engine, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (available: %v)", name, namesLocked())
+	}
+	return e, nil
+}
+
+// Names lists the registered engine names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,26 @@
+package engine
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func init() { Register(noSwitchEngine{}) }
+
+// noSwitchEngine is the traditional distributed DBMS baseline: the switch
+// only forwards packets, every transaction is cold. The host CC scheme
+// (2PL or OCC) follows the configured Scheme, matching the paper's main
+// setup and the Appendix A.4 ablation.
+type noSwitchEngine struct{}
+
+func (noSwitchEngine) Name() string  { return "noswitch" }
+func (noSwitchEngine) Label() string { return "No-Switch" }
+
+func (noSwitchEngine) Prepare(ctx *Context) error { return nil }
+
+func (noSwitchEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
+	if ctx.Scheme == CCOCC {
+		return ClassCold, ctx.execOCCTxn(p, n, txn)
+	}
+	return ClassCold, ctx.execCold(p, n, txn)
+}

@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"fmt"
@@ -22,25 +22,24 @@ import (
 // For warm transactions the switch sub-transaction is sent between
 // validation and the commit broadcast — the point at which the cold part
 // can no longer abort — exactly as the appendix prescribes.
+//
+// The "occ" engine registered here is the No-Switch baseline forced onto
+// this scheme; the P4DB engine routes its warm/cold paths through the same
+// machinery when the configured Scheme is CCOCC.
 
-// CCScheme selects the host DBMS's concurrency control family.
-type CCScheme int
+func init() { Register(occEngine{}) }
 
-// Schemes.
-const (
-	// CC2PL is pessimistic two-phase locking (the paper's main setup,
-	// with the NO_WAIT / WAIT_DIE policies).
-	CC2PL CCScheme = iota
-	// CCOCC is backward-validation optimistic concurrency control
-	// (Appendix A.4).
-	CCOCC
-)
+// occEngine is the No-Switch baseline running under OCC regardless of the
+// configured Scheme — the registry name for the Appendix A.4 ablation.
+type occEngine struct{}
 
-func (s CCScheme) String() string {
-	if s == CCOCC {
-		return "OCC"
-	}
-	return "2PL"
+func (occEngine) Name() string  { return "occ" }
+func (occEngine) Label() string { return "No-Switch (OCC)" }
+
+func (occEngine) Prepare(ctx *Context) error { return nil }
+
+func (occEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
+	return ClassCold, ctx.execOCCTxn(p, n, txn)
 }
 
 // ErrValidation aborts an OCC transaction whose read set changed (or whose
@@ -73,7 +72,7 @@ type occAttempt struct {
 	pinned  []netsim.NodeID // nodes where the attempt holds pins
 }
 
-func (c *Cluster) newOCCAttempt() *occAttempt {
+func (c *Context) newOCCAttempt() *occAttempt {
 	c.nextTS++
 	return &occAttempt{
 		ts:      c.nextTS,
@@ -152,7 +151,7 @@ func (at *occAttempt) applyOCCOp(n *Node, op workload.Op) {
 			at.buffer(n, op, cur+op.Value)
 		}
 	default:
-		panic(fmt.Sprintf("core: unknown op kind %d", op.Kind))
+		panic(fmt.Sprintf("engine: unknown op kind %d", op.Kind))
 	}
 }
 
@@ -208,14 +207,14 @@ func (at *occAttempt) applyAndUnpin(n *Node) {
 
 // abortOCC releases all pins (nothing was applied yet). Remote nodes are
 // notified asynchronously, like the 2PL abort path.
-func (c *Cluster) abortOCC(n *Node, at *occAttempt) {
+func (c *Context) abortOCC(n *Node, at *occAttempt) {
 	for _, id := range at.pinned {
 		if id == n.id {
-			at.unpin(c.nodes[id])
+			at.unpin(c.Nodes[id])
 			continue
 		}
 		id := id
-		c.net.Send(n.id, id, func() { at.unpin(c.nodes[id]) })
+		c.Net.Send(n.id, id, func() { at.unpin(c.Nodes[id]) })
 	}
 	at.pinned = nil
 }
@@ -223,20 +222,20 @@ func (c *Cluster) abortOCC(n *Node, at *occAttempt) {
 // execOCCOps runs the operations optimistically, visiting remote nodes
 // over the network for their reads (the buffered writes travel with the
 // transaction and are shipped at commit).
-func (c *Cluster) execOCCOps(p *sim.Proc, n *Node, at *occAttempt, ops []workload.Op) {
+func (c *Context) execOCCOps(p *sim.Proc, n *Node, at *occAttempt, ops []workload.Op) {
 	for _, op := range ops {
 		if op.Home == n.id {
 			t0 := p.Now()
-			p.Sleep(c.cfg.Costs.LocalAccess)
+			p.Sleep(c.Costs.LocalAccess)
 			at.applyOCCOp(n, op)
 			c.charge(n, metrics.LocalAccess, t0, p)
 			continue
 		}
 		t0 := p.Now()
 		op := op
-		c.net.RPC(p, n.id, op.Home, func() {
-			p.Sleep(c.cfg.Costs.LocalAccess)
-			at.applyOCCOp(c.nodes[op.Home], op)
+		c.Net.RPC(p, n.id, op.Home, func() {
+			p.Sleep(c.Costs.LocalAccess)
+			at.applyOCCOp(c.Nodes[op.Home], op)
 		})
 		c.charge(n, metrics.RemoteAccess, t0, p)
 	}
@@ -245,14 +244,14 @@ func (c *Cluster) execOCCOps(p *sim.Proc, n *Node, at *occAttempt, ops []workloa
 // occParticipants builds the 2PC participants for the attempt's remote
 // nodes: prepare = validate + pin (+ log), commit = apply + unpin, abort =
 // unpin.
-func (c *Cluster) occParticipants(at *occAttempt, remotes []netsim.NodeID) []twopc.Participant {
+func (c *Context) occParticipants(at *occAttempt, remotes []netsim.NodeID) []twopc.Participant {
 	parts := make([]twopc.Participant, 0, len(remotes))
 	for _, id := range remotes {
-		rn := c.nodes[id]
+		rn := c.Nodes[id]
 		parts = append(parts, twopc.Participant{
 			Node: id,
 			Prepare: func(sp *sim.Proc) bool {
-				sp.Sleep(c.cfg.Costs.LogAppend)
+				sp.Sleep(c.Costs.LogAppend)
 				return at.validateAndPin(rn)
 			},
 			Commit: func(sp *sim.Proc) { at.applyAndUnpin(rn) },
@@ -284,10 +283,10 @@ func (at *occAttempt) remoteOCCNodes(self netsim.NodeID) []netsim.NodeID {
 }
 
 // execOCCTxn executes an entire cold transaction under OCC.
-func (c *Cluster) execOCCTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
+func (c *Context) execOCCTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	at := c.newOCCAttempt()
 	t0 := p.Now()
-	p.Sleep(c.cfg.Costs.TxnOverhead)
+	p.Sleep(c.Costs.TxnOverhead)
 	c.charge(n, metrics.TxnEngine, t0, p)
 	c.execOCCOps(p, n, at, txn.Ops)
 
@@ -300,17 +299,17 @@ func (c *Cluster) execOCCTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	}
 	remotes := at.remoteOCCNodes(n.id)
 	if len(remotes) == 0 {
-		p.Sleep(c.cfg.Costs.LogAppend)
+		p.Sleep(c.Costs.LogAppend)
 		n.log.AppendCold(at.ts, at.writes)
 		at.applyAndUnpin(n)
 		return nil
 	}
-	coord := twopc.NewCoordinator(c.net, n.id)
+	coord := twopc.NewCoordinator(c.Net, n.id)
 	if !coord.Commit(p, c.occParticipants(at, remotes)) {
 		c.abortOCC(n, at)
 		return ErrValidation
 	}
-	p.Sleep(c.cfg.Costs.LogAppend)
+	p.Sleep(c.Costs.LogAppend)
 	n.log.AppendCold(at.ts, at.writes)
 	at.applyAndUnpin(n)
 	return nil
@@ -320,18 +319,18 @@ func (c *Cluster) execOCCTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
 // cold part validates (so it cannot abort anymore), then the switch
 // sub-transaction runs inside the combined Decision&Switch phase, and the
 // cold writes apply when the multicast decision arrives.
-func (c *Cluster) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
-	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.onSwitch(op) }) {
+func (c *Context) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.OnSwitch(op) }) {
 		return c.execOCCTxn(p, n, txn)
 	}
 	at := c.newOCCAttempt()
 	t0 := p.Now()
-	p.Sleep(c.cfg.Costs.TxnOverhead)
+	p.Sleep(c.Costs.TxnOverhead)
 	c.charge(n, metrics.TxnEngine, t0, p)
 
 	var coldOps, hotOps []workload.Op
 	for _, op := range txn.Ops {
-		if c.onSwitch(op) {
+		if c.OnSwitch(op) {
 			hotOps = append(hotOps, op)
 		} else {
 			coldOps = append(coldOps, op)
@@ -349,7 +348,7 @@ func (c *Cluster) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	// cold part is certain to commit.
 	t1 := p.Now()
 	remotes := at.remoteOCCNodes(n.id)
-	coord := twopc.NewCoordinator(c.net, n.id)
+	coord := twopc.NewCoordinator(c.Net, n.id)
 	parts := c.occParticipants(at, remotes)
 	if len(remotes) > 0 && !coord.Prepare(p, parts) {
 		coord.Finish(p, parts, false)
@@ -358,18 +357,18 @@ func (c *Cluster) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
 		return ErrValidation
 	}
 	pkt, passes := c.compileHot(hotOps, at.ts)
-	p.Sleep(c.cfg.Costs.LogAppend)
+	p.Sleep(c.Costs.LogAppend)
 	rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
 	coord.SwitchPhase(p, parts, func(sub *sim.Proc) {
-		resp, xerr := c.sw.Exec(sub, pkt)
+		resp, xerr := c.Sw.Exec(sub, pkt)
 		if xerr != nil {
-			panic(fmt.Sprintf("core: switch rejected warm OCC packet: %v", xerr))
+			panic(fmt.Sprintf("engine: switch rejected warm OCC packet: %v", xerr))
 		}
 		rec.Complete(resp)
 	})
 	c.charge(n, metrics.SwitchTxn, t1, p)
 	t2 := p.Now()
-	p.Sleep(c.cfg.Costs.LogAppend)
+	p.Sleep(c.Costs.LogAppend)
 	n.log.AppendCold(at.ts, at.writes)
 	at.applyAndUnpin(n)
 	c.charge(n, metrics.TxnEngine, t2, p)

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/twopc"
+	"repro/internal/workload"
+)
+
+func init() { Register(p4dbEngine{}) }
+
+// p4dbEngine is P4DB itself (Sections 3, 5 and 6): hot transactions
+// compile to one switch packet and execute abort-free in the data plane;
+// cold transactions run under the host CC scheme (2PL or OCC, per the
+// configured Scheme); warm transactions execute their cold part first and
+// trigger the switch sub-transaction inside the combined Decision&Switch
+// commit phase (Figure 10).
+type p4dbEngine struct{}
+
+func (p4dbEngine) Name() string  { return "p4db" }
+func (p4dbEngine) Label() string { return "P4DB" }
+
+// Prepare offloads the detected hot tuples into the switch registers:
+// current tuple values are loaded from their home nodes into the slots the
+// declustered layout assigned (the last step of Figure 3).
+func (p4dbEngine) Prepare(ctx *Context) error {
+	ctx.UseSwitch = true
+	for _, tid := range ctx.Layout.Tuples() {
+		gk := store.GlobalKey(tid)
+		table, field, key := gk.SplitField()
+		home := ctx.Gen.Home(table, key)
+		v := ctx.Nodes[home].store.Table(table).Get(key, field)
+		s, _ := ctx.Layout.SlotOf(tid)
+		ctx.Sw.WriteRegister(s.Stage, s.Array, s.Index, v)
+	}
+	return nil
+}
+
+func (p4dbEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
+	cls := ctx.Classify(txn)
+	switch cls {
+	case ClassHot:
+		ctx.ExecHot(p, n, txn)
+		return ClassHot, nil
+	case ClassWarm:
+		if ctx.Scheme == CCOCC {
+			return ClassWarm, ctx.execOCCWarm(p, n, txn)
+		}
+		return ClassWarm, ctx.execWarm(p, n, txn)
+	default:
+		if ctx.Scheme == CCOCC {
+			return ClassCold, ctx.execOCCTxn(p, n, txn)
+		}
+		return ClassCold, ctx.execCold(p, n, txn)
+	}
+}
+
+// execWarm executes a warm transaction (Section 6.2): the cold part runs
+// first under 2PL; once it cannot abort anymore, the switch
+// sub-transaction is sent inside the combined Decision&Switch phase and
+// participants commit on the switch's multicast.
+func (c *Context) execWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
+	// The warm scheme runs all cold operations strictly before the switch
+	// sub-transaction, so a dependency that crosses the temperature split
+	// (possible when part of a hot pair spilled off the switch, Figure 17)
+	// cannot be honoured — those transactions fall back to the fully cold
+	// path, like the paper's alternative of keeping such tuples together.
+	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.OnSwitch(op) }) {
+		return c.execCold(p, n, txn)
+	}
+	at := c.newAttempt()
+	t0 := p.Now()
+	p.Sleep(c.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0, p)
+
+	var coldOps, hotOps []workload.Op
+	for _, op := range txn.Ops {
+		if c.OnSwitch(op) {
+			hotOps = append(hotOps, op)
+		} else {
+			coldOps = append(coldOps, op)
+		}
+	}
+	if err := c.execOps(p, n, at, coldOps); err != nil {
+		return err
+	}
+
+	pkt, passes := c.compileHot(hotOps, at.ts)
+	p.Sleep(c.Costs.LogAppend)
+	rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
+
+	t1 := p.Now()
+	remotes := at.remoteNodes(n.id)
+	coord := twopc.NewCoordinator(c.Net, n.id)
+	ok := coord.CommitWithSwitch(p, c.coldParticipants(at, remotes), func(sub *sim.Proc) {
+		resp, xerr := c.Sw.Exec(sub, pkt)
+		if xerr != nil {
+			panic(fmt.Sprintf("engine: switch rejected warm packet: %v", xerr))
+		}
+		rec.Complete(resp)
+	})
+	if !ok {
+		// Cannot happen: participants are already prepared (locks held,
+		// constraints checked) and always vote yes.
+		panic("engine: prepared warm transaction failed to commit")
+	}
+	c.charge(n, metrics.SwitchTxn, t1, p)
+
+	t2 := p.Now()
+	p.Sleep(c.Costs.LogAppend)
+	n.log.AppendCold(at.ts, at.writes)
+	n.locks.ReleaseAll(at.lockTxn(n.id))
+	c.charge(n, metrics.TxnEngine, t2, p)
+	if c.measuring {
+		if passes > 1 {
+			n.counters.MultiPass++
+		} else {
+			n.counters.SinglePass++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The strategies every build of the reproduction registers.
+var wantEngines = []string{"chiller", "lmswitch", "noswitch", "occ", "p4db"}
+
+func TestNamesListsAllRegisteredEngines(t *testing.T) {
+	got := Names()
+	if len(got) < len(wantEngines) {
+		t.Fatalf("Names() = %v, want at least %v", got, wantEngines)
+	}
+	have := make(map[string]bool, len(got))
+	for _, name := range got {
+		have[name] = true
+	}
+	for _, name := range wantEngines {
+		if !have[name] {
+			t.Fatalf("engine %q not registered; have %v", name, got)
+		}
+	}
+}
+
+func TestEveryRegisteredEngineResolves(t *testing.T) {
+	for _, name := range Names() {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Fatalf("Lookup(%q) returned engine named %q", name, e.Name())
+		}
+		if e.Label() == "" {
+			t.Fatalf("engine %q has no display label", name)
+		}
+	}
+}
+
+func TestUnknownNameLookupErrors(t *testing.T) {
+	_, err := Lookup("no-such-engine")
+	if err == nil {
+		t.Fatal("Lookup of unknown engine succeeded")
+	}
+	// The error must help the caller: name it and list what exists.
+	if !strings.Contains(err.Error(), "no-such-engine") || !strings.Contains(err.Error(), "p4db") {
+		t.Fatalf("unhelpful lookup error: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	mustPanic := func(what string, e Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Register accepted %s", what)
+			}
+		}()
+		Register(e)
+	}
+	mustPanic("a duplicate name", p4dbEngine{})
+	mustPanic("an empty name", fakeEngine{})
+}
+
+// fakeEngine is a Register-validation stand-in with an empty name.
+type fakeEngine struct{ Engine }
+
+func (fakeEngine) Name() string { return "" }
+
+func TestClassStrings(t *testing.T) {
+	for cls, want := range map[Class]string{ClassCold: "cold", ClassHot: "hot", ClassWarm: "warm"} {
+		if cls.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", cls, cls.String(), want)
+		}
+	}
+}
+
+func TestCCSchemeStrings(t *testing.T) {
+	if CC2PL.String() != "2PL" || CCOCC.String() != "OCC" {
+		t.Fatal("scheme names wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/txnwire"
+	"repro/internal/workload"
+)
+
+// compileHot turns the hot operations into a switch packet plus its WAL
+// intent instructions.
+func (c *Context) compileHot(ops []workload.Op, ts uint64) (*txnwire.Packet, int) {
+	hops := make([]layout.HotOp, len(ops))
+	for i, op := range ops {
+		hops[i] = layout.HotOp{
+			Tuple:     layout.TupleID(op.TupleKey()),
+			Op:        op.Kind.WireOp(),
+			Operand:   op.Value,
+			DependsOn: op.DependsOn,
+		}
+	}
+	instrs, _, passes, err := layout.Compile(hops, c.Layout)
+	if err != nil {
+		panic(fmt.Sprintf("engine: hot transaction failed to compile: %v", err))
+	}
+	left, right := switchLocksFor(c.SwitchCfg, instrs)
+	pkt := &txnwire.Packet{
+		Header: txnwire.Header{
+			IsMultipass: passes > 1,
+			LockLeft:    left,
+			LockRight:   right,
+			TxnID:       ts,
+		},
+		Instrs: instrs,
+	}
+	return pkt, passes
+}
+
+// switchLocksFor mirrors the switch's lock mapping so the node can fill
+// the packet header (Section 5.4: nodes initialize the processing
+// information).
+func switchLocksFor(cfg pisa.Config, instrs []txnwire.Instr) (left, right bool) {
+	if !cfg.FineLocks {
+		return true, false
+	}
+	half := cfg.Stages / 2
+	for _, in := range instrs {
+		if int(in.Stage) < half {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	return left, right
+}
+
+// sendToSwitch logs the intent, round-trips the packet through the wire
+// codec and the switch, and back-fills the WAL record. Switch transactions
+// cannot abort; they count as committed once logged (Section 6.1).
+func (c *Context) sendToSwitch(p *sim.Proc, n *Node, pkt *txnwire.Packet) *txnwire.Response {
+	p.Sleep(c.Costs.LogAppend)
+	rec := n.log.AppendSwitchIntent(pkt.Header.TxnID, pkt.Instrs)
+	buf, err := txnwire.Encode(pkt)
+	if err != nil {
+		panic(fmt.Sprintf("engine: packet encode: %v", err))
+	}
+	onWire, err := txnwire.Decode(buf)
+	if err != nil {
+		panic(fmt.Sprintf("engine: packet decode: %v", err))
+	}
+	var resp *txnwire.Response
+	c.Net.RPCToSwitch(p, n.id, func() {
+		var xerr error
+		resp, xerr = c.Sw.Exec(p, onWire)
+		if xerr != nil {
+			panic(fmt.Sprintf("engine: switch rejected packet: %v", xerr))
+		}
+	})
+	rec.Complete(resp)
+	return resp
+}
+
+// ExecHot executes a hot transaction entirely on the switch (Section 6.1).
+// It is shared switch machinery (the P4DB engine's hot path and the
+// recovery drivers use it) rather than a per-strategy body.
+func (c *Context) ExecHot(p *sim.Proc, n *Node, txn *workload.Txn) {
+	at := c.newAttempt()
+	t0 := p.Now()
+	p.Sleep(c.Costs.TxnOverhead)
+	pkt, passes := c.compileHot(txn.Ops, at.ts)
+	c.charge(n, metrics.TxnEngine, t0, p)
+	t1 := p.Now()
+	c.sendToSwitch(p, n, pkt)
+	c.charge(n, metrics.SwitchTxn, t1, p)
+	if c.measuring {
+		if passes > 1 {
+			n.counters.MultiPass++
+		} else {
+			n.counters.SinglePass++
+		}
+	}
+}
+
+// crossTemperatureDeps reports whether any operation depends on an
+// operation of the other temperature class.
+func crossTemperatureDeps(txn *workload.Txn, hot func(workload.Op) bool) bool {
+	for _, op := range txn.Ops {
+		if d := op.DependsOn; d >= 0 && d < len(txn.Ops) {
+			if hot(op) != hot(txn.Ops[d]) {
+				return true
+			}
+		}
+	}
+	return false
+}

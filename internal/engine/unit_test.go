@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/pisa"
+	"repro/internal/txnwire"
+	"repro/internal/workload"
+)
+
+func TestCrossTemperatureDeps(t *testing.T) {
+	hotByKey := func(hotKey uint64) func(workload.Op) bool {
+		return func(op workload.Op) bool { return uint64(op.Key) == hotKey }
+	}
+	// dep within one temperature: fine.
+	txn := &workload.Txn{Ops: []workload.Op{
+		{Key: 1, DependsOn: -1},
+		{Key: 1, DependsOn: 0},
+	}}
+	if crossTemperatureDeps(txn, hotByKey(1)) {
+		t.Fatal("same-temperature dep flagged")
+	}
+	// hot op depending on cold op: cross.
+	txn2 := &workload.Txn{Ops: []workload.Op{
+		{Key: 2, DependsOn: -1},
+		{Key: 1, DependsOn: 0},
+	}}
+	if !crossTemperatureDeps(txn2, hotByKey(1)) {
+		t.Fatal("cross-temperature dep not flagged")
+	}
+	// no deps at all: fine regardless of mix.
+	txn3 := &workload.Txn{Ops: []workload.Op{
+		{Key: 1, DependsOn: -1},
+		{Key: 2, DependsOn: -1},
+	}}
+	if crossTemperatureDeps(txn3, hotByKey(1)) {
+		t.Fatal("independent mixed ops flagged")
+	}
+}
+
+// instrsAtStages builds two read instructions at the given stages.
+func instrsAtStages(a, b uint8) []txnwire.Instr {
+	return []txnwire.Instr{
+		{Op: txnwire.OpRead, Stage: a},
+		{Op: txnwire.OpRead, Stage: b},
+	}
+}
+
+func TestSwitchLocksForMirrorsPisa(t *testing.T) {
+	cfg := pisa.DefaultConfig()
+	// Low-half instruction -> left lock only.
+	l, r := switchLocksFor(cfg, instrsAtStages(0, 2))
+	if !l || r {
+		t.Fatalf("low half: left=%v right=%v", l, r)
+	}
+	// High-half instruction -> right lock only.
+	l, r = switchLocksFor(cfg, instrsAtStages(10, 11))
+	if l || !r {
+		t.Fatalf("high half: left=%v right=%v", l, r)
+	}
+	// Spanning -> both.
+	l, r = switchLocksFor(cfg, instrsAtStages(0, 11))
+	if !l || !r {
+		t.Fatalf("span: left=%v right=%v", l, r)
+	}
+	// Coarse locking always takes the single (left) lock.
+	coarse := cfg
+	coarse.FineLocks = false
+	l, r = switchLocksFor(coarse, instrsAtStages(10, 11))
+	if !l || r {
+		t.Fatalf("coarse: left=%v right=%v", l, r)
+	}
+}
