@@ -3,11 +3,19 @@
 //
 // Usage:
 //
-//	p4db-bench [-fig id] [-system names] [-quick] [-measure ms] [-seed n] [-v]
+//	p4db-bench [-fig id] [-system names] [-quick] [-measure ms] [-seed n]
+//	           [-cpuprofile out.prof] [-digest] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
 // 18a, 18b, or "all" (default). The appendix raw-throughput figures 19-21
 // are the txn/s columns of figures 11/13/14.
+//
+// -cpuprofile writes a pprof CPU profile of the sweep for harness
+// optimization work (see the "Profiling the harness" section of the
+// README). -digest prints the SHA-256 digest of the deterministic row
+// fields after the tables — two runs with the same seed and figure set
+// must print the same digest, which makes scheduler refactors checkable
+// end to end.
 //
 // -system selects execution engines by registry name (comma-separated,
 // e.g. -system=p4db,lmswitch,chiller) and replaces the engines the sweep
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,6 +46,8 @@ func main() {
 	threads := flag.String("threads", "", "override thread sweep, e.g. 8,14,20")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	digest := flag.Bool("digest", false, "print the deterministic row digest after the tables")
 	flag.Parse()
 
 	opts := bench.Default()
@@ -78,19 +89,41 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 
-	if *fig == "all" {
-		bench.Print(os.Stdout, bench.All(opts))
-		return
-	}
-	runner, ok := bench.Figures[*fig]
-	if !ok {
-		ids := make([]string, 0, len(bench.Figures))
-		for id := range bench.Figures {
-			ids = append(ids, id)
+	runner := bench.All
+	if *fig != "all" {
+		r, ok := bench.Figures[*fig]
+		if !ok {
+			ids := make([]string, 0, len(bench.Figures))
+			for id := range bench.Figures {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			fmt.Fprintf(os.Stderr, "unknown figure %q; available: %v or all\n", *fig, ids)
+			os.Exit(2)
 		}
-		sort.Strings(ids)
-		fmt.Fprintf(os.Stderr, "unknown figure %q; available: %v or all\n", *fig, ids)
-		os.Exit(2)
+		runner = r
 	}
-	bench.Print(os.Stdout, runner(opts))
+
+	// Start profiling only after every flag is validated: the os.Exit(2)
+	// error paths above would bypass the deferred StopCPUProfile and leave
+	// a corrupt profile behind.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rows := runner(opts)
+	bench.Print(os.Stdout, rows)
+	if *digest {
+		fmt.Printf("\ndigest: %s\n", bench.Digest(rows))
+	}
 }

@@ -12,8 +12,11 @@
 package bench
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -125,6 +128,12 @@ type Row struct {
 	HotFrac    float64 // committed hot transactions / committed
 	MeanLatUs  float64
 	Value      float64 // figure-specific metric (e.g. breakdown µs/txn)
+
+	// EventsPerSec is the harness's wall-clock event throughput for the
+	// run behind this point. Unlike every other field it is not
+	// deterministic (it measures the host, not the simulation), so Digest
+	// excludes it.
+	EventsPerSec float64
 }
 
 // fill derives the common metrics from a result.
@@ -135,7 +144,24 @@ func fill(r Row, res *core.Result) Row {
 		r.HotFrac = float64(res.Counters.CommittedHot) / float64(c)
 	}
 	r.MeanLatUs = float64(res.Latency.Mean()) / float64(sim.Microsecond)
+	r.EventsPerSec = res.EventsPerSec()
 	return r
+}
+
+// Digest hashes the deterministic fields of a row set. Two sweeps with the
+// same seed must produce the same digest — it is the golden-trace check for
+// scheduler refactors. Wall-clock fields (events/sec) are deliberately
+// excluded: they vary run to run without affecting simulated results.
+func Digest(rows []Row) string {
+	h := sha256.New()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%s|%s|%s|%s|%x|%x|%x|%x|%x|%x\n",
+			r.Figure, r.Workload, r.Series, r.X,
+			math.Float64bits(r.Throughput), math.Float64bits(r.Speedup),
+			math.Float64bits(r.AbortRate), math.Float64bits(r.HotFrac),
+			math.Float64bits(r.MeanLatUs), math.Float64bits(r.Value))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Print renders rows as an aligned table.
@@ -148,16 +174,20 @@ func Print(w io.Writer, rows []Row) {
 		if r.Figure != fig {
 			fig = r.Figure
 			fmt.Fprintf(w, "\n== %s ==\n", fig)
-			fmt.Fprintf(w, "%-10s %-28s %-14s %12s %9s %8s %8s %9s\n",
-				"workload", "series", "x", "txn/s", "speedup", "abort%", "hot%", "lat(µs)")
+			fmt.Fprintf(w, "%-10s %-28s %-14s %12s %9s %8s %8s %9s %8s\n",
+				"workload", "series", "x", "txn/s", "speedup", "abort%", "hot%", "lat(µs)", "Mev/s")
 		}
 		speed := "-"
 		if r.Speedup > 0 {
 			speed = fmt.Sprintf("%.2fx", r.Speedup)
 		}
-		fmt.Fprintf(w, "%-10s %-28s %-14s %12.0f %9s %7.1f%% %7.1f%% %9.1f\n",
+		evps := "-"
+		if r.EventsPerSec > 0 {
+			evps = fmt.Sprintf("%.2f", r.EventsPerSec/1e6)
+		}
+		fmt.Fprintf(w, "%-10s %-28s %-14s %12.0f %9s %7.1f%% %7.1f%% %9.1f %8s\n",
 			r.Workload, r.Series, r.X, r.Throughput, speed,
-			100*r.AbortRate, 100*r.HotFrac, r.MeanLatUs)
+			100*r.AbortRate, 100*r.HotFrac, r.MeanLatUs, evps)
 	}
 }
 

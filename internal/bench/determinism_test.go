@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/sim"
+)
+
+// determinismOpts is a reduced quick sweep: small enough to run twice in a
+// unit test, large enough that schedule perturbations (lock grant order,
+// abort patterns, 2PC interleavings) would move the numbers.
+func determinismOpts() Options {
+	o := Quick()
+	o.Threads = []int{8}
+	o.DistPcts = []int{50}
+	o.Samples = 8000
+	o.Warmup = 200 * sim.Microsecond
+	o.Measure = 600 * sim.Microsecond
+	return o
+}
+
+// goldenSweep exercises every execution engine and both CC schemes: Fig01
+// (P4DB + No-Switch over YCSB/SmallBank/TPC-C), Fig11 (LM-Switch), Fig18b
+// (Chiller) and a direct OCC point, so any scheduler reordering anywhere in
+// the stack shows up in the digest.
+func goldenSweep(o Options) []Row {
+	rows := Fig01(o)
+	rows = append(rows, Fig11Contention(o)...)
+	rows = append(rows, Fig18b(o)...)
+	res := o.run(o.config("occ", lock.NoWait, o.Threads[0]), o.ycsb(50, 50, 75))
+	rows = append(rows, fill(Row{Figure: "occ-point", Workload: "YCSB-A", Series: "OCC", X: "8 thr"}, res))
+	return rows
+}
+
+// TestQuickSweepDeterministic is the golden-trace regression guard for the
+// scheduler hot path: one seeded sweep over every engine must produce
+// bit-identical rows (throughput, aborts, latencies, figure values) when it
+// is run twice. Any nondeterminism in the event queue, the callback fast
+// path or the network delivery paths fails this test.
+func TestQuickSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped with -short")
+	}
+	o := determinismOpts()
+	a := Digest(goldenSweep(o))
+	b := Digest(goldenSweep(o))
+	if a != b {
+		t.Fatalf("same seed produced different row digests:\n  first:  %s\n  second: %s", a, b)
+	}
+	t.Logf("golden digest: %s", a)
+}

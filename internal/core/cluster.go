@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/hotset"
@@ -89,6 +90,18 @@ func (c *Cluster) detect() {
 	if c.cfg.HotSetCap > 0 && c.cfg.HotSetCap < cap {
 		cap = c.cfg.HotSetCap
 	}
+
+	// The preparation result is a pure function of (sample, cap, switch
+	// geometry, layout mode, seed); sweep points that only vary workers or
+	// engine share it via the detection cache (see detectcache.go).
+	key := detectKey(c.cfg, samples, cap)
+	if art := lookupDetect(key); art != nil {
+		c.ctx.HotLabel = art.hotLabel
+		c.ctx.Layout = art.layout
+		c.ctx.HotIdx = art.hotIdx
+		return
+	}
+
 	var hs *hotset.HotSet
 	if len(c.cfg.ExplicitHot) > 0 {
 		hs = hotset.FromKeys(c.cfg.ExplicitHot, samples, cap)
@@ -114,6 +127,7 @@ func (c *Cluster) detect() {
 	}
 	c.ctx.Layout = l
 	c.ctx.HotIdx = hotset.BuildIndex(hs, l)
+	storeDetect(key, &detectArtifacts{hotLabel: c.ctx.HotLabel, layout: l, hotIdx: c.ctx.HotIdx})
 }
 
 // refineLayout is the profile-guided step of the layout algorithm: the
@@ -201,6 +215,14 @@ type Result struct {
 	Latency     metrics.Histogram
 	SwitchTxns  int64
 	Recircs     int64
+
+	// Events is the number of simulator events the whole run executed
+	// (warmup + measurement) and WallSeconds the wall-clock time it took:
+	// together they measure the harness itself, not the simulated system.
+	// Wall-clock numbers vary run to run; everything else in a Result is
+	// deterministic for a seed.
+	Events      int64
+	WallSeconds float64
 }
 
 // Throughput returns committed transactions per (virtual) second.
@@ -211,10 +233,20 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Counters.Committed()) / r.Duration.Seconds()
 }
 
+// EventsPerSec returns the scheduler's wall-clock event throughput — the
+// harness speed metric tracked in BENCH_sim.json.
+func (r *Result) EventsPerSec() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.WallSeconds
+}
+
 // Run executes the workload with the configured worker count for warmup +
 // measure virtual time and returns the measured-window result. The
 // environment is shut down afterwards; a Cluster is single-use.
 func (c *Cluster) Run(warmup, measure sim.Time) *Result {
+	wallStart := time.Now()
 	for _, n := range c.ctx.Nodes {
 		n := n
 		for w := 0; w < c.cfg.WorkersPerNode; w++ {
@@ -236,6 +268,8 @@ func (c *Cluster) Run(warmup, measure sim.Time) *Result {
 		Duration:    measure,
 		SwitchTxns:  c.ctx.Sw.Stats.Txns - swBefore.Txns,
 		Recircs:     c.ctx.Sw.Stats.Recircs - swBefore.Recircs,
+		Events:      c.env.Events(),
+		WallSeconds: time.Since(wallStart).Seconds(),
 	}
 	for _, n := range c.ctx.Nodes {
 		res.Counters.Merge(n.Counters())

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/hotset"
+	"repro/internal/layout"
+	"repro/internal/store"
+)
+
+// The offline preparation step (hot-tuple detection + declustered layout)
+// is a pure function of the workload sample and a handful of switch
+// parameters, and it dominated sweep wall-clock: every point of a figure
+// sweep re-derived the identical hot-set and layout while only the worker
+// count or the engine changed. This cache keys the finished artifacts by a
+// content hash of the sample plus every other input, so a sweep computes
+// each distinct preparation exactly once. The cached artifacts (hot-label
+// set, layout, index) are immutable after construction and shared
+// read-only across clusters; cached results are bit-identical to a fresh
+// computation, so seeded sweeps are unaffected.
+
+// detectArtifacts is one cached preparation result.
+type detectArtifacts struct {
+	hotLabel map[store.GlobalKey]bool
+	layout   *layout.Layout
+	hotIdx   *hotset.Index
+}
+
+var detectCache = struct {
+	sync.Mutex
+	m map[[32]byte]*detectArtifacts
+}{m: make(map[[32]byte]*detectArtifacts)}
+
+// detectKey hashes every input the preparation step depends on: the full
+// sample (keys and dependencies), the capacity cap, the switch geometry,
+// the layout mode and the seed (the random-layout RNG derives from it).
+// SHA-256 makes an accidental collision practically impossible, so a cache
+// hit is as trustworthy as recomputing.
+func detectKey(cfg Config, samples [][]hotset.Access, cap int) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w64(cfg.Seed)
+	w64(uint64(cap))
+	w64(uint64(cfg.Switch.Stages))
+	w64(uint64(cfg.Switch.ArraysPerStage))
+	w64(uint64(cfg.Switch.SlotsPerArray))
+	if cfg.RandomLayout {
+		w64(1)
+	} else {
+		w64(0)
+	}
+	w64(uint64(len(cfg.ExplicitHot)))
+	for _, k := range cfg.ExplicitHot {
+		w64(uint64(k))
+	}
+	for _, txn := range samples {
+		w64(uint64(len(txn)))
+		for _, a := range txn {
+			w64(uint64(a.Key))
+			w64(uint64(int64(a.DependsOn)))
+		}
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// lookupDetect returns the cached artifacts for key, if present.
+func lookupDetect(key [32]byte) *detectArtifacts {
+	detectCache.Lock()
+	defer detectCache.Unlock()
+	return detectCache.m[key]
+}
+
+// storeDetect caches artifacts under key. The cache is bounded: a sweep
+// touches a few dozen distinct preparations, so on overflow it simply
+// resets rather than tracking recency.
+func storeDetect(key [32]byte, a *detectArtifacts) {
+	detectCache.Lock()
+	defer detectCache.Unlock()
+	if len(detectCache.m) >= 256 {
+		detectCache.m = make(map[[32]byte]*detectArtifacts)
+	}
+	detectCache.m[key] = a
+}

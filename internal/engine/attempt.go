@@ -111,7 +111,7 @@ func (c *Context) execOps(p *sim.Proc, n *Node, at *attempt, ops []workload.Op) 
 			t0 := p.Now()
 			p.Sleep(c.Costs.LockOp)
 			err := n.locks.Acquire(p, at.lockTxn(n.id), lock.Key(op.LockKey()), lockMode(op))
-			c.charge(n, metrics.LockAcquisition, t0, p)
+			c.charge(n, metrics.LockAcquisition, t0)
 			if err != nil {
 				c.abort(p, n, at)
 				return err
@@ -119,7 +119,7 @@ func (c *Context) execOps(p *sim.Proc, n *Node, at *attempt, ops []workload.Op) 
 			t1 := p.Now()
 			p.Sleep(c.Costs.LocalAccess)
 			c.applyOp(at, n.id, op)
-			c.charge(n, metrics.LocalAccess, t1, p)
+			c.charge(n, metrics.LocalAccess, t1)
 			continue
 		}
 		t0 := p.Now()
@@ -134,7 +134,7 @@ func (c *Context) execOps(p *sim.Proc, n *Node, at *attempt, ops []workload.Op) 
 				c.applyOp(at, op.Home, op)
 			}
 		})
-		c.charge(n, metrics.RemoteAccess, t0, p)
+		c.charge(n, metrics.RemoteAccess, t0)
 		if lerr != nil {
 			c.abort(p, n, at)
 			return lerr
@@ -185,7 +185,7 @@ func (c *Context) execCold(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	at := c.newAttempt()
 	t0 := p.Now()
 	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 	if err := c.execOps(p, n, at, txn.Ops); err != nil {
 		return err
 	}
@@ -203,7 +203,7 @@ func (c *Context) commitCold(p *sim.Proc, n *Node, at *attempt) {
 		p.Sleep(c.Costs.LogAppend)
 		n.log.AppendCold(at.ts, at.writes)
 		n.locks.ReleaseAll(at.lockTxn(n.id))
-		c.charge(n, metrics.TxnEngine, t0, p)
+		c.charge(n, metrics.TxnEngine, t0)
 		return
 	}
 	coord := twopc.NewCoordinator(c.Net, n.id)
@@ -211,7 +211,7 @@ func (c *Context) commitCold(p *sim.Proc, n *Node, at *attempt) {
 	p.Sleep(c.Costs.LogAppend)
 	n.log.AppendCold(at.ts, at.writes)
 	n.locks.ReleaseAll(at.lockTxn(n.id))
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 }
 
 // coldParticipants builds the 2PC participant handlers for the attempt's
@@ -228,10 +228,10 @@ func (c *Context) coldParticipants(at *attempt, remotes []netsim.NodeID) []twopc
 				sp.Sleep(c.Costs.LogAppend)
 				return true
 			},
-			Commit: func(sp *sim.Proc) {
+			Commit: func() {
 				rn.locks.ReleaseAll(at.lockTxn(id))
 			},
-			Abort: func(sp *sim.Proc) {
+			Abort: func() {
 				for i := len(at.undo) - 1; i >= 0; i-- {
 					u := at.undo[i]
 					if u.node == id {

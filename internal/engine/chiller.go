@@ -38,7 +38,7 @@ func (c *Context) execChiller(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	at := c.newAttempt()
 	t0 := p.Now()
 	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 
 	var outer, inner []workload.Op
 	for _, op := range txn.Ops {
@@ -70,7 +70,7 @@ func (c *Context) execChiller(p *sim.Proc, n *Node, txn *workload.Txn) error {
 				p.Sleep(c.Costs.LocalAccess)
 				c.applyOp(at, n.id, op)
 			}
-			c.charge(n, metrics.LockAcquisition, tl, p)
+			c.charge(n, metrics.LockAcquisition, tl)
 		} else {
 			c.Net.RPC(p, n.id, op.Home, func() {
 				p.Sleep(c.Costs.LockOp)
@@ -80,7 +80,7 @@ func (c *Context) execChiller(p *sim.Proc, n *Node, txn *workload.Txn) error {
 					c.applyOp(at, op.Home, op)
 				}
 			})
-			c.charge(n, metrics.RemoteAccess, tl, p)
+			c.charge(n, metrics.RemoteAccess, tl)
 		}
 		if lerr != nil {
 			c.releaseInner(n, at)
@@ -101,7 +101,7 @@ func (c *Context) execChiller(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	p.Sleep(c.Costs.LogAppend)
 	n.log.AppendCold(at.ts, at.writes)
 	n.locks.ReleaseAll(at.lockTxn(n.id))
-	c.charge(n, metrics.TxnEngine, t2, p)
+	c.charge(n, metrics.TxnEngine, t2)
 	return nil
 }
 

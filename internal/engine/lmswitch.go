@@ -36,7 +36,7 @@ func (c *Context) execLM(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	at.lm = lock.NewTxn(at.ts)
 	t0 := p.Now()
 	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 	for _, op := range txn.Ops {
 		if c.IsHotTuple(op) {
 			op := op
@@ -49,7 +49,7 @@ func (c *Context) execLM(p *sim.Proc, n *Node, txn *workload.Txn) error {
 				c.Net.RPCToSwitch(p, n.id, func() {
 					lerr = c.LMLocks.Acquire(p, at.lm, lock.Key(op.LockKey()), lockMode(op))
 				})
-				c.charge(n, metrics.LockAcquisition, tl, p)
+				c.charge(n, metrics.LockAcquisition, tl)
 				if lerr != nil {
 					c.abort(p, n, at)
 					return lerr
@@ -57,7 +57,7 @@ func (c *Context) execLM(p *sim.Proc, n *Node, txn *workload.Txn) error {
 				ta := p.Now()
 				p.Sleep(c.Costs.LocalAccess)
 				c.applyOp(at, n.id, op)
-				c.charge(n, metrics.LocalAccess, ta, p)
+				c.charge(n, metrics.LocalAccess, ta)
 			} else {
 				// Remote data: the request passes through the switch
 				// anyway, so the lock is acquired ON PATH (NetLock's key
@@ -66,7 +66,7 @@ func (c *Context) execLM(p *sim.Proc, n *Node, txn *workload.Txn) error {
 				tl := p.Now()
 				p.Sleep(c.Net.Latency().NodeToSwitch)
 				lerr = c.LMLocks.Acquire(p, at.lm, lock.Key(op.LockKey()), lockMode(op))
-				c.charge(n, metrics.LockAcquisition, tl, p)
+				c.charge(n, metrics.LockAcquisition, tl)
 				if lerr != nil {
 					// The denial still has to travel back to the caller.
 					p.Sleep(c.Net.Latency().NodeToSwitch)
@@ -78,7 +78,7 @@ func (c *Context) execLM(p *sim.Proc, n *Node, txn *workload.Txn) error {
 				p.Sleep(c.Costs.LocalAccess)
 				c.applyOp(at, op.Home, op)
 				p.Sleep(c.Net.Latency().NodeToNode) // home node -> caller
-				c.charge(n, metrics.RemoteAccess, ta, p)
+				c.charge(n, metrics.RemoteAccess, ta)
 				at.lockTxn(op.Home) // 2PC participant (holds writes)
 			}
 			continue

@@ -228,7 +228,7 @@ func (c *Context) execOCCOps(p *sim.Proc, n *Node, at *occAttempt, ops []workloa
 			t0 := p.Now()
 			p.Sleep(c.Costs.LocalAccess)
 			at.applyOCCOp(n, op)
-			c.charge(n, metrics.LocalAccess, t0, p)
+			c.charge(n, metrics.LocalAccess, t0)
 			continue
 		}
 		t0 := p.Now()
@@ -237,7 +237,7 @@ func (c *Context) execOCCOps(p *sim.Proc, n *Node, at *occAttempt, ops []workloa
 			p.Sleep(c.Costs.LocalAccess)
 			at.applyOCCOp(c.Nodes[op.Home], op)
 		})
-		c.charge(n, metrics.RemoteAccess, t0, p)
+		c.charge(n, metrics.RemoteAccess, t0)
 	}
 }
 
@@ -254,8 +254,8 @@ func (c *Context) occParticipants(at *occAttempt, remotes []netsim.NodeID) []two
 				sp.Sleep(c.Costs.LogAppend)
 				return at.validateAndPin(rn)
 			},
-			Commit: func(sp *sim.Proc) { at.applyAndUnpin(rn) },
-			Abort:  func(sp *sim.Proc) { at.unpin(rn) },
+			Commit: func() { at.applyAndUnpin(rn) },
+			Abort:  func() { at.unpin(rn) },
 		})
 	}
 	return parts
@@ -287,11 +287,11 @@ func (c *Context) execOCCTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	at := c.newOCCAttempt()
 	t0 := p.Now()
 	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 	c.execOCCOps(p, n, at, txn.Ops)
 
 	t1 := p.Now()
-	defer c.charge(n, metrics.TxnEngine, t1, p)
+	defer c.charge(n, metrics.TxnEngine, t1)
 	// Local validation first: a cheap early abort.
 	if !at.validateAndPin(n) {
 		c.abortOCC(n, at)
@@ -326,7 +326,7 @@ func (c *Context) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	at := c.newOCCAttempt()
 	t0 := p.Now()
 	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 
 	var coldOps, hotOps []workload.Op
 	for _, op := range txn.Ops {
@@ -353,7 +353,7 @@ func (c *Context) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	if len(remotes) > 0 && !coord.Prepare(p, parts) {
 		coord.Finish(p, parts, false)
 		c.abortOCC(n, at)
-		c.charge(n, metrics.TxnEngine, t1, p)
+		c.charge(n, metrics.TxnEngine, t1)
 		return ErrValidation
 	}
 	pkt, passes := c.compileHot(hotOps, at.ts)
@@ -366,12 +366,12 @@ func (c *Context) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
 		}
 		rec.Complete(resp)
 	})
-	c.charge(n, metrics.SwitchTxn, t1, p)
+	c.charge(n, metrics.SwitchTxn, t1)
 	t2 := p.Now()
 	p.Sleep(c.Costs.LogAppend)
 	n.log.AppendCold(at.ts, at.writes)
 	at.applyAndUnpin(n)
-	c.charge(n, metrics.TxnEngine, t2, p)
+	c.charge(n, metrics.TxnEngine, t2)
 	if c.measuring {
 		if passes > 1 {
 			n.counters.MultiPass++

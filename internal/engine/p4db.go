@@ -74,7 +74,7 @@ func (c *Context) execWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
 	at := c.newAttempt()
 	t0 := p.Now()
 	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 
 	var coldOps, hotOps []workload.Op
 	for _, op := range txn.Ops {
@@ -107,13 +107,13 @@ func (c *Context) execWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
 		// constraints checked) and always vote yes.
 		panic("engine: prepared warm transaction failed to commit")
 	}
-	c.charge(n, metrics.SwitchTxn, t1, p)
+	c.charge(n, metrics.SwitchTxn, t1)
 
 	t2 := p.Now()
 	p.Sleep(c.Costs.LogAppend)
 	n.log.AppendCold(at.ts, at.writes)
 	n.locks.ReleaseAll(at.lockTxn(n.id))
-	c.charge(n, metrics.TxnEngine, t2, p)
+	c.charge(n, metrics.TxnEngine, t2)
 	if c.measuring {
 		if passes > 1 {
 			n.counters.MultiPass++

@@ -92,10 +92,10 @@ func (c *Context) ExecHot(p *sim.Proc, n *Node, txn *workload.Txn) {
 	t0 := p.Now()
 	p.Sleep(c.Costs.TxnOverhead)
 	pkt, passes := c.compileHot(txn.Ops, at.ts)
-	c.charge(n, metrics.TxnEngine, t0, p)
+	c.charge(n, metrics.TxnEngine, t0)
 	t1 := p.Now()
 	c.sendToSwitch(p, n, pkt)
-	c.charge(n, metrics.SwitchTxn, t1, p)
+	c.charge(n, metrics.SwitchTxn, t1)
 	if c.measuring {
 		if passes > 1 {
 			n.counters.MultiPass++

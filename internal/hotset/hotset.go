@@ -34,18 +34,30 @@ type HotSet struct {
 	graph *layout.Graph
 }
 
-// Detect replays the sampled transactions and returns the topK most
-// frequently accessed tuples together with their access graph. Sample
-// transactions that touch both hot and cold tuples contribute their hot
-// subset to the graph (those are exactly the switch sub-transactions warm
-// transactions will run).
-func Detect(samples [][]Access, topK int) *HotSet {
+// countFreq tallies per-tuple access frequencies over the sample.
+func countFreq(samples [][]Access) map[store.GlobalKey]int64 {
 	freq := make(map[store.GlobalKey]int64)
 	for _, txn := range samples {
 		for _, a := range txn {
 			freq[a.Key]++
 		}
 	}
+	return freq
+}
+
+// Detect replays the sampled transactions and returns the topK most
+// frequently accessed tuples together with their access graph. Sample
+// transactions that touch both hot and cold tuples contribute their hot
+// subset to the graph (those are exactly the switch sub-transactions warm
+// transactions will run).
+func Detect(samples [][]Access, topK int) *HotSet {
+	return detectTop(countFreq(samples), samples, topK)
+}
+
+// detectTop is Detect with the frequency tally already computed (DetectAuto
+// needs the tally itself to find the hot/cold gap; recounting the whole
+// sample for the selection pass would double the detection cost).
+func detectTop(freq map[store.GlobalKey]int64, samples [][]Access, topK int) *HotSet {
 	type kf struct {
 		k store.GlobalKey
 		f int64
@@ -75,28 +87,42 @@ func Detect(samples [][]Access, topK int) *HotSet {
 
 	// Second pass: fold the hot subsets of all sampled transactions into
 	// the access graph, remapping dependency indices to the kept subset.
+	// The projection buffers are reused across transactions; AddTxn does
+	// not retain its argument.
+	var kept []layout.Access
+	var remap []int
 	for _, txn := range samples {
-		kept := make([]layout.Access, 0, len(txn))
-		remap := make([]int, len(txn))
-		for i := range remap {
-			remap[i] = -1
-		}
-		for i, a := range txn {
-			if _, hot := h.keys[a.Key]; !hot {
-				continue
-			}
-			dep := -1
-			if a.DependsOn >= 0 && a.DependsOn < i {
-				dep = remap[a.DependsOn]
-			}
-			remap[i] = len(kept)
-			kept = append(kept, layout.Access{Tuple: layout.TupleID(a.Key), DependsOn: dep})
-		}
+		kept = restrictInto(h.keys, txn, kept[:0], &remap)
 		if len(kept) >= 2 {
 			h.graph.AddTxn(kept)
 		}
 	}
 	return h
+}
+
+// restrictInto projects txn onto the hot keys, appending to kept and using
+// *remap as scratch (grown on demand). Dependencies through dropped cold
+// accesses become independent.
+func restrictInto(hot map[store.GlobalKey]struct{}, txn []Access, kept []layout.Access, remap *[]int) []layout.Access {
+	if cap(*remap) < len(txn) {
+		*remap = make([]int, len(txn))
+	}
+	rm := (*remap)[:len(txn)]
+	for i := range rm {
+		rm[i] = -1
+	}
+	for i, a := range txn {
+		if _, ok := hot[a.Key]; !ok {
+			continue
+		}
+		dep := -1
+		if a.DependsOn >= 0 && a.DependsOn < i {
+			dep = rm[a.DependsOn]
+		}
+		rm[i] = len(kept)
+		kept = append(kept, layout.Access{Tuple: layout.TupleID(a.Key), DependsOn: dep})
+	}
+	return kept
 }
 
 // DetectAuto selects the hot-set without a preset size. Tuples sampled
@@ -110,12 +136,7 @@ func Detect(samples [][]Access, topK int) *HotSet {
 // keeping the most frequent; the remainder stays on the database nodes
 // (Figure 17's spill path).
 func DetectAuto(samples [][]Access, maxK int) *HotSet {
-	freq := make(map[store.GlobalKey]int64)
-	for _, txn := range samples {
-		for _, a := range txn {
-			freq[a.Key]++
-		}
-	}
+	freq := countFreq(samples)
 	type kf struct {
 		k store.GlobalKey
 		f int64
@@ -142,7 +163,7 @@ func DetectAuto(samples [][]Access, maxK int) *HotSet {
 	if k > maxK {
 		k = maxK
 	}
-	return Detect(samples, k)
+	return detectTop(freq, samples, k)
 }
 
 // FromKeys builds a hot-set from an a-priori known tuple list (the
@@ -150,12 +171,7 @@ func DetectAuto(samples [][]Access, maxK int) *HotSet {
 // frequently sampled tuples. The access graph is still derived from the
 // sample so the layout algorithm has co-access information.
 func FromKeys(keys []store.GlobalKey, samples [][]Access, maxK int) *HotSet {
-	freq := make(map[store.GlobalKey]int64)
-	for _, txn := range samples {
-		for _, a := range txn {
-			freq[a.Key]++
-		}
-	}
+	freq := countFreq(samples)
 	sorted := append([]store.GlobalKey(nil), keys...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if freq[sorted[i]] != freq[sorted[j]] {
@@ -214,23 +230,8 @@ func (h *HotSet) Graph() *layout.Graph { return h.graph }
 // cold accesses become independent). It is the same projection Detect
 // uses to build the access graph, exposed for layout refinement.
 func (h *HotSet) Restrict(txn []Access) []layout.Access {
-	kept := make([]layout.Access, 0, len(txn))
-	remap := make([]int, len(txn))
-	for i := range remap {
-		remap[i] = -1
-	}
-	for i, a := range txn {
-		if _, hot := h.keys[a.Key]; !hot {
-			continue
-		}
-		dep := -1
-		if a.DependsOn >= 0 && a.DependsOn < i {
-			dep = remap[a.DependsOn]
-		}
-		remap[i] = len(kept)
-		kept = append(kept, layout.Access{Tuple: layout.TupleID(a.Key), DependsOn: dep})
-	}
-	return kept
+	var remap []int
+	return restrictInto(h.keys, txn, make([]layout.Access, 0, len(txn)), &remap)
 }
 
 // Index is the per-node replica of the hot-tuple index. It is small (a few

@@ -145,6 +145,12 @@ func (g *Graph) String() string {
 // each, heuristically maximizing the cut weight. It is a greedy placement
 // in descending incident-weight order followed by first-improvement local
 // search (node moves), the classic scheme the MQLib heuristics build on.
+//
+// Internally every tuple is mapped to a dense index once, so the inner
+// gain loops run over slices instead of hashing 64-bit tuple ids — the
+// hashing dominated the whole offline preparation step before. The
+// decisions (placements, tie-breaks, move/swap acceptance) are identical
+// to the map-based implementation, so computed layouts are unchanged.
 func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 	tuples := g.Tuples()
 	if k <= 0 {
@@ -154,35 +160,43 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 		panic(fmt.Sprintf("layout: %d tuples exceed %d partitions x %d capacity", len(tuples), k, capacity))
 	}
 
-	// adjacency for fast gain computation
-	adj := make(map[TupleID][]struct {
-		other TupleID
+	n := len(tuples)
+	idx := make(map[TupleID]int32, n)
+	for i, t := range tuples {
+		idx[t] = int32(i)
+	}
+
+	// Dense adjacency for fast gain computation. The append order depends
+	// on map iteration, but every consumer below either sums a whole list
+	// or looks up a unique pair weight, so results do not depend on it.
+	type neighbor struct {
+		other int32
 		w     int64
-	})
+	}
+	adj := make([][]neighbor, n)
 	for key, e := range g.edges {
 		if e.weight == 0 {
 			continue
 		}
-		adj[key.u] = append(adj[key.u], struct {
-			other TupleID
-			w     int64
-		}{key.v, e.weight})
-		adj[key.v] = append(adj[key.v], struct {
-			other TupleID
-			w     int64
-		}{key.u, e.weight})
+		u, v := idx[key.u], idx[key.v]
+		adj[u] = append(adj[u], neighbor{v, e.weight})
+		adj[v] = append(adj[v], neighbor{u, e.weight})
 	}
 
 	// Order nodes by total incident weight, heaviest first, so that the
 	// placement of high-contention tuples is decided while all partitions
-	// are still open.
-	incident := make(map[TupleID]int64)
-	for t, ns := range adj {
-		for _, n := range ns {
-			incident[t] += n.w
+	// are still open. Dense indices ascend with tuple ids (tuples is
+	// sorted), so the tie-break matches the map-based ordering.
+	incident := make([]int64, n)
+	for i, ns := range adj {
+		for _, nb := range ns {
+			incident[i] += nb.w
 		}
 	}
-	order := append([]TupleID(nil), tuples...)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
 	sort.Slice(order, func(i, j int) bool {
 		if incident[order[i]] != incident[order[j]] {
 			return incident[order[i]] > incident[order[j]]
@@ -190,22 +204,25 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 		return order[i] < order[j]
 	})
 
-	part := make(map[TupleID]int, len(tuples))
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1 // unplaced
+	}
 	size := make([]int, k)
 
-	internalWeight := func(t TupleID, p int) int64 {
+	internalWeight := func(t int32, p int32) int64 {
 		var w int64
-		for _, n := range adj[t] {
-			if q, ok := part[n.other]; ok && q == p {
-				w += n.w
+		for _, nb := range adj[t] {
+			if part[nb.other] == p {
+				w += nb.w
 			}
 		}
 		return w
 	}
 
 	for _, t := range order {
-		best, bestW := -1, int64(1<<62)
-		for p := 0; p < k; p++ {
+		best, bestW := int32(-1), int64(1<<62)
+		for p := int32(0); p < int32(k); p++ {
 			if size[p] >= capacity {
 				continue
 			}
@@ -227,10 +244,10 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 	// cannot improve capacity-tight instances (all partitions full), so a
 	// swap pass exchanges a conflicted node with a node from a better
 	// partition when that lowers total internal weight.
-	edgeW := func(a, b TupleID) int64 {
-		for _, n := range adj[a] {
-			if n.other == b {
-				return n.w
+	edgeW := func(a, b int32) int64 {
+		for _, nb := range adj[a] {
+			if nb.other == b {
+				return nb.w
 			}
 		}
 		return 0
@@ -240,7 +257,7 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 		for _, t := range order {
 			cur := part[t]
 			curW := internalWeight(t, cur)
-			for p := 0; p < k; p++ {
+			for p := int32(0); p < int32(k); p++ {
 				if p == cur || size[p] >= capacity {
 					continue
 				}
@@ -282,5 +299,10 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 			break
 		}
 	}
-	return part
+
+	out := make(map[TupleID]int, n)
+	for i, t := range tuples {
+		out[t] = int(part[i])
+	}
+	return out
 }

@@ -83,6 +83,11 @@ func (n *Network) oneWay(from, to NodeID) sim.Time {
 // calling process sleeps the request latency, runs handler (which executes
 // "at" the remote node and may itself block, e.g. on remote locks), then
 // sleeps the response latency. Same-node RPCs skip the fabric entirely.
+//
+// Because the handler runs in the caller's goroutine, the caller is woken
+// twice (arrival and reply). When the handler does not block, RPCEvent
+// delivers the same round trip with one wake-up and the handler as a
+// callback.
 func (n *Network) RPC(p *sim.Proc, from, to NodeID, handler func()) {
 	n.check(from)
 	n.check(to)
@@ -95,6 +100,86 @@ func (n *Network) RPC(p *sim.Proc, from, to NodeID, handler func()) {
 		return
 	}
 	handler()
+}
+
+// RPCEvent performs a synchronous round trip whose handler is a
+// non-blocking callback: the handler runs at the destination as a
+// scheduler event (no goroutine, no context switch) and the reply resumes
+// the parked caller directly. Virtual timing and event ordering are
+// identical to RPC; the handler must not block. Same-node calls run the
+// handler inline.
+func (n *Network) RPCEvent(p *sim.Proc, from, to NodeID, handler func()) {
+	n.check(from)
+	n.check(to)
+	d := n.oneWay(from, to)
+	if d == 0 {
+		handler()
+		return
+	}
+	n.MsgsSent += 2
+	env := n.env
+	env.After(d, func() {
+		handler()
+		env.Resume(d, p)
+	})
+	p.Park()
+}
+
+// AsyncRPC dispatches handler "at" the destination without blocking the
+// caller: the request travels as a callback event, a process is resumed at
+// the destination only when the request arrives (handlers may block, e.g.
+// on remote locks), and done runs back at the caller's side as a callback
+// when the reply lands. Compared to spawning a courier process that sleeps
+// both legs, this removes two goroutine wake-ups per message. Same-node
+// dispatch skips the fabric: the handler process starts at the current
+// instant and done runs as soon as it finishes.
+func (n *Network) AsyncRPC(name string, from, to NodeID, handler func(sub *sim.Proc), done func()) {
+	n.check(from)
+	n.check(to)
+	d := n.oneWay(from, to)
+	env := n.env
+	if d == 0 {
+		env.Spawn(name, func(sub *sim.Proc) {
+			handler(sub)
+			done()
+		})
+		return
+	}
+	n.MsgsSent += 2
+	env.SpawnAfter(d, name, func(sub *sim.Proc) {
+		handler(sub)
+		env.After(d, done)
+	})
+}
+
+// AsyncRPCEvent is AsyncRPC for non-blocking handlers: both legs and the
+// handler itself are callback events, so a full round trip costs zero
+// goroutine switches. The handler executes at the destination after the
+// one-way latency; done runs at the caller's side one further one-way
+// latency later. Same-node dispatch runs handler and done at the current
+// instant (after already-queued same-instant events).
+func (n *Network) AsyncRPCEvent(from, to NodeID, handler func(), done func()) {
+	n.check(from)
+	n.check(to)
+	d := n.oneWay(from, to)
+	env := n.env
+	if d == 0 {
+		env.After(0, func() {
+			handler()
+			done()
+		})
+		return
+	}
+	n.MsgsSent += 2
+	// The zero-delay egress hop models the packet leaving the local NIC at
+	// the current instant; it also keeps event-sequence draws aligned with
+	// the process-based delivery this replaces, preserving seeded schedules.
+	env.After(0, func() {
+		env.After(d, func() {
+			handler()
+			env.After(d, done)
+		})
+	})
 }
 
 // RPCToSwitch performs a synchronous round trip from a node to the switch:
@@ -140,7 +225,9 @@ func (n *Network) SwitchMulticast(fn func(NodeID)) {
 
 // Fanout runs handler(i) concurrently "at" each target node and blocks the
 // caller until all have completed, modelling a parallel RPC fan-out such as
-// the 2PC prepare round. Handlers may block (e.g. waiting on locks).
+// the 2PC prepare round. Handlers may block (e.g. waiting on locks); the
+// request and reply legs travel as callback events (see AsyncRPC), so each
+// leg costs one handler wake-up instead of three.
 func (n *Network) Fanout(p *sim.Proc, from NodeID, targets []NodeID, handler func(sub *sim.Proc, to NodeID)) {
 	n.check(from)
 	if len(targets) == 0 {
@@ -149,15 +236,8 @@ func (n *Network) Fanout(p *sim.Proc, from NodeID, targets []NodeID, handler fun
 	wg := n.env.NewWaitGroup(len(targets))
 	for _, to := range targets {
 		to := to
-		n.check(to)
-		d := n.oneWay(from, to)
-		n.MsgsSent += 2
-		n.env.Spawn(fmt.Sprintf("rpc-%d-%d", from, to), func(sub *sim.Proc) {
-			sub.Sleep(d)
-			handler(sub, to)
-			sub.Sleep(d)
-			wg.Done()
-		})
+		n.AsyncRPC(fmt.Sprintf("rpc-%d-%d", from, to), from, to,
+			func(sub *sim.Proc) { handler(sub, to) }, wg.Done)
 	}
 	p.Wait(wg)
 }

@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refEvent / refHeap is a minimal container/heap implementation with the
+// scheduler's ordering contract, used as the oracle for the property test.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// TestEventQueueMatchesReferenceHeap drives the production queue and a
+// container/heap reference through the same random schedule-and-drain
+// workload, mimicking how the scheduler uses it: pops advance a virtual
+// clock, pushes draw monotonic sequence numbers, and a fraction of pushes
+// are zero-delay (landing in the ring). The pop order must match the
+// reference exactly.
+func TestEventQueueMatchesReferenceHeap(t *testing.T) {
+	rng := NewRNG(1234)
+	for round := 0; round < 50; round++ {
+		var q eventQueue
+		var ref refHeap
+		var now Time
+		var seq uint64
+		nextID := 0
+		popped := make(map[int]bool)
+
+		push := func() {
+			var delay Time
+			switch rng.Intn(3) {
+			case 0:
+				delay = 0 // fast path
+			default:
+				delay = Time(rng.Intn(1000))
+			}
+			seq++
+			id := nextID
+			nextID++
+			ev := event{at: now + delay, seq: seq, fn: func() {}}
+			if delay == 0 {
+				q.pushNow(ev)
+			} else {
+				q.pushTimed(ev)
+			}
+			// Smuggle the id through the seq (unique), tracked on the side.
+			heap.Push(&ref, refEvent{at: now + delay, seq: seq, id: id})
+		}
+
+		for i := 0; i < 200; i++ {
+			push()
+		}
+		for q.len() > 0 {
+			if at, ok := q.peekAt(); !ok || at != ref[0].at {
+				t.Fatalf("round %d: peekAt mismatch: got %v, want %v", round, at, ref[0].at)
+			}
+			got := q.pop()
+			want := heap.Pop(&ref).(refEvent)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("round %d: pop (at=%v seq=%d), reference (at=%v seq=%d)",
+					round, got.at, got.seq, want.at, want.seq)
+			}
+			if popped[want.id] {
+				t.Fatalf("round %d: event %d popped twice", round, want.id)
+			}
+			popped[want.id] = true
+			if got.at < now {
+				t.Fatalf("round %d: time moved backwards: %v -> %v", round, now, got.at)
+			}
+			now = got.at
+			// Schedule follow-up work from a third of the pops, like
+			// callbacks that fire signals or re-arm timers.
+			if rng.Intn(3) == 0 && nextID < 5000 {
+				for k := rng.Intn(3); k >= 0; k-- {
+					push()
+				}
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("round %d: queue drained but reference holds %d", round, ref.Len())
+		}
+	}
+}
+
+func TestSpawnAfterStartsAtScheduledInstant(t *testing.T) {
+	e := NewEnv(1)
+	var startedAt Time = -1
+	p := e.SpawnAfter(7*Microsecond, "late", func(p *Proc) { startedAt = p.Now() })
+	if p == nil || e.Live() != 1 {
+		t.Fatalf("SpawnAfter did not register the process (live=%d)", e.Live())
+	}
+	e.Run()
+	if startedAt != 7*Microsecond {
+		t.Fatalf("process started at %v, want 7µs", startedAt)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("live = %d after run", e.Live())
+	}
+}
+
+func TestSpawnAfterMatchesSpawnPlusSleepSchedule(t *testing.T) {
+	// The two-hop egress scheduling must draw the same event sequence
+	// numbers as Spawn + immediate Sleep, so mixed schedules interleave
+	// identically. Run the same scenario both ways and compare traces.
+	run := func(useSpawnAfter bool) []string {
+		e := NewEnv(1)
+		var trace []string
+		e.Spawn("main", func(p *Proc) {
+			body := func(sub *Proc) {
+				trace = append(trace, "courier@"+sub.Now().String())
+			}
+			if useSpawnAfter {
+				e.SpawnAfter(10, "courier", body)
+			} else {
+				e.Spawn("courier", func(sub *Proc) {
+					sub.Sleep(10)
+					body(sub)
+				})
+			}
+			e.After(10, func() { trace = append(trace, "timer@"+e.Now().String()) })
+			p.Sleep(10)
+			trace = append(trace, "main@"+p.Now().String())
+		})
+		e.Run()
+		return trace
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestParkResumeRoundTrip(t *testing.T) {
+	e := NewEnv(1)
+	var resumedAt Time
+	e.Spawn("caller", func(p *Proc) {
+		// Model a callback round trip: the reply computes a value and
+		// resumes the caller after a further delay.
+		e.After(5, func() { e.Resume(5, p) })
+		p.Park()
+		resumedAt = p.Now()
+	})
+	e.Run()
+	if resumedAt != 10 {
+		t.Fatalf("resumed at %v, want 10", resumedAt)
+	}
+}
+
+func TestProcPoolReusesGoroutines(t *testing.T) {
+	e := NewEnv(1)
+	p1 := e.Spawn("a", func(p *Proc) {})
+	e.Run()
+	p2 := e.Spawn("b", func(p *Proc) {})
+	if p1 != p2 {
+		t.Fatal("finished process was not recycled for the next spawn")
+	}
+	if p2.Name() != "b" {
+		t.Fatalf("recycled process kept stale name %q", p2.Name())
+	}
+	e.Run()
+	e.Shutdown()
+}
+
+func TestStaleWakeupDoesNotResumeRecycledProc(t *testing.T) {
+	e := NewEnv(1)
+	var p1 *Proc
+	resumed := 0
+	p1 = e.Spawn("a", func(p *Proc) {
+		p.Park()
+		resumed++
+	})
+	e.After(5, func() {
+		e.Resume(0, p1)  // wakes the park
+		e.Resume(10, p1) // stale: p1 is finished (and recycled) by then
+	})
+	sig := e.NewSignal()
+	spurious := false
+	e.After(6, func() {
+		// This spawn reuses p1's Proc; the stale wake-up at t=15 targets
+		// the old incarnation and must not resume it.
+		e.Spawn("b", func(p *Proc) {
+			p.Await(sig)
+			spurious = true
+		})
+	})
+	e.RunUntil(100)
+	if resumed != 1 {
+		t.Fatalf("first incarnation resumed %d times, want 1", resumed)
+	}
+	if spurious {
+		t.Fatal("stale wake-up resumed the recycled process")
+	}
+	e.Shutdown()
+}
+
+func TestShutdownUnwindsInSpawnOrder(t *testing.T) {
+	e := NewEnv(1)
+	var order []string
+	for _, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			defer func() { order = append(order, name) }()
+			p.Park() // parked forever; unwound by Shutdown
+		})
+	}
+	e.RunUntil(10)
+	e.Shutdown()
+	want := []string{"a", "b", "c", "d"}
+	if len(order) != len(want) {
+		t.Fatalf("unwound %d procs, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("unwind order = %v, want spawn order %v", order, want)
+		}
+	}
+}
+
+func TestWaitGroupOverCompletionPanics(t *testing.T) {
+	e := NewEnv(1)
+	wg := e.NewWaitGroup(1)
+	wg.Done()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WaitGroup.Done past zero did not panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestEventsCounter(t *testing.T) {
+	e := NewEnv(1)
+	for i := 0; i < 5; i++ {
+		e.After(Time(i), func() {})
+	}
+	e.Run()
+	if e.Events() != 5 {
+		t.Fatalf("Events = %d, want 5", e.Events())
+	}
+}
+
+// BenchmarkSameInstantCascade measures the callback fast path: chains of
+// zero-delay events, the shape of Signal.Fire fan-outs and network egress
+// hops.
+func BenchmarkSameInstantCascade(b *testing.B) {
+	e := NewEnv(1)
+	n := 0
+	var fire func()
+	fire = func() {
+		if n < b.N {
+			n++
+			e.After(0, fire)
+		}
+	}
+	e.After(0, fire)
+	e.Run()
+	b.ReportMetric(float64(n), "events")
+}
+
+// BenchmarkTimedEvents measures heap push/pop throughput with a rotating
+// timer population, the shape of sleep-heavy worker workloads.
+func BenchmarkTimedEvents(b *testing.B) {
+	e := NewEnv(1)
+	n := 0
+	var rearm func()
+	rearm = func() {
+		if n < b.N {
+			n++
+			e.After(Time(1+n%97), rearm)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		e.After(Time(i+1), rearm)
+	}
+	e.Run()
+}
+
+// BenchmarkProcessPingPong measures the full process resume cycle (two
+// channel hand-offs) plus queue traffic — the inherent cost of a blocking
+// simulated operation.
+func BenchmarkProcessPingPong(b *testing.B) {
+	e := NewEnv(1)
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	e.Run()
+}
+
+// BenchmarkSpawnChurn measures process spawn/finish cost with pooling —
+// the shape of per-message courier processes in 2PC fan-outs.
+func BenchmarkSpawnChurn(b *testing.B) {
+	e := NewEnv(1)
+	done := 0
+	for i := 0; i < b.N; i++ {
+		e.Spawn("courier", func(p *Proc) { done++ })
+		e.Run()
+	}
+	if done != b.N {
+		b.Fatalf("ran %d, want %d", done, b.N)
+	}
+}

@@ -7,12 +7,24 @@ var errStopped = new(int)
 // Proc is a simulated process: a goroutine that the scheduler resumes one
 // at a time. All blocking primitives (Sleep, Await, queue waits built on
 // them) suspend the goroutine and return control to the scheduler.
+//
+// Proc values (and their goroutines) are pooled: when a process finishes,
+// its goroutine parks on the environment's free list and a later Spawn
+// reuses it. The gen counter distinguishes incarnations so that a stale
+// wake-up event scheduled for a finished process can never resume its
+// successor.
 type Proc struct {
 	env     *Env
 	name    string
+	fn      func(p *Proc)
 	wake    chan struct{}
 	done    bool
 	running bool
+	gen     uint32
+
+	// Spawn-ordered doubly-linked list of live processes (see Env).
+	prev, next *Proc
+	linked     bool
 }
 
 // Name returns the diagnostic name given at Spawn time.
@@ -29,7 +41,7 @@ func (p *Proc) Rand() *RNG { return p.env.rng }
 
 // block parks the process until the scheduler wakes it. If the environment
 // has been shut down in the meantime the process unwinds via panic, which
-// the Spawn wrapper recovers.
+// the process loop recovers.
 func (p *Proc) block() {
 	p.running = false
 	p.env.yield <- struct{}{}
@@ -51,3 +63,103 @@ func (p *Proc) Sleep(d Time) {
 // Yield lets all other events scheduled for the current instant run before
 // the process continues.
 func (p *Proc) Yield() { p.Sleep(0) }
+
+// Park suspends the process until a callback resumes it with Env.Resume.
+// It is the process-side half of a callback round trip (e.g. a network
+// reply delivered as an event): the process parks once and is woken
+// exactly when the result is ready, with no intermediate wake-up.
+func (p *Proc) Park() { p.block() }
+
+// acquireProc returns a ready-to-run process: a pooled one when available
+// (its goroutine is already parked on wake), otherwise a fresh one with a
+// new goroutine. The process is linked at the tail of the live list.
+func (e *Env) acquireProc(name string, fn func(p *Proc)) *Proc {
+	var p *Proc
+	if n := len(e.freeProcs); n > 0 {
+		p = e.freeProcs[n-1]
+		e.freeProcs = e.freeProcs[:n-1]
+		p.done = false
+	} else {
+		p = &Proc{env: e, wake: make(chan struct{})}
+		go p.loop()
+	}
+	p.name, p.fn = name, fn
+	e.link(p)
+	return p
+}
+
+// loop is the body of a process goroutine: run one spawned function per
+// wake-up, then park on the free list for the next incarnation. The
+// goroutine exits for real on shutdown or when a user panic is being
+// propagated. All Proc/Env mutation below happens while this goroutine is
+// the single running party (between receiving wake and sending yield), so
+// it needs no locks and is race-detector clean.
+func (p *Proc) loop() {
+	e := p.env
+	for {
+		<-p.wake
+		p.run()
+		p.done = true
+		e.unlink(p)
+		recycle := !e.closed && e.fail == nil
+		if recycle {
+			p.gen++ // invalidate any stale wake-up events for this incarnation
+			p.fn = nil
+			e.freeProcs = append(e.freeProcs, p)
+		}
+		e.yield <- struct{}{}
+		if !recycle {
+			return
+		}
+	}
+}
+
+// run executes one incarnation's function, containing shutdown unwinds and
+// re-raising user panics on the scheduler side.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil && r != errStopped {
+			// Re-panic on the scheduler side so the failure is not
+			// swallowed inside a worker goroutine.
+			p.env.fail = r
+		}
+	}()
+	if !p.env.closed {
+		p.running = true
+		p.fn(p)
+		p.running = false
+	}
+}
+
+// link appends p to the tail of the live-process list.
+func (e *Env) link(p *Proc) {
+	p.prev, p.next = e.procTail, nil
+	if e.procTail != nil {
+		e.procTail.next = p
+	} else {
+		e.procHead = p
+	}
+	e.procTail = p
+	p.linked = true
+	e.live++
+}
+
+// unlink removes p from the live-process list (no-op if not linked).
+func (e *Env) unlink(p *Proc) {
+	if !p.linked {
+		return
+	}
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		e.procHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		e.procTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+	p.linked = false
+	e.live--
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Signal is a one-shot event that processes can wait on. Firing a signal
 // wakes every waiter at the current virtual time and records a value that
 // Await returns. Signals are the building block for lock grants, RPC
@@ -79,11 +81,16 @@ func (e *Env) NewWaitGroup(n int) *WaitGroup {
 	return wg
 }
 
-// Done records one completion.
+// Done records one completion. Completing more often than the group size
+// is a bug in the protocol being simulated — the group would already have
+// fired — so over-completion panics loudly instead of silently corrupting
+// the count.
 func (w *WaitGroup) Done() {
 	w.n--
 	if w.n == 0 {
 		w.sig.Fire(nil)
+	} else if w.n < 0 {
+		panic(fmt.Sprintf("sim: WaitGroup.Done called %d time(s) more than the group size", -w.n))
 	}
 }
 

@@ -9,10 +9,15 @@
 // simulation is single-threaded in effect and fully deterministic for a
 // given seed: contention, abort patterns and throughput numbers are exactly
 // reproducible across runs and machines.
+//
+// The event pipeline is built for throughput: events are inline values in a
+// hand-rolled 4-ary heap (timed) and a FIFO ring (same-instant fast path),
+// finished process goroutines park on a free list for reuse, and callback
+// events run inline in the scheduler goroutine without any context switch.
+// See eventq.go for the queue, proc.go for the process lifecycle.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -44,47 +49,29 @@ func (t Time) String() string {
 // Seconds returns the time as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is a single entry in the scheduler's priority queue. Exactly one of
-// proc or fn is set: proc events resume a parked process, fn events run a
-// callback inline in the scheduler.
-type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among equal timestamps
-	proc *Proc
-	fn   func()
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Env is a simulation environment: a virtual clock plus an event queue.
 // Create one with NewEnv, spawn processes with Spawn, then drive it with
 // Run or RunUntil. An Env must be used from a single OS goroutine (the
 // one calling Run); processes it spawns are coordinated internally.
 type Env struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	yield  chan struct{}
-	procs  map[*Proc]struct{}
+	now      Time
+	seq      uint64
+	events   eventQueue
+	yield    chan struct{}
+	executed int64
+
+	// Live processes form a doubly-linked list in spawn order, so that
+	// iteration (Shutdown's unwind in particular) is deterministic. A map
+	// would make unwind order depend on Go's randomized map iteration.
+	procHead *Proc
+	procTail *Proc
+	live     int
+
+	// freeProcs holds finished processes whose goroutines are parked for
+	// reuse, so short-lived processes (2PC couriers, network handlers) do
+	// not pay goroutine creation per spawn.
+	freeProcs []*Proc
+
 	closed bool
 	rng    *RNG
 	fail   interface{} // panic value propagated out of a process
@@ -95,7 +82,6 @@ type Env struct {
 func NewEnv(seed uint64) *Env {
 	return &Env{
 		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
 		rng:   NewRNG(seed),
 	}
 }
@@ -108,18 +94,32 @@ func (e *Env) Now() Time { return e.now }
 // callback); doing so keeps draws in a deterministic order.
 func (e *Env) Rand() *RNG { return e.rng }
 
-// schedule enqueues an event delay nanoseconds from now.
+// schedule enqueues an event delay nanoseconds from now. Zero-delay events
+// take the O(1) ring fast path; they are already globally ordered by their
+// fresh seq draw.
 func (e *Env) schedule(delay Time, p *Proc, fn func()) {
-	if delay < 0 {
-		delay = 0
+	if delay <= 0 {
+		e.seq++
+		ev := event{at: e.now, seq: e.seq, proc: p, fn: fn}
+		if p != nil {
+			ev.gen = p.gen
+		}
+		e.events.pushNow(ev)
+		return
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, proc: p, fn: fn})
+	ev := event{at: e.now + delay, seq: e.seq, proc: p, fn: fn}
+	if p != nil {
+		ev.gen = p.gen
+	}
+	e.events.pushTimed(ev)
 }
 
 // After runs fn on the simulation timeline delay nanoseconds from now.
 // fn executes in scheduler context: it must not block, but it may fire
-// signals, spawn processes and schedule further callbacks.
+// signals, spawn processes and schedule further callbacks. Same-instant
+// callbacks (delay 0) run inline in FIFO schedule order without touching
+// the timed heap.
 func (e *Env) After(delay Time, fn func()) {
 	e.schedule(delay, nil, fn)
 }
@@ -127,38 +127,48 @@ func (e *Env) After(delay Time, fn func()) {
 // Spawn starts a new process executing fn and schedules it to begin at the
 // current virtual time. The name is used in diagnostics only.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, wake: make(chan struct{})}
-	e.procs[p] = struct{}{}
-	go func() {
-		<-p.wake
-		defer func() {
-			if r := recover(); r != nil && r != errStopped {
-				// Re-panic on the scheduler side so the failure is not
-				// swallowed inside a worker goroutine.
-				p.env.fail = r
-			}
-			p.done = true
-			delete(p.env.procs, p)
-			p.env.yield <- struct{}{}
-		}()
-		if !e.closed {
-			fn(p)
-		}
-	}()
+	p := e.acquireProc(name, fn)
 	e.schedule(0, p, nil)
 	return p
+}
+
+// SpawnAfter starts a new process executing fn delay nanoseconds from now.
+// The process is registered immediately (it counts as live and holds its
+// spawn-order slot) but its goroutine is first resumed at the scheduled
+// instant, so a process that models a message in flight costs no context
+// switch until the message arrives.
+//
+// SpawnAfter deliberately schedules in two hops — an egress callback at the
+// current instant that then schedules the process start — so it draws the
+// same event sequence numbers, at the same points of the run, as the
+// process-based pattern it replaces (Spawn + immediate Sleep(delay)).
+// Seeded simulations therefore produce bit-identical schedules either way.
+func (e *Env) SpawnAfter(delay Time, name string, fn func(p *Proc)) *Proc {
+	p := e.acquireProc(name, fn)
+	e.schedule(0, nil, func() { e.schedule(delay, p, nil) })
+	return p
+}
+
+// Resume schedules the parked process p to continue delay nanoseconds from
+// now. It is the callback-side counterpart of Proc.Park: a callback event
+// computes a result and hands control back to the waiting process without
+// an intermediate signal. p must be parked (or parking) on a matching
+// Park call with no other pending wake-up.
+func (e *Env) Resume(delay Time, p *Proc) {
+	e.schedule(delay, p, nil)
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed (false means the
 // event queue is empty).
 func (e *Env) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.proc != nil && ev.proc.done {
-			continue // stale wake-up for a finished process
+	for e.events.len() > 0 {
+		ev := e.events.pop()
+		if ev.proc != nil && (ev.proc.done || ev.proc.gen != ev.gen) {
+			continue // stale wake-up for a finished (possibly recycled) process
 		}
 		e.now = ev.at
+		e.executed++
 		if ev.proc != nil {
 			ev.proc.wake <- struct{}{}
 			<-e.yield
@@ -184,7 +194,11 @@ func (e *Env) Run() {
 // to deadline. Processes parked past the deadline stay parked; use Shutdown
 // to unwind them.
 func (e *Env) RunUntil(deadline Time) {
-	for e.events.Len() > 0 && e.events[0].at <= deadline {
+	for {
+		at, ok := e.events.peekAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -192,20 +206,16 @@ func (e *Env) RunUntil(deadline Time) {
 	}
 }
 
-// Shutdown unwinds every live process so their goroutines exit. Parked
+// Shutdown unwinds every live process so their goroutines exit, in spawn
+// order, so any unwind side effects happen in a reproducible order. Parked
 // processes are woken and terminate by panicking with an internal sentinel
-// that the spawn wrapper recovers. After Shutdown the environment must not
-// be used further.
+// that the process loop recovers. Pooled (already finished) goroutines are
+// released as well. After Shutdown the environment must not be used
+// further.
 func (e *Env) Shutdown() {
 	e.closed = true
-	for len(e.procs) > 0 {
-		// Grab any live process. Wake it; its next block-point check sees
-		// e.closed and unwinds.
-		var p *Proc
-		for q := range e.procs {
-			p = q
-			break
-		}
+	for e.procHead != nil {
+		p := e.procHead
 		if p.running {
 			// Cannot happen: Shutdown is called from scheduler context,
 			// so no process is mid-run.
@@ -214,6 +224,11 @@ func (e *Env) Shutdown() {
 		p.wake <- struct{}{}
 		<-e.yield
 	}
+	for _, p := range e.freeProcs {
+		p.wake <- struct{}{}
+		<-e.yield
+	}
+	e.freeProcs = nil
 	if e.fail != nil {
 		panic(e.fail)
 	}
@@ -221,7 +236,12 @@ func (e *Env) Shutdown() {
 
 // Live returns the number of processes that have been spawned and not yet
 // finished (running or parked).
-func (e *Env) Live() int { return len(e.procs) }
+func (e *Env) Live() int { return e.live }
 
 // Pending returns the number of queued events.
-func (e *Env) Pending() int { return e.events.Len() }
+func (e *Env) Pending() int { return e.events.len() }
+
+// Events returns the total number of events executed so far — the
+// simulator's work metric. Dividing it by wall-clock time gives the
+// events/sec throughput of the scheduler itself.
+func (e *Env) Events() int64 { return e.executed }

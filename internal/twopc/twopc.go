@@ -12,17 +12,22 @@ import (
 )
 
 // Participant is one node's involvement in a distributed transaction. The
-// handlers run "at" the participant on the simulated timeline and may
-// block (e.g. while flushing a log record).
+// handlers run "at" the participant on the simulated timeline. Prepare may
+// block (e.g. while flushing a log record) and therefore runs in a
+// process; Commit and Abort apply already-validated state (release locks,
+// install buffered writes) and run as callback events — they must not
+// block, which lets the decision round and the switch multicast deliver
+// them without any goroutine switches.
 type Participant struct {
 	Node netsim.NodeID
 	// Prepare validates and persists the participant's sub-transaction;
-	// it returns the participant's vote.
+	// it returns the participant's vote. It may block.
 	Prepare func(p *sim.Proc) bool
-	// Commit applies and releases the sub-transaction.
-	Commit func(p *sim.Proc)
-	// Abort rolls the sub-transaction back and releases it.
-	Abort func(p *sim.Proc)
+	// Commit applies and releases the sub-transaction. It must not block.
+	Commit func()
+	// Abort rolls the sub-transaction back and releases it. It must not
+	// block.
+	Abort func()
 }
 
 // Stats counts protocol outcomes.
@@ -105,8 +110,9 @@ func (c *Coordinator) SwitchPhase(p *sim.Proc, parts []Participant, switchTxn fu
 	}
 	c.net.SwitchMulticast(func(id netsim.NodeID) {
 		for _, part := range byNode[id] {
-			part := part
-			env.Spawn("2pc-commit", func(sub *sim.Proc) { part.Commit(sub) })
+			// Commit handlers are non-blocking by contract, so the
+			// multicast arrival delivers them as callback events.
+			env.After(0, part.Commit)
 		}
 	})
 	p.Sleep(c.net.Latency().NodeToSwitch)
@@ -149,17 +155,34 @@ func (c *Coordinator) voteSubset(p *sim.Proc, parts []Participant) bool {
 }
 
 // finish runs the decision round (commit or abort) over all participants.
+// Commit/Abort handlers are non-blocking by contract, so the whole round
+// travels as callback events: the only goroutine wake-up is the
+// coordinator resuming when the last acknowledgement lands.
 func (c *Coordinator) finish(p *sim.Proc, parts []Participant, commit bool) {
-	c.fanout(p, parts, func(sub *sim.Proc, part Participant) {
+	act := func(part Participant) func() {
 		if commit {
-			part.Commit(sub)
-		} else {
-			part.Abort(sub)
+			return part.Commit
 		}
-	})
+		return part.Abort
+	}
+	if len(parts) == 0 {
+		return
+	}
+	if len(parts) == 1 {
+		c.net.RPCEvent(p, c.self, parts[0].Node, act(parts[0]))
+		return
+	}
+	env := p.Env()
+	wg := env.NewWaitGroup(len(parts))
+	for _, part := range parts {
+		c.net.AsyncRPCEvent(c.self, part.Node, act(part), wg.Done)
+	}
+	p.Wait(wg)
 }
 
-// fanout dispatches handler at every participant in parallel and waits.
+// fanout dispatches the (possibly blocking) handler at every participant
+// in parallel and waits. Request and reply legs travel as callback events;
+// only the handler itself occupies a process at the participant.
 func (c *Coordinator) fanout(p *sim.Proc, parts []Participant, handler func(*sim.Proc, Participant)) {
 	if len(parts) == 0 {
 		return
@@ -173,10 +196,8 @@ func (c *Coordinator) fanout(p *sim.Proc, parts []Participant, handler func(*sim
 	wg := env.NewWaitGroup(len(parts))
 	for _, part := range parts {
 		part := part
-		env.Spawn("2pc-rpc", func(sub *sim.Proc) {
-			c.net.RPC(sub, c.self, part.Node, func() { handler(sub, part) })
-			wg.Done()
-		})
+		c.net.AsyncRPC("2pc-rpc", c.self, part.Node,
+			func(sub *sim.Proc) { handler(sub, part) }, wg.Done)
 	}
 	p.Wait(wg)
 }

@@ -25,8 +25,8 @@ func part(e *sim.Env, node netsim.NodeID, vote bool, tr *trace) Participant {
 			tr.prepares++
 			return vote
 		},
-		Commit: func(p *sim.Proc) { tr.commits++ },
-		Abort:  func(p *sim.Proc) { tr.aborts++ },
+		Commit: func() { tr.commits++ },
+		Abort:  func() { tr.aborts++ },
 	}
 }
 
@@ -161,8 +161,8 @@ func TestCommitWithSwitchParticipantsCommitViaMulticast(t *testing.T) {
 		return Participant{
 			Node:    node,
 			Prepare: func(p *sim.Proc) bool { return true },
-			Commit:  func(p *sim.Proc) { commitAt = append(commitAt, p.Now()) },
-			Abort:   func(p *sim.Proc) {},
+			Commit:  func() { commitAt = append(commitAt, e.Now()) },
+			Abort:   func() {},
 		}
 	}
 	e.Spawn("coord", func(p *sim.Proc) {
