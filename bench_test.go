@@ -186,12 +186,14 @@ func runTPCC(o bench.Options, mult int) float64 {
 	return c.Run(o.Warmup, o.Measure).Throughput()
 }
 
-// BenchmarkAblation_CCScheme compares the two host-DBMS concurrency
-// control families of Appendix A.4 — pessimistic 2PL vs optimistic OCC —
-// under P4DB on the contended YCSB-A workload.
+// BenchmarkAblation_CCScheme compares the three host-DBMS concurrency
+// control families — pessimistic 2PL, optimistic OCC (Appendix A.4) and
+// snapshot MVCC — under P4DB on the contended YCSB-A workload. Its MVCC
+// point doubles as the CI smoke for the scheme layer (the 1x benchmark
+// step runs every benchmark once).
 func BenchmarkAblation_CCScheme(b *testing.B) {
 	o := benchOpts()
-	run := func(scheme core.CCScheme) float64 {
+	run := func(scheme string) float64 {
 		cfg := core.DefaultConfig()
 		cfg.Nodes = o.Nodes
 		cfg.WorkersPerNode = o.Threads[len(o.Threads)-1]
@@ -201,11 +203,13 @@ func BenchmarkAblation_CCScheme(b *testing.B) {
 		c := core.NewCluster(cfg, workload.NewYCSB(w))
 		return c.Run(o.Warmup, o.Measure).Throughput()
 	}
-	var pess, opt float64
+	var pess, opt, snap float64
 	for i := 0; i < b.N; i++ {
-		pess = run(core.CC2PL)
-		opt = run(core.CCOCC)
+		pess = run("2pl")
+		opt = run("occ")
+		snap = run("mvcc")
 	}
 	b.ReportMetric(pess, "2pl-txn/s")
 	b.ReportMetric(opt, "occ-txn/s")
+	b.ReportMetric(snap, "mvcc-txn/s")
 }

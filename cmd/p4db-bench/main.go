@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	p4db-bench [-fig id] [-system names] [-quick] [-measure ms] [-seed n]
-//	           [-cpuprofile out.prof] [-digest] [-v]
+//	p4db-bench [-fig id] [-system names] [-scheme name] [-quick]
+//	           [-measure ms] [-seed n] [-cpuprofile out.prof] [-digest] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
 // 18a, 18b, or "all" (default). The appendix raw-throughput figures 19-21
@@ -21,6 +21,11 @@
 // e.g. -system=p4db,lmswitch,chiller) and replaces the engines the sweep
 // figures compare against the No-Switch baseline; any engine registered
 // in internal/engine is selectable without touching this command.
+//
+// -scheme selects the host DBMS concurrency-control family by scheme
+// registry name (2pl, occ, mvcc) for every run of the sweep; engines that
+// hardwire their scheme (lmswitch, chiller, occ) are unaffected, and the
+// per-row cc column reports what actually ran.
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (or 'all')")
 	system := flag.String("system", "", "engine(s) for the sweep figures, e.g. p4db,lmswitch (default: each figure's paper set)")
+	scheme := flag.String("scheme", "", "host CC scheme for every run, e.g. 2pl, occ, mvcc (default: 2pl; scheme-pinned engines are unaffected)")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	measureMs := flag.Float64("measure", 0, "override measurement window in virtual ms")
 	samples := flag.Int("samples", 0, "override detection sample size")
@@ -83,6 +89,13 @@ func main() {
 			systems = append(systems, name)
 		}
 		opts.Systems = systems
+	}
+	if *scheme != "" {
+		if _, err := engine.LookupScheme(*scheme); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Scheme = *scheme
 	}
 	opts.Seed = *seed
 	if *verbose {

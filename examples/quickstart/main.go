@@ -3,6 +3,7 @@
 // against the traditional distributed DBMS without switch support.
 //
 //	go run ./examples/quickstart [-system p4db|lmswitch|chiller|occ|...]
+//	                             [-scheme 2pl|occ|mvcc]
 package main
 
 import (
@@ -18,10 +19,17 @@ import (
 
 func main() {
 	system := flag.String("system", "p4db", "execution engine to compare against the No-Switch baseline")
+	scheme := flag.String("scheme", "", "host CC scheme (2pl, occ, mvcc; default 2pl)")
 	flag.Parse()
 	if _, err := engine.Lookup(*system); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *scheme != "" {
+		if _, err := engine.LookupScheme(*scheme); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	// The workload: YCSB-A (50% writes), 8 operations per transaction,
@@ -35,6 +43,9 @@ func main() {
 	run := func(sys string) *core.Result {
 		cfg := core.DefaultConfig()
 		cfg.Engine = sys
+		if *scheme != "" {
+			cfg.Scheme = *scheme
+		}
 		cfg.Nodes = 4
 		cfg.WorkersPerNode = 12
 		cfg.SampleTxns = 12000
@@ -51,14 +62,15 @@ func main() {
 		chosen = run(*system)
 	}
 
-	fmt.Printf("\n%-16s %14s %9s %8s %12s\n", "system", "txn/s", "abort%", "hot%", "mean latency")
+	fmt.Printf("\n%-22s %14s %9s %8s %12s\n", "system (cc)", "txn/s", "abort%", "hot%", "mean latency")
 	for _, r := range []*core.Result{base, chosen} {
 		hotPct := 0.0
 		if c := r.Counters.Committed(); c > 0 {
 			hotPct = 100 * float64(r.Counters.CommittedHot) / float64(c)
 		}
-		fmt.Printf("%-16s %14.0f %8.1f%% %7.1f%% %12v\n",
-			r.EngineLabel, r.Throughput(), 100*r.Counters.AbortRate(), hotPct, r.Latency.Mean())
+		fmt.Printf("%-22s %14.0f %8.1f%% %7.1f%% %12v\n",
+			fmt.Sprintf("%s (%s)", r.EngineLabel, r.Scheme), r.Throughput(),
+			100*r.Counters.AbortRate(), hotPct, r.Latency.Mean())
 	}
 	fmt.Printf("\nspeedup: %.2fx (paper reports up to 5x for YCSB under high contention)\n",
 		chosen.Throughput()/base.Throughput())

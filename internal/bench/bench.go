@@ -37,7 +37,12 @@ type Options struct {
 	// Systems overrides the engines the sweep figures compare against the
 	// No-Switch baseline (engine registry names); nil keeps each figure's
 	// paper defaults.
-	Systems  []string
+	Systems []string
+	// Scheme selects the host CC scheme every run executes under (scheme
+	// registry name); empty keeps the paper's 2PL. Engines that hardwire
+	// their scheme (lmswitch, chiller, occ) are unaffected — the per-row
+	// scheme column reports what actually ran.
+	Scheme   string
 	Seed     uint64
 	Progress io.Writer // per-run progress lines; nil for silent
 }
@@ -80,6 +85,9 @@ func (o Options) progressf(format string, args ...interface{}) {
 func (o Options) config(sys string, pol lock.Policy, workers int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Engine = sys
+	if o.Scheme != "" {
+		cfg.Scheme = o.Scheme
+	}
 	cfg.Policy = pol
 	cfg.Nodes = o.Nodes
 	cfg.WorkersPerNode = workers
@@ -121,6 +129,7 @@ type Row struct {
 	Figure     string
 	Workload   string
 	Series     string // e.g. "P4DB (NO_WAIT)"
+	Scheme     string // resolved CC scheme the run executed, e.g. "mvcc"
 	X          string // sweep coordinate, e.g. "16 thr" or "50% dist"
 	Throughput float64
 	Speedup    float64 // vs the figure's baseline (0 when not applicable)
@@ -138,6 +147,7 @@ type Row struct {
 
 // fill derives the common metrics from a result.
 func fill(r Row, res *core.Result) Row {
+	r.Scheme = res.Scheme
 	r.Throughput = res.Throughput()
 	r.AbortRate = res.Counters.AbortRate()
 	if c := res.Counters.Committed(); c > 0 {
@@ -155,8 +165,8 @@ func fill(r Row, res *core.Result) Row {
 func Digest(rows []Row) string {
 	h := sha256.New()
 	for _, r := range rows {
-		fmt.Fprintf(h, "%s|%s|%s|%s|%x|%x|%x|%x|%x|%x\n",
-			r.Figure, r.Workload, r.Series, r.X,
+		fmt.Fprintf(h, "%s|%s|%s|%s|%s|%x|%x|%x|%x|%x|%x\n",
+			r.Figure, r.Workload, r.Series, r.Scheme, r.X,
 			math.Float64bits(r.Throughput), math.Float64bits(r.Speedup),
 			math.Float64bits(r.AbortRate), math.Float64bits(r.HotFrac),
 			math.Float64bits(r.MeanLatUs), math.Float64bits(r.Value))
@@ -174,8 +184,8 @@ func Print(w io.Writer, rows []Row) {
 		if r.Figure != fig {
 			fig = r.Figure
 			fmt.Fprintf(w, "\n== %s ==\n", fig)
-			fmt.Fprintf(w, "%-10s %-28s %-14s %12s %9s %8s %8s %9s %8s\n",
-				"workload", "series", "x", "txn/s", "speedup", "abort%", "hot%", "lat(µs)", "Mev/s")
+			fmt.Fprintf(w, "%-10s %-28s %-6s %-14s %12s %9s %8s %8s %9s %8s\n",
+				"workload", "series", "cc", "x", "txn/s", "speedup", "abort%", "hot%", "lat(µs)", "Mev/s")
 		}
 		speed := "-"
 		if r.Speedup > 0 {
@@ -185,8 +195,12 @@ func Print(w io.Writer, rows []Row) {
 		if r.EventsPerSec > 0 {
 			evps = fmt.Sprintf("%.2f", r.EventsPerSec/1e6)
 		}
-		fmt.Fprintf(w, "%-10s %-28s %-14s %12.0f %9s %7.1f%% %7.1f%% %9.1f %8s\n",
-			r.Workload, r.Series, r.X, r.Throughput, speed,
+		scheme := r.Scheme
+		if scheme == "" {
+			scheme = "-"
+		}
+		fmt.Fprintf(w, "%-10s %-28s %-6s %-14s %12.0f %9s %7.1f%% %7.1f%% %9.1f %8s\n",
+			r.Workload, r.Series, scheme, r.X, r.Throughput, speed,
 			100*r.AbortRate, 100*r.HotFrac, r.MeanLatUs, evps)
 	}
 }

@@ -20,16 +20,20 @@ func determinismOpts() Options {
 	return o
 }
 
-// goldenSweep exercises every execution engine and both CC schemes: Fig01
-// (P4DB + No-Switch over YCSB/SmallBank/TPC-C), Fig11 (LM-Switch), Fig18b
-// (Chiller) and a direct OCC point, so any scheduler reordering anywhere in
-// the stack shows up in the digest.
+// goldenSweep exercises every execution engine and all three CC schemes:
+// Fig01 (P4DB + No-Switch over YCSB/SmallBank/TPC-C), Fig11 (LM-Switch),
+// Fig18b (Chiller), a direct OCC point and an MVCC point, so any scheduler
+// reordering anywhere in the stack shows up in the digest.
 func goldenSweep(o Options) []Row {
 	rows := Fig01(o)
 	rows = append(rows, Fig11Contention(o)...)
 	rows = append(rows, Fig18b(o)...)
 	res := o.run(o.config("occ", lock.NoWait, o.Threads[0]), o.ycsb(50, 50, 75))
 	rows = append(rows, fill(Row{Figure: "occ-point", Workload: "YCSB-A", Series: "OCC", X: "8 thr"}, res))
+	mo := o
+	mo.Scheme = "mvcc"
+	res = mo.run(mo.config("noswitch", lock.NoWait, mo.Threads[0]), mo.ycsb(50, 50, 75))
+	rows = append(rows, fill(Row{Figure: "mvcc-point", Workload: "YCSB-A", Series: "MVCC", X: "8 thr"}, res))
 	return rows
 }
 

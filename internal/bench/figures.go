@@ -378,7 +378,7 @@ func Fig18a(o Options) []Row {
 		for _, comp := range metrics.Components() {
 			rows = append(rows, Row{
 				Figure: "Figure 18a", Workload: "TPCC 8WH",
-				Series: label(sys), X: comp.String(),
+				Series: label(sys), Scheme: res.Scheme, X: comp.String(),
 				Value:     latPerTxnUs(&res.Breakdown, comp),
 				MeanLatUs: float64(res.Latency.Mean()) / float64(sim.Microsecond),
 			})

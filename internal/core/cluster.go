@@ -41,25 +41,30 @@ func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
+	sch, err := engine.ResolveScheme(eng, cfg.Scheme)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
 	env := sim.NewEnv(cfg.Seed)
 	ctx := &engine.Context{
 		Env:       env,
 		Net:       netsim.New(env, cfg.Nodes, cfg.Latency),
 		Sw:        pisa.New(env, cfg.Switch),
 		Gen:       gen,
-		Costs:     cfg.Costs,
-		Scheme:    cfg.Scheme,
+		Costs:     cfg.costsFor(eng.Name(), sch.Name()),
+		Scheme:    sch,
 		Policy:    cfg.Policy,
 		SwitchCfg: cfg.Switch,
 	}
 	c := &Cluster{cfg: cfg, env: env, gen: gen, eng: eng, ctx: ctx}
 	stores := make([]*store.Store, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		n := engine.NewNode(netsim.NodeID(i), env, cfg.Policy)
+		n := engine.NewNode(netsim.NodeID(i), env, cfg.Policy, sch)
 		stores[i] = n.Store()
 		ctx.Nodes = append(ctx.Nodes, n)
 	}
 	gen.Populate(stores)
+	sch.Init(ctx)
 
 	c.detect()
 	if err := eng.Prepare(ctx); err != nil {
@@ -208,6 +213,7 @@ func (c *Cluster) EngineContext() *engine.Context { return c.ctx }
 type Result struct {
 	Engine      string // engine registry name, e.g. "p4db" (valid as Config.Engine)
 	EngineLabel string // the engine's display label, e.g. "P4DB"
+	Scheme      string // resolved CC scheme name the run executed, e.g. "mvcc"
 	Workload    string
 	Duration    sim.Time
 	Counters    metrics.Counters
@@ -264,6 +270,7 @@ func (c *Cluster) Run(warmup, measure sim.Time) *Result {
 	res := &Result{
 		Engine:      c.eng.Name(),
 		EngineLabel: c.eng.Label(),
+		Scheme:      c.ctx.Scheme.Name(),
 		Workload:    c.gen.Name(),
 		Duration:    measure,
 		SwitchTxns:  c.ctx.Sw.Stats.Txns - swBefore.Txns,

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/netsim"
@@ -14,19 +17,9 @@ import (
 type (
 	// CostModel holds the per-operation CPU costs of a database node.
 	CostModel = engine.CostModel
-	// CCScheme selects the host DBMS's concurrency control family.
-	CCScheme = engine.CCScheme
 	// Node is one database server: its store partition, lock table, WAL
 	// and measurement state.
 	Node = engine.Node
-)
-
-// Schemes.
-const (
-	// CC2PL is pessimistic two-phase locking (the paper's main setup).
-	CC2PL = engine.CC2PL
-	// CCOCC is backward-validation optimistic CC (Appendix A.4).
-	CCOCC = engine.CCOCC
 )
 
 // DefaultCosts returns the calibrated node cost model.
@@ -42,13 +35,26 @@ type Config struct {
 	Nodes          int
 	WorkersPerNode int
 	Policy         lock.Policy
-	// Scheme selects the host DBMS concurrency control family: 2PL (the
-	// paper's main setup) or OCC (Appendix A.4). LM-Switch and Chiller
-	// are inherently lock-based and always use 2PL.
-	Scheme  CCScheme
+	// Scheme names the host DBMS concurrency-control family, resolved in
+	// the scheme registry: "2pl" (the paper's main setup), "occ"
+	// (Appendix A.4) or "mvcc" (see engine.SchemeNames for the live
+	// list); empty selects 2PL. Unknown names are a hard error at cluster
+	// build. Engines that hardwire their scheme (LM-Switch and Chiller
+	// are inherently lock-based, the "occ" ablation engine pins OCC)
+	// override this setting; Result.Scheme reports what actually ran.
+	Scheme  string
 	Latency netsim.Latency
 	Switch  pisa.Config
 	Costs   CostModel
+	// CostOverrides replaces the cost model per engine and/or scheme,
+	// consulted at cluster build in precedence order "engine/scheme",
+	// engine ("chiller" or "chiller/*"), scheme ("*/mvcc"). Strategies
+	// that model different hardware — an RDMA-class baseline, a slower
+	// validation path — get their own costs without forking the whole
+	// Config. Keys naming nothing registered are a hard error at cluster
+	// build, as is a bare name that is both an engine and a scheme
+	// ("occ") — spell those as "occ/*" or "*/occ".
+	CostOverrides map[string]CostModel
 
 	// RandomLayout replaces the declustered (max-cut) layout with the
 	// random worst-case layout of the Figure 16 experiment.
@@ -69,11 +75,60 @@ type Config struct {
 	Seed uint64
 }
 
+// costsFor resolves the effective cost model for the resolved engine and
+// scheme pair, most specific override first. Every key is validated
+// against the registries so a typo fails loudly at cluster build instead
+// of silently running the defaults.
+func (cfg Config) costsFor(eng, scheme string) CostModel {
+	for key := range cfg.CostOverrides {
+		if err := validateOverrideKey(key); err != nil {
+			panic(fmt.Sprintf("core: CostOverrides key %q: %v", key, err))
+		}
+	}
+	for _, key := range []string{eng + "/" + scheme, eng + "/*", eng, "*/" + scheme, scheme} {
+		if cm, ok := cfg.CostOverrides[key]; ok {
+			return cm
+		}
+	}
+	return cfg.Costs
+}
+
+// validateOverrideKey checks that key names a registered engine
+// ("chiller", "chiller/*"), a registered scheme ("*/mvcc"), or an
+// "engine/scheme" pair — and is unambiguous: a bare name registered as
+// both an engine and a scheme must be qualified.
+func validateOverrideKey(key string) error {
+	engines, schemes := engine.Names(), engine.SchemeNames()
+	if e, s, ok := strings.Cut(key, "/"); ok {
+		if _, err := engine.Lookup(e); err != nil && e != "*" {
+			return fmt.Errorf("unknown engine %q (engines: %v)", e, engines)
+		}
+		if _, err := engine.LookupScheme(s); err != nil && s != "*" {
+			return fmt.Errorf("unknown scheme %q (schemes: %v)", s, schemes)
+		}
+		if e == "*" && s == "*" {
+			return fmt.Errorf("names everything; set Config.Costs instead")
+		}
+		return nil
+	}
+	_, eerr := engine.Lookup(key)
+	_, serr := engine.LookupScheme(key)
+	switch {
+	case eerr == nil && serr == nil:
+		return fmt.Errorf("names both an engine and a scheme; use %q or %q", key+"/*", "*/"+key)
+	case eerr == nil || serr == nil:
+		return nil
+	default:
+		return fmt.Errorf("names no registered engine, scheme or engine/scheme pair (engines: %v, schemes: %v)", engines, schemes)
+	}
+}
+
 // DefaultConfig returns the paper's standard setup: P4DB on 8 nodes,
-// NO_WAIT, the default switch and latency models.
+// 2PL with NO_WAIT, the default switch and latency models.
 func DefaultConfig() Config {
 	return Config{
 		Engine:         "p4db",
+		Scheme:         engine.Scheme2PL,
 		Nodes:          8,
 		WorkersPerNode: 20,
 		Policy:         lock.NoWait,

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -10,7 +11,7 @@ import (
 
 func occConfig(eng string) Config {
 	cfg := smallConfig(eng)
-	cfg.Scheme = CCOCC
+	cfg.Scheme = engine.SchemeOCC
 	return cfg
 }
 
@@ -126,7 +127,7 @@ func TestOCCVersionsAdvance(t *testing.T) {
 // with nonzero throughput; this is the Appendix A.4 ablation hook.
 func TestOCCvs2PLComparable(t *testing.T) {
 	var thr [2]float64
-	for i, scheme := range []CCScheme{CC2PL, CCOCC} {
+	for i, scheme := range []string{engine.Scheme2PL, engine.SchemeOCC} {
 		cfg := smallConfig("noswitch")
 		cfg.Scheme = scheme
 		res := runShort(t, cfg, ycsbGen(cfg, 50))

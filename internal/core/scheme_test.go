@@ -1,0 +1,232 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func mvccConfig(eng string) Config {
+	cfg := smallConfig(eng)
+	cfg.Scheme = engine.SchemeMVCC
+	return cfg
+}
+
+func TestMVCCRunsYCSB(t *testing.T) {
+	cfg := mvccConfig("noswitch")
+	res := runShort(t, cfg, ycsbGen(cfg, 50))
+	if res.Scheme != engine.SchemeMVCC {
+		t.Fatalf("result reports scheme %q, want mvcc", res.Scheme)
+	}
+	if res.Counters.Committed() == 0 {
+		t.Fatal("MVCC committed nothing")
+	}
+	if res.Counters.Aborts == 0 {
+		t.Fatal("MVCC saw no first-committer-wins aborts under a contended write-heavy workload")
+	}
+}
+
+func TestMVCCP4DBRunsAllClasses(t *testing.T) {
+	cfg := mvccConfig("p4db")
+	gen := workload.NewTPCC(workload.DefaultTPCC(cfg.Nodes, cfg.Nodes*2))
+	res := runShort(t, cfg, gen)
+	if res.Counters.CommittedWarm == 0 {
+		t.Fatalf("no warm MVCC transactions: %+v", res.Counters)
+	}
+	if res.SwitchTxns == 0 {
+		t.Fatal("warm MVCC transactions never reached the switch")
+	}
+}
+
+// TestMVCCNoNegativeBalances: SmallBank's constrained debits read the row
+// they write, so first-committer-wins validation must preserve the
+// non-negativity invariant exactly as 2PL and OCC do.
+func TestMVCCNoNegativeBalances(t *testing.T) {
+	for _, sys := range []string{"noswitch", "p4db"} {
+		cfg := mvccConfig(sys)
+		sbc := workload.DefaultSmallBank(cfg.Nodes, 5)
+		sbc.AccountsPerNode = 500
+		gen := workload.NewSmallBank(sbc)
+		c := NewCluster(cfg, gen)
+		res := c.Run(1*sim.Millisecond, 4*sim.Millisecond)
+		if res.Counters.Committed() == 0 {
+			t.Fatalf("%v: nothing committed", sys)
+		}
+		for i := 0; i < cfg.Nodes; i++ {
+			st := c.Node(i).Store()
+			for _, tb := range []store.TableID{workload.SBChecking, workload.SBSavings} {
+				for _, k := range st.Table(tb).Keys() {
+					if sys == "p4db" && c.HotIndex().OnSwitch(store.GlobalField(tb, 0, k)) {
+						continue
+					}
+					if v := st.Table(tb).Get(k, 0); v < 0 {
+						t.Fatalf("%v/MVCC: negative balance %d (node %d, table %d, key %d)", sys, v, i, tb, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMVCCGCBoundsVersions: 75% of this workload's writes hammer 50 hot
+// keys per node, so without watermark GC the hot chains would grow by one
+// version per commit; with it, chain length is bounded by the
+// concurrent-snapshot window (workers in flight), not the run length.
+func TestMVCCGCBoundsVersions(t *testing.T) {
+	cfg := mvccConfig("noswitch")
+	gen := ycsbGen(cfg, 50)
+	c := NewCluster(cfg, gen)
+	res := c.Run(500*sim.Microsecond, 2*sim.Millisecond)
+	if res.Counters.Committed() == 0 {
+		t.Fatal("nothing committed")
+	}
+	versions, longest := 0, 0
+	for i := 0; i < cfg.Nodes; i++ {
+		versions += c.Node(i).MVCCVersionsStored()
+		if l := c.Node(i).MVCCLongestChain(); l > longest {
+			longest = l
+		}
+	}
+	if versions == 0 {
+		t.Fatal("no versions stored — writes were not installed through MVCC")
+	}
+	inFlight := cfg.Nodes * cfg.WorkersPerNode
+	if longest > 2*inFlight {
+		t.Fatalf("longest chain holds %d versions with only %d transactions in flight — watermark GC is not pruning", longest, inFlight)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if n := c.Node(i).MVCCPinsHeld(); n > 10 {
+			t.Fatalf("node %d still holds %d pins after shutdown", i, n)
+		}
+	}
+}
+
+// TestUnknownSchemeIsHardError: config validation must reject unknown
+// scheme names with the registered list, the same contract unknown
+// engines have.
+func TestUnknownSchemeIsHardError(t *testing.T) {
+	cfg := smallConfig("noswitch")
+	cfg.Scheme = "definitely-not-a-scheme"
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewCluster accepted an unknown CC scheme")
+		}
+		msg := r.(string)
+		for _, want := range []string{"definitely-not-a-scheme", "2pl", "occ", "mvcc"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q does not mention %q", msg, want)
+			}
+		}
+	}()
+	NewCluster(cfg, ycsbGen(cfg, 50))
+}
+
+// TestCostOverridesShiftOneEngine: an override keyed to one engine must
+// move that engine's results and leave every other engine bit-identical.
+func TestCostOverridesShiftOneEngine(t *testing.T) {
+	run := func(sys string, over map[string]CostModel) int64 {
+		cfg := smallConfig(sys)
+		cfg.CostOverrides = over
+		res := runShort(t, cfg, ycsbGen(cfg, 50))
+		return res.Counters.Committed()
+	}
+	slow := DefaultCosts()
+	slow.LocalAccess *= 20
+	slow.TxnOverhead *= 20
+	over := map[string]CostModel{"noswitch": slow}
+
+	baseNS, baseP4 := run("noswitch", nil), run("p4db", nil)
+	overNS, overP4 := run("noswitch", over), run("p4db", over)
+	if overNS >= baseNS {
+		t.Fatalf("noswitch with 20x costs committed %d >= %d without", overNS, baseNS)
+	}
+	if overP4 != baseP4 {
+		t.Fatalf("p4db shifted by a noswitch-keyed override: %d vs %d", overP4, baseP4)
+	}
+}
+
+// TestBadCostOverrideKeyIsHardError: typos in override keys must fail at
+// cluster build, not silently run defaults.
+func TestBadCostOverrideKeyIsHardError(t *testing.T) {
+	cfg := smallConfig("noswitch")
+	cfg.CostOverrides = map[string]CostModel{"noswitsh": DefaultCosts()}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster accepted an override key naming nothing registered")
+		}
+	}()
+	NewCluster(cfg, ycsbGen(cfg, 50))
+}
+
+// TestCostOverridePrecedence: the "engine/scheme" key beats the engine
+// key, which beats the scheme key.
+func TestCostOverridePrecedence(t *testing.T) {
+	mark := func(v sim.Time) CostModel {
+		cm := DefaultCosts()
+		cm.LocalAccess = v
+		return cm
+	}
+	cfg := smallConfig("noswitch")
+	cfg.Scheme = engine.SchemeOCC
+	cfg.CostOverrides = map[string]CostModel{
+		"noswitch/occ": mark(111),
+		"noswitch":     mark(222),
+		"*/occ":        mark(333),
+	}
+	if got := cfg.costsFor("noswitch", "occ"); got.LocalAccess != 111 {
+		t.Fatalf("pair key not preferred: LocalAccess=%v", got.LocalAccess)
+	}
+	delete(cfg.CostOverrides, "noswitch/occ")
+	if got := cfg.costsFor("noswitch", "occ"); got.LocalAccess != 222 {
+		t.Fatalf("engine key not preferred over scheme key: LocalAccess=%v", got.LocalAccess)
+	}
+	delete(cfg.CostOverrides, "noswitch")
+	if got := cfg.costsFor("noswitch", "occ"); got.LocalAccess != 333 {
+		t.Fatalf("scheme wildcard key ignored: LocalAccess=%v", got.LocalAccess)
+	}
+	delete(cfg.CostOverrides, "*/occ")
+	if got := cfg.costsFor("noswitch", "occ"); got.LocalAccess != DefaultCosts().LocalAccess {
+		t.Fatalf("empty overrides changed the default: LocalAccess=%v", got.LocalAccess)
+	}
+}
+
+// TestAmbiguousCostOverrideKeyIsHardError: "occ" names both an engine and
+// a scheme, so a bare key must be refused in favour of the qualified
+// spellings — an override meant for the ablation engine must never leak
+// onto every engine running the occ scheme.
+func TestAmbiguousCostOverrideKeyIsHardError(t *testing.T) {
+	cfg := smallConfig("noswitch")
+	cfg.CostOverrides = map[string]CostModel{"occ": DefaultCosts()}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("costsFor accepted the ambiguous bare key \"occ\"")
+			}
+			msg := r.(string)
+			if !strings.Contains(msg, "occ/*") || !strings.Contains(msg, "*/occ") {
+				t.Fatalf("panic %q does not suggest the qualified spellings", msg)
+			}
+		}()
+		cfg.costsFor("noswitch", "2pl")
+	}()
+	// The qualified forms are accepted and scoped correctly.
+	engineOnly, schemeOnly := DefaultCosts(), DefaultCosts()
+	engineOnly.LocalAccess = 444
+	schemeOnly.LocalAccess = 555
+	cfg.CostOverrides = map[string]CostModel{"occ/*": engineOnly, "*/occ": schemeOnly}
+	if got := cfg.costsFor("noswitch", "2pl"); got.LocalAccess != DefaultCosts().LocalAccess {
+		t.Fatalf("unrelated run picked up a qualified occ override: %+v", got)
+	}
+	if got := cfg.costsFor("occ", "occ"); got.LocalAccess != 444 {
+		t.Fatalf("occ engine did not pick up its qualified override: %+v", got)
+	}
+	if got := cfg.costsFor("p4db", "occ"); got.LocalAccess != 555 {
+		t.Fatalf("occ scheme run did not pick up its qualified override: %+v", got)
+	}
+}

@@ -32,9 +32,8 @@ type attempt struct {
 }
 
 func (c *Context) newAttempt() *attempt {
-	c.nextTS++
 	return &attempt{
-		ts:    c.nextTS,
+		ts:    c.issueTS(),
 		locks: make(map[netsim.NodeID]*lock.Txn, 2),
 		exec:  workload.NewExecutor(),
 	}

@@ -20,6 +20,10 @@ type chillerEngine struct{}
 func (chillerEngine) Name() string  { return "chiller" }
 func (chillerEngine) Label() string { return "Chiller" }
 
+// ForcedScheme pins 2PL: the inner-region reordering is defined in terms
+// of lock hold times, so the configured scheme does not apply.
+func (chillerEngine) ForcedScheme() string { return Scheme2PL }
+
 func (chillerEngine) Prepare(ctx *Context) error { return nil }
 
 func (chillerEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {

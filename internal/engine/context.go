@@ -13,26 +13,6 @@ import (
 	"repro/internal/workload"
 )
 
-// CCScheme selects the host DBMS's concurrency control family.
-type CCScheme int
-
-// Schemes.
-const (
-	// CC2PL is pessimistic two-phase locking (the paper's main setup,
-	// with the NO_WAIT / WAIT_DIE policies).
-	CC2PL CCScheme = iota
-	// CCOCC is backward-validation optimistic concurrency control
-	// (Appendix A.4).
-	CCOCC
-)
-
-func (s CCScheme) String() string {
-	if s == CCOCC {
-		return "OCC"
-	}
-	return "2PL"
-}
-
 // CostModel holds the per-operation CPU costs of a database node on the
 // virtual timeline. They are small next to network latencies, as on the
 // paper's DPDK testbed.
@@ -60,14 +40,14 @@ func DefaultCosts() CostModel {
 	}
 }
 
-// Node is one database server: its store partition, lock table, WAL and
-// measurement state.
+// Node is one database server: its store partition, lock table, WAL,
+// scheme-private CC bookkeeping and measurement state.
 type Node struct {
 	id    netsim.NodeID
 	store *store.Store
 	locks *lock.Table
 	log   *wal.Log
-	occ   *occState
+	cc    NodeState
 
 	counters  metrics.Counters
 	breakdown metrics.Breakdown
@@ -75,14 +55,15 @@ type Node struct {
 }
 
 // NewNode builds a node with an empty store, a lock table under the given
-// policy, a fresh write-ahead log and OCC bookkeeping.
-func NewNode(id netsim.NodeID, env *sim.Env, pol lock.Policy) *Node {
+// policy, a fresh write-ahead log and the CC bookkeeping of the given
+// scheme.
+func NewNode(id netsim.NodeID, env *sim.Env, pol lock.Policy, sch Scheme) *Node {
 	return &Node{
 		id:    id,
 		store: store.New(),
 		locks: lock.NewTable(env, pol),
 		log:   wal.NewLog(int(id)),
-		occ:   newOCCState(),
+		cc:    sch.NewNodeState(),
 	}
 }
 
@@ -106,10 +87,14 @@ func (n *Node) Latency() *metrics.Histogram { return &n.latency }
 
 // OCCVersionsAdvanced counts rows whose OCC version moved past zero —
 // i.e. rows that received at least one committed optimistic write
-// (diagnostics and tests).
+// (diagnostics and tests). Zero when the node runs another scheme.
 func (n *Node) OCCVersionsAdvanced() int {
+	s, ok := n.cc.(*occState)
+	if !ok {
+		return 0
+	}
 	bumped := 0
-	for _, v := range n.occ.versions {
+	for _, v := range s.versions {
 		if v > 0 {
 			bumped++
 		}
@@ -118,8 +103,13 @@ func (n *Node) OCCVersionsAdvanced() int {
 }
 
 // OCCPinsHeld counts rows currently pinned by validating transactions
-// (diagnostics and tests).
-func (n *Node) OCCPinsHeld() int { return len(n.occ.pins) }
+// (diagnostics and tests). Zero when the node runs another scheme.
+func (n *Node) OCCPinsHeld() int {
+	if s, ok := n.cc.(*occState); ok {
+		return len(s.pins)
+	}
+	return 0
+}
 
 // Context is the shared substrate every engine composes: the simulated
 // cluster hardware (nodes, network, switch), the workload, the hot-set
@@ -133,10 +123,17 @@ type Context struct {
 	Gen   workload.Generator
 	Nodes []*Node
 
-	Costs     CostModel
-	Scheme    CCScheme
+	Costs CostModel
+	// Scheme is the resolved host-DBMS concurrency-control family the
+	// cluster runs under (see ResolveScheme); engines route their warm
+	// and cold paths through it.
+	Scheme    Scheme
 	Policy    lock.Policy
 	SwitchCfg pisa.Config
+
+	// SchemeData is scheme-owned cluster-wide state installed by
+	// Scheme.Init (the MVCC snapshot tracker); nil for stateless schemes.
+	SchemeData interface{}
 
 	// Hot-set artifacts of the offline preparation step (Figure 3).
 	Layout   *layout.Layout
@@ -153,6 +150,14 @@ type Context struct {
 
 	nextTS    uint64
 	measuring bool
+}
+
+// issueTS hands out the next cluster-unique timestamp. The paper assigns
+// transaction timestamps at start; MVCC additionally draws commit stamps
+// from the same clock so snapshot and commit order share one timeline.
+func (c *Context) issueTS() uint64 {
+	c.nextTS++
+	return c.nextTS
 }
 
 // SetMeasuring gates statistics collection: only virtual time spent inside

@@ -19,6 +19,10 @@ type lmSwitchEngine struct{}
 func (lmSwitchEngine) Name() string  { return "lmswitch" }
 func (lmSwitchEngine) Label() string { return "LM-Switch" }
 
+// ForcedScheme pins 2PL: centralized lock management is inherently
+// lock-based, so the configured scheme does not apply.
+func (lmSwitchEngine) ForcedScheme() string { return Scheme2PL }
+
 // Prepare installs the central lock table "in the switch" — a lock table
 // reachable at half a round trip.
 func (lmSwitchEngine) Prepare(ctx *Context) error {

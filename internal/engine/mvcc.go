@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// This file implements the third host-DBMS concurrency-control family:
+// multi-version concurrency control with snapshot isolation. Transactions
+// read the newest committed version at or below their begin timestamp —
+// readers never block and never abort writers — and buffer their writes
+// privately. At commit, first-committer-wins validation checks every row
+// in the write set, pins it, and only then installs the buffered writes.
+// The cold 2PC round and the vote-first warm path (Appendix A.4 style:
+// cold part validates, then the switch sub-transaction runs inside the
+// combined Decision&Switch phase) are the shared optimistic drivers of
+// optimistic.go; this file is MVCC's attempt state machine.
+//
+// A written row passes validation only if (a) no committed write to it
+// carries a stamp newer than the snapshot, (b) the row's write stamp still
+// equals the one observed when the attempt first read it, and (c) no
+// concurrently validating transaction holds its pin. Check (b) exists
+// because commit stamps are drawn before the decision round installs the
+// writes: a transaction that begins inside that in-flight window holds a
+// numerically newer snapshot yet read the older state, so the stamp
+// comparison (a) alone would let it overwrite the in-flight commit — a
+// lost update. Re-checking the observed stamp under the pin makes every
+// read-modify-write of a row linearize. Read-only rows are deliberately
+// not validated (snapshot isolation, not serializability): a distributed
+// reader may observe an in-flight commit's writes on one node and not yet
+// on another during the decision round.
+//
+// Version chains hang off a per-node version map keyed by the
+// field-qualified tuple id; the newest committed value is additionally
+// materialized into the store, so recovery, diagnostics and the parity
+// tests read the same state they would under 2PL or OCC. Garbage
+// collection is watermark-based on the sim timeline: the watermark is the
+// oldest begin timestamp among live MVCC transactions, and chains are
+// pruned down to the newest version at or below it whenever a commit
+// touches them.
+
+func init() { RegisterScheme(mvccScheme{}) }
+
+// mvccScheme is snapshot-read, first-committer-wins MVCC.
+type mvccScheme struct{}
+
+func (mvccScheme) Name() string  { return SchemeMVCC }
+func (mvccScheme) Label() string { return "MVCC" }
+
+func (mvccScheme) Init(c *Context) {
+	c.SchemeData = &mvccCluster{dead: make(map[uint64]struct{}, 64)}
+}
+
+func (mvccScheme) NewNodeState() NodeState { return newMVCCState() }
+
+func (mvccScheme) ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
+	return c.execOptimisticTxn(p, n, txn, c.newMVCCAttempt())
+}
+
+func (mvccScheme) ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
+	return c.execOptimisticWarm(p, n, txn, func() voteFirst { return c.newMVCCAttempt() })
+}
+
+// ErrWriteConflict aborts an MVCC transaction that lost the
+// first-committer-wins race on a row of its write set.
+var ErrWriteConflict = fmt.Errorf("%w: MVCC first-committer-wins conflict", lock.ErrAbort)
+
+// mvccCluster is the cluster-wide MVCC state: the live-snapshot tracker
+// behind the GC watermark. The commit clock rides the Context's shared
+// timestamp counter, so snapshots and commit stamps share one timeline.
+// Begin timestamps are issued monotonically and are unique per attempt,
+// so the live set is a queue: the oldest live snapshot — the watermark —
+// is the front, and both begin and end are amortized O(1), keeping GC off
+// the per-commit hot path.
+type mvccCluster struct {
+	queue []uint64            // live begin timestamps in issue order
+	dead  map[uint64]struct{} // retired but not yet popped from the queue
+	head  int                 // index of the oldest live entry in queue
+}
+
+func (mc *mvccCluster) begin(snap uint64) { mc.queue = append(mc.queue, snap) }
+
+func (mc *mvccCluster) end(snap uint64) {
+	mc.dead[snap] = struct{}{}
+	for mc.head < len(mc.queue) {
+		ts := mc.queue[mc.head]
+		if _, gone := mc.dead[ts]; !gone {
+			break
+		}
+		delete(mc.dead, ts)
+		mc.head++
+	}
+	switch {
+	case mc.head == len(mc.queue):
+		mc.queue = mc.queue[:0]
+		mc.head = 0
+	case mc.head > 64 && mc.head*2 >= len(mc.queue):
+		// Reclaim the popped prefix once it dominates the backing array.
+		n := copy(mc.queue, mc.queue[mc.head:])
+		mc.queue = mc.queue[:n]
+		mc.head = 0
+	}
+}
+
+// watermark returns the oldest live begin timestamp, or now when the
+// cluster is idle. No snapshot at or above the watermark can ever need a
+// version older than the newest one at or below it.
+func (mc *mvccCluster) watermark(now uint64) uint64 {
+	if mc.head < len(mc.queue) {
+		return mc.queue[mc.head]
+	}
+	return now
+}
+
+// mvccClusterOf returns the cluster-wide MVCC state, failing fast when the
+// cluster was built for another scheme.
+func mvccClusterOf(c *Context) *mvccCluster {
+	mc, ok := c.SchemeData.(*mvccCluster)
+	if !ok {
+		panic("engine: MVCC execution on a cluster built for another CC scheme")
+	}
+	return mc
+}
+
+// mvccVersion is one committed value of a tuple; ts 0 carries the
+// pre-MVCC base value loaded at populate time.
+type mvccVersion struct {
+	ts  uint64
+	val int64
+}
+
+// mvccState is a node's MVCC bookkeeping: version chains (newest last),
+// the newest committed write stamp per row (the first-committer-wins
+// check) and pins (rows claimed between validation and decision).
+type mvccState struct {
+	chains    map[store.GlobalKey][]mvccVersion
+	lastWrite map[lock.Key]uint64
+	pins      map[lock.Key]uint64 // row -> pinning transaction ts
+}
+
+func newMVCCState() *mvccState {
+	return &mvccState{
+		chains:    make(map[store.GlobalKey][]mvccVersion),
+		lastWrite: make(map[lock.Key]uint64),
+		pins:      make(map[lock.Key]uint64),
+	}
+}
+
+// mvccStateOf returns the node's MVCC bookkeeping, failing fast when the
+// node was built for another scheme (a cluster-assembly bug).
+func mvccStateOf(n *Node) *mvccState {
+	s, ok := n.cc.(*mvccState)
+	if !ok {
+		panic(fmt.Sprintf("engine: MVCC execution on node %d built for another CC scheme", n.id))
+	}
+	return s
+}
+
+// snapshotRead returns the tuple value visible at snapshot snap: the
+// newest chain version at or below it, or the store value for tuples no
+// MVCC transaction ever wrote.
+func snapshotRead(n *Node, gk store.GlobalKey, snap uint64) int64 {
+	if chain, ok := mvccStateOf(n).chains[gk]; ok {
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].ts <= snap {
+				return chain[i].val
+			}
+		}
+		// Chains are seeded with the ts-0 base value and GC never prunes
+		// the newest version at or below the watermark, which is at or
+		// below every live snapshot.
+		panic(fmt.Sprintf("engine: MVCC chain for %v lost every version visible at %d", gk, snap))
+	}
+	table, field, key := gk.SplitField()
+	return n.store.Table(table).Get(key, field)
+}
+
+// MVCCVersionsStored counts the versions currently held in the node's
+// chains (diagnostics and the GC tests). Zero when the node runs another
+// scheme.
+func (n *Node) MVCCVersionsStored() int {
+	s, ok := n.cc.(*mvccState)
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, chain := range s.chains {
+		total += len(chain)
+	}
+	return total
+}
+
+// MVCCLongestChain returns the longest version chain on the node
+// (diagnostics and the GC tests): with watermark GC it is bounded by the
+// concurrent-snapshot window, not by the run length. Zero when the node
+// runs another scheme.
+func (n *Node) MVCCLongestChain() int {
+	s, ok := n.cc.(*mvccState)
+	if !ok {
+		return 0
+	}
+	longest := 0
+	for _, chain := range s.chains {
+		if len(chain) > longest {
+			longest = len(chain)
+		}
+	}
+	return longest
+}
+
+// MVCCPinsHeld counts rows currently pinned by validating transactions
+// (diagnostics and tests). Zero when the node runs another scheme.
+func (n *Node) MVCCPinsHeld() int {
+	if s, ok := n.cc.(*mvccState); ok {
+		return len(s.pins)
+	}
+	return 0
+}
+
+// mvccAttempt is one snapshot-isolated execution attempt: the shared
+// buffered write set plus the snapshot's observed write stamps and the
+// commit stamp.
+type mvccAttempt struct {
+	bufferedAttempt
+	commit  uint64                                // commit stamp, issued once validation cannot fail
+	readVer map[netsim.NodeID]map[lock.Key]uint64 // row write stamps observed at first read
+}
+
+func (c *Context) newMVCCAttempt() *mvccAttempt {
+	at := &mvccAttempt{
+		bufferedAttempt: newBufferedAttempt(c.issueTS()),
+		readVer:         make(map[netsim.NodeID]map[lock.Key]uint64, 2),
+	}
+	mvccClusterOf(c).begin(at.ts)
+	return at
+}
+
+// readDone retires the attempt's snapshot, letting the GC watermark
+// advance past it: validation and install only touch the overlay and the
+// write set, so holding the snapshot through commit would only delay GC —
+// including the transaction's own prune of the chains it commits to.
+func (at *mvccAttempt) readDone(c *Context) { mvccClusterOf(c).end(at.ts) }
+
+// sealed draws the commit stamp once local validation has passed.
+func (at *mvccAttempt) sealed(c *Context) { at.commit = c.issueTS() }
+
+func (at *mvccAttempt) abortErr() error { return ErrWriteConflict }
+
+// trackRead records the row's current committed write stamp the first
+// time the attempt observes it — the value validation re-checks.
+func (at *mvccAttempt) trackRead(n *Node, row lock.Key) {
+	m := at.readVer[n.id]
+	if m == nil {
+		m = make(map[lock.Key]uint64, 4)
+		at.readVer[n.id] = m
+	}
+	if _, seen := m[row]; !seen {
+		m[row] = mvccStateOf(n).lastWrite[row]
+	}
+}
+
+// view reads a field through the attempt's overlay, falling back to the
+// snapshot.
+func (at *mvccAttempt) view(n *Node, op workload.Op) int64 {
+	if ov := at.overlay[n.id]; ov != nil {
+		if v, ok := ov[op.TupleKey()]; ok {
+			return v
+		}
+	}
+	at.trackRead(n, lock.Key(op.LockKey()))
+	return snapshotRead(n, op.TupleKey(), at.ts)
+}
+
+// applyOp runs the shared op interpretation against the attempt's
+// snapshot view (view records the observed write stamp).
+func (at *mvccAttempt) applyOp(n *Node, op workload.Op) {
+	applyBufferedOp(at, n, op)
+}
+
+// validateAndPin runs the first-committer-wins check for the attempt's
+// write set at node n and pins it there. Reads of rows the attempt does
+// not write are not validated — snapshot isolation admits them
+// unconditionally. Like its OCC counterpart it must run without
+// intervening virtual time.
+func (at *mvccAttempt) validateAndPin(n *Node) bool {
+	ms := mvccStateOf(n)
+	rows := at.wrote[n.id]
+	observed := at.readVer[n.id]
+	for row := range rows {
+		if ms.lastWrite[row] > at.ts {
+			return false
+		}
+		// The stamp observed at read time must still be current: a commit
+		// whose stamp predates this snapshot may install its writes after
+		// this attempt read the row (the stamp is drawn before the 2PC
+		// decision lands), and overwriting it would lose its update.
+		if obs, ok := observed[row]; ok && obs != ms.lastWrite[row] {
+			return false
+		}
+		if owner, pinned := ms.pins[row]; pinned && owner != at.ts {
+			return false
+		}
+	}
+	for row := range rows {
+		ms.pins[row] = at.ts
+	}
+	at.pinned = append(at.pinned, n.id)
+	return true
+}
+
+// unpin releases the attempt's pins at node n.
+func (at *mvccAttempt) unpin(n *Node) {
+	ms := mvccStateOf(n)
+	for row, owner := range ms.pins {
+		if owner == at.ts {
+			delete(ms.pins, row)
+		}
+	}
+}
+
+// install applies the buffered writes at node n as versions stamped with
+// the attempt's commit timestamp (seeding each chain with its ts-0 base
+// value on first write), materializes them into the store, advances the
+// rows' write stamps, releases the pins and prunes each touched chain
+// against the current GC watermark.
+func (at *mvccAttempt) install(c *Context, n *Node) {
+	ms := mvccStateOf(n)
+	wm := mvccClusterOf(c).watermark(c.nextTS)
+	for gk, v := range at.overlay[n.id] {
+		table, field, key := gk.SplitField()
+		tb := n.store.Table(table)
+		chain := ms.chains[gk]
+		if chain == nil {
+			chain = append(chain, mvccVersion{ts: 0, val: tb.Get(key, field)})
+		}
+		chain = append(chain, mvccVersion{ts: at.commit, val: v})
+		ms.chains[gk] = pruneChain(chain, wm)
+		tb.Set(key, field, v)
+	}
+	for row := range at.wrote[n.id] {
+		ms.lastWrite[row] = at.commit
+	}
+	at.unpin(n)
+}
+
+// pruneChain drops the versions no live or future snapshot can read:
+// everything older than the newest version at or below the watermark.
+func pruneChain(chain []mvccVersion, wm uint64) []mvccVersion {
+	keep := 0
+	for i, v := range chain {
+		if v.ts <= wm {
+			keep = i
+		}
+	}
+	return chain[keep:]
+}
+
+// remoteNodes lists the nodes other than self holding buffered writes —
+// the 2PC participants. Nodes the attempt only read never join the commit
+// protocol: snapshot reads validate nothing.
+func (at *mvccAttempt) remoteNodes(self netsim.NodeID) []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, len(at.wrote))
+	for id := range at.wrote {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -9,7 +9,7 @@ func init() { Register(noSwitchEngine{}) }
 
 // noSwitchEngine is the traditional distributed DBMS baseline: the switch
 // only forwards packets, every transaction is cold. The host CC scheme
-// (2PL or OCC) follows the configured Scheme, matching the paper's main
+// (2PL, OCC or MVCC) follows the configuration, matching the paper's main
 // setup and the Appendix A.4 ablation.
 type noSwitchEngine struct{}
 
@@ -19,8 +19,5 @@ func (noSwitchEngine) Label() string { return "No-Switch" }
 func (noSwitchEngine) Prepare(ctx *Context) error { return nil }
 
 func (noSwitchEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	if ctx.Scheme == CCOCC {
-		return ClassCold, ctx.execOCCTxn(p, n, txn)
-	}
-	return ClassCold, ctx.execCold(p, n, txn)
+	return ClassCold, ctx.Scheme.ExecCold(ctx, p, n, txn)
 }

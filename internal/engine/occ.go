@@ -4,12 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/lock"
-	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
-	"repro/internal/store"
-	"repro/internal/twopc"
-	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -19,27 +15,58 @@ import (
 // a private write buffer while recording the versions of the rows they
 // read; at commit, a validation phase pins the read/write set, verifies
 // that no read version changed, and only then applies the buffered writes.
-// For warm transactions the switch sub-transaction is sent between
-// validation and the commit broadcast — the point at which the cold part
-// can no longer abort — exactly as the appendix prescribes.
+// The cold 2PC round and the vote-first warm path are the shared
+// optimistic drivers of optimistic.go; this file is OCC's attempt state
+// machine.
 //
-// The "occ" engine registered here is the No-Switch baseline forced onto
-// this scheme; the P4DB engine routes its warm/cold paths through the same
-// machinery when the configured Scheme is CCOCC.
+// The machinery registers twice: as the "occ" entry of the scheme
+// registry (selectable for any scheme-aware engine via core.Config.Scheme)
+// and as the "occ" engine — the No-Switch baseline forced onto this scheme,
+// kept under the Appendix A.4 ablation's historical spelling.
 
-func init() { Register(occEngine{}) }
+func init() {
+	RegisterScheme(occScheme{})
+	Register(occEngine{})
+}
+
+// occScheme is backward-validation optimistic concurrency control.
+type occScheme struct{}
+
+func (occScheme) Name() string            { return SchemeOCC }
+func (occScheme) Label() string           { return "OCC" }
+func (occScheme) Init(*Context)           {}
+func (occScheme) NewNodeState() NodeState { return newOCCState() }
+
+func (occScheme) ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
+	return c.execOptimisticTxn(p, n, txn, c.newOCCAttempt())
+}
+
+func (occScheme) ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
+	return c.execOptimisticWarm(p, n, txn, func() voteFirst { return c.newOCCAttempt() })
+}
 
 // occEngine is the No-Switch baseline running under OCC regardless of the
-// configured Scheme — the registry name for the Appendix A.4 ablation.
+// configured scheme — the registry name for the Appendix A.4 ablation.
 type occEngine struct{}
 
-func (occEngine) Name() string  { return "occ" }
-func (occEngine) Label() string { return "No-Switch (OCC)" }
+func (occEngine) Name() string         { return "occ" }
+func (occEngine) Label() string        { return "No-Switch (OCC)" }
+func (occEngine) ForcedScheme() string { return SchemeOCC }
 
 func (occEngine) Prepare(ctx *Context) error { return nil }
 
 func (occEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	return ClassCold, ctx.execOCCTxn(p, n, txn)
+	return ClassCold, ctx.Scheme.ExecCold(ctx, p, n, txn)
+}
+
+// occStateOf returns the node's OCC bookkeeping, failing fast when the
+// node was built for another scheme (a cluster-assembly bug).
+func occStateOf(n *Node) *occState {
+	s, ok := n.cc.(*occState)
+	if !ok {
+		panic(fmt.Sprintf("engine: OCC execution on node %d built for another CC scheme", n.id))
+	}
+	return s
 }
 
 // ErrValidation aborts an OCC transaction whose read set changed (or whose
@@ -61,27 +88,23 @@ func newOCCState() *occState {
 	}
 }
 
-// occAttempt is one optimistic execution attempt.
+// occAttempt is one optimistic execution attempt: the shared buffered
+// write set plus OCC's observed read versions.
 type occAttempt struct {
-	ts      uint64
-	exec    workload.Executor
-	reads   map[netsim.NodeID]map[lock.Key]uint64       // observed row versions
-	overlay map[netsim.NodeID]map[store.GlobalKey]int64 // buffered writes (field-qualified)
-	wrote   map[netsim.NodeID]map[lock.Key]struct{}     // rows with buffered writes
-	writes  []wal.ColdWrite
-	pinned  []netsim.NodeID // nodes where the attempt holds pins
+	bufferedAttempt
+	reads map[netsim.NodeID]map[lock.Key]uint64 // observed row versions
 }
 
 func (c *Context) newOCCAttempt() *occAttempt {
-	c.nextTS++
 	return &occAttempt{
-		ts:      c.nextTS,
-		exec:    workload.NewExecutor(),
-		reads:   make(map[netsim.NodeID]map[lock.Key]uint64, 2),
-		overlay: make(map[netsim.NodeID]map[store.GlobalKey]int64, 2),
-		wrote:   make(map[netsim.NodeID]map[lock.Key]struct{}, 2),
+		bufferedAttempt: newBufferedAttempt(c.issueTS()),
+		reads:           make(map[netsim.NodeID]map[lock.Key]uint64, 2),
 	}
 }
+
+func (at *occAttempt) readDone(*Context) {}
+func (at *occAttempt) sealed(*Context)   {}
+func (at *occAttempt) abortErr() error   { return ErrValidation }
 
 // trackRead records the version of a row the first time it is observed.
 func (at *occAttempt) trackRead(n *Node, row lock.Key) {
@@ -91,7 +114,7 @@ func (at *occAttempt) trackRead(n *Node, row lock.Key) {
 		at.reads[n.id] = m
 	}
 	if _, seen := m[row]; !seen {
-		m[row] = n.occ.versions[row]
+		m[row] = occStateOf(n).versions[row]
 	}
 }
 
@@ -105,79 +128,37 @@ func (at *occAttempt) view(n *Node, op workload.Op) int64 {
 	return n.store.Table(op.Table).Get(op.Key, op.Field)
 }
 
-// buffer stages a write in the overlay.
-func (at *occAttempt) buffer(n *Node, op workload.Op, v int64) {
-	ov := at.overlay[n.id]
-	if ov == nil {
-		ov = make(map[store.GlobalKey]int64, 4)
-		at.overlay[n.id] = ov
-	}
-	ov[op.TupleKey()] = v
-	w := at.wrote[n.id]
-	if w == nil {
-		w = make(map[lock.Key]struct{}, 4)
-		at.wrote[n.id] = w
-	}
-	w[lock.Key(op.LockKey())] = struct{}{}
-	at.writes = append(at.writes, wal.ColdWrite{Table: op.Table, Key: op.Key, Field: op.Field, Value: v})
-}
-
-// applyOCCOp executes one operation against the attempt's private view,
-// mirroring the Executor/switch semantics exactly.
-func (at *occAttempt) applyOCCOp(n *Node, op workload.Op) {
-	row := lock.Key(op.LockKey())
-	at.trackRead(n, row)
-	cur := at.view(n, op)
-	switch op.Kind {
-	case workload.Read:
-		// value observed via trackRead; nothing to write
-	case workload.Write:
-		at.buffer(n, op, op.Value)
-	case workload.Add:
-		at.buffer(n, op, cur+op.Value)
-	case workload.CondAddGE0:
-		if cur+op.Value >= 0 {
-			at.buffer(n, op, cur+op.Value)
-		} else {
-			at.exec.OK = false
-		}
-	case workload.ReadClear:
-		at.exec.Acc += cur
-		at.buffer(n, op, 0)
-	case workload.AddAcc:
-		at.buffer(n, op, cur+at.exec.Acc+op.Value)
-	case workload.AddIfOK:
-		if at.exec.OK {
-			at.buffer(n, op, cur+op.Value)
-		}
-	default:
-		panic(fmt.Sprintf("engine: unknown op kind %d", op.Kind))
-	}
+// applyOp records the row's version, then runs the shared op
+// interpretation against the attempt's private view.
+func (at *occAttempt) applyOp(n *Node, op workload.Op) {
+	at.trackRead(n, lock.Key(op.LockKey()))
+	applyBufferedOp(at, n, op)
 }
 
 // validateAndPin checks the attempt's reads at node n and pins its
 // read/write set there. It must run without intervening virtual time
 // (it models a short latch-protected critical section).
 func (at *occAttempt) validateAndPin(n *Node) bool {
+	occ := occStateOf(n)
 	reads := at.reads[n.id]
 	for row, ver := range reads {
-		if n.occ.versions[row] != ver {
+		if occ.versions[row] != ver {
 			return false
 		}
-		if owner, pinned := n.occ.pins[row]; pinned && owner != at.ts {
+		if owner, pinned := occ.pins[row]; pinned && owner != at.ts {
 			return false
 		}
 	}
 	for row := range at.wrote[n.id] {
-		if owner, pinned := n.occ.pins[row]; pinned && owner != at.ts {
+		if owner, pinned := occ.pins[row]; pinned && owner != at.ts {
 			return false
 		}
 	}
 	for row := range reads {
-		n.occ.pins[row] = at.ts
+		occ.pins[row] = at.ts
 	}
 	for row := range at.wrote[n.id] {
-		n.occ.pins[row] = at.ts
+		occ.pins[row] = at.ts
 	}
 	at.pinned = append(at.pinned, n.id)
 	return true
@@ -185,84 +166,30 @@ func (at *occAttempt) validateAndPin(n *Node) bool {
 
 // unpin releases the attempt's pins at node n.
 func (at *occAttempt) unpin(n *Node) {
-	for row, owner := range n.occ.pins {
+	occ := occStateOf(n)
+	for row, owner := range occ.pins {
 		if owner == at.ts {
-			delete(n.occ.pins, row)
+			delete(occ.pins, row)
 		}
 	}
 }
 
-// applyAndUnpin installs the buffered writes at node n, bumps row versions
-// and releases the pins.
-func (at *occAttempt) applyAndUnpin(n *Node) {
+// install applies the buffered writes at node n, bumps row versions and
+// releases the pins.
+func (at *occAttempt) install(_ *Context, n *Node) {
 	for gk, v := range at.overlay[n.id] {
 		table, field, key := gk.SplitField()
 		n.store.Table(table).Set(key, field, v)
 	}
 	for row := range at.wrote[n.id] {
-		n.occ.versions[row]++
+		occStateOf(n).versions[row]++
 	}
 	at.unpin(n)
 }
 
-// abortOCC releases all pins (nothing was applied yet). Remote nodes are
-// notified asynchronously, like the 2PL abort path.
-func (c *Context) abortOCC(n *Node, at *occAttempt) {
-	for _, id := range at.pinned {
-		if id == n.id {
-			at.unpin(c.Nodes[id])
-			continue
-		}
-		id := id
-		c.Net.Send(n.id, id, func() { at.unpin(c.Nodes[id]) })
-	}
-	at.pinned = nil
-}
-
-// execOCCOps runs the operations optimistically, visiting remote nodes
-// over the network for their reads (the buffered writes travel with the
-// transaction and are shipped at commit).
-func (c *Context) execOCCOps(p *sim.Proc, n *Node, at *occAttempt, ops []workload.Op) {
-	for _, op := range ops {
-		if op.Home == n.id {
-			t0 := p.Now()
-			p.Sleep(c.Costs.LocalAccess)
-			at.applyOCCOp(n, op)
-			c.charge(n, metrics.LocalAccess, t0)
-			continue
-		}
-		t0 := p.Now()
-		op := op
-		c.Net.RPC(p, n.id, op.Home, func() {
-			p.Sleep(c.Costs.LocalAccess)
-			at.applyOCCOp(c.Nodes[op.Home], op)
-		})
-		c.charge(n, metrics.RemoteAccess, t0)
-	}
-}
-
-// occParticipants builds the 2PC participants for the attempt's remote
-// nodes: prepare = validate + pin (+ log), commit = apply + unpin, abort =
-// unpin.
-func (c *Context) occParticipants(at *occAttempt, remotes []netsim.NodeID) []twopc.Participant {
-	parts := make([]twopc.Participant, 0, len(remotes))
-	for _, id := range remotes {
-		rn := c.Nodes[id]
-		parts = append(parts, twopc.Participant{
-			Node: id,
-			Prepare: func(sp *sim.Proc) bool {
-				sp.Sleep(c.Costs.LogAppend)
-				return at.validateAndPin(rn)
-			},
-			Commit: func() { at.applyAndUnpin(rn) },
-			Abort:  func() { at.unpin(rn) },
-		})
-	}
-	return parts
-}
-
-// remoteOCCNodes lists the nodes other than self the attempt touched.
-func (at *occAttempt) remoteOCCNodes(self netsim.NodeID) []netsim.NodeID {
+// remoteNodes lists the nodes other than self the attempt touched — OCC
+// validates reads, so read-only nodes participate in 2PC too.
+func (at *occAttempt) remoteNodes(self netsim.NodeID) []netsim.NodeID {
 	seen := map[netsim.NodeID]struct{}{}
 	add := func(id netsim.NodeID) {
 		if id != self {
@@ -280,104 +207,4 @@ func (at *occAttempt) remoteOCCNodes(self netsim.NodeID) []netsim.NodeID {
 		out = append(out, id)
 	}
 	return out
-}
-
-// execOCCTxn executes an entire cold transaction under OCC.
-func (c *Context) execOCCTxn(p *sim.Proc, n *Node, txn *workload.Txn) error {
-	at := c.newOCCAttempt()
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
-	c.execOCCOps(p, n, at, txn.Ops)
-
-	t1 := p.Now()
-	defer c.charge(n, metrics.TxnEngine, t1)
-	// Local validation first: a cheap early abort.
-	if !at.validateAndPin(n) {
-		c.abortOCC(n, at)
-		return ErrValidation
-	}
-	remotes := at.remoteOCCNodes(n.id)
-	if len(remotes) == 0 {
-		p.Sleep(c.Costs.LogAppend)
-		n.log.AppendCold(at.ts, at.writes)
-		at.applyAndUnpin(n)
-		return nil
-	}
-	coord := twopc.NewCoordinator(c.Net, n.id)
-	if !coord.Commit(p, c.occParticipants(at, remotes)) {
-		c.abortOCC(n, at)
-		return ErrValidation
-	}
-	p.Sleep(c.Costs.LogAppend)
-	n.log.AppendCold(at.ts, at.writes)
-	at.applyAndUnpin(n)
-	return nil
-}
-
-// execOCCWarm executes a warm transaction under OCC per Appendix A.4: the
-// cold part validates (so it cannot abort anymore), then the switch
-// sub-transaction runs inside the combined Decision&Switch phase, and the
-// cold writes apply when the multicast decision arrives.
-func (c *Context) execOCCWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
-	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.OnSwitch(op) }) {
-		return c.execOCCTxn(p, n, txn)
-	}
-	at := c.newOCCAttempt()
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
-
-	var coldOps, hotOps []workload.Op
-	for _, op := range txn.Ops {
-		if c.OnSwitch(op) {
-			hotOps = append(hotOps, op)
-		} else {
-			coldOps = append(coldOps, op)
-		}
-	}
-	c.execOCCOps(p, n, at, coldOps)
-	if !at.validateAndPin(n) {
-		c.abortOCC(n, at)
-		return ErrValidation
-	}
-
-	// Vote first: unlike the 2PL warm path, OCC participants can refuse
-	// (their validation may fail), and the switch intent must only be
-	// logged — i.e. the transaction only counts as committed — once the
-	// cold part is certain to commit.
-	t1 := p.Now()
-	remotes := at.remoteOCCNodes(n.id)
-	coord := twopc.NewCoordinator(c.Net, n.id)
-	parts := c.occParticipants(at, remotes)
-	if len(remotes) > 0 && !coord.Prepare(p, parts) {
-		coord.Finish(p, parts, false)
-		c.abortOCC(n, at)
-		c.charge(n, metrics.TxnEngine, t1)
-		return ErrValidation
-	}
-	pkt, passes := c.compileHot(hotOps, at.ts)
-	p.Sleep(c.Costs.LogAppend)
-	rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
-	coord.SwitchPhase(p, parts, func(sub *sim.Proc) {
-		resp, xerr := c.Sw.Exec(sub, pkt)
-		if xerr != nil {
-			panic(fmt.Sprintf("engine: switch rejected warm OCC packet: %v", xerr))
-		}
-		rec.Complete(resp)
-	})
-	c.charge(n, metrics.SwitchTxn, t1)
-	t2 := p.Now()
-	p.Sleep(c.Costs.LogAppend)
-	n.log.AppendCold(at.ts, at.writes)
-	at.applyAndUnpin(n)
-	c.charge(n, metrics.TxnEngine, t2)
-	if c.measuring {
-		if passes > 1 {
-			n.counters.MultiPass++
-		} else {
-			n.counters.SinglePass++
-		}
-	}
-	return nil
 }

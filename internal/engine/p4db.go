@@ -14,10 +14,10 @@ func init() { Register(p4dbEngine{}) }
 
 // p4dbEngine is P4DB itself (Sections 3, 5 and 6): hot transactions
 // compile to one switch packet and execute abort-free in the data plane;
-// cold transactions run under the host CC scheme (2PL or OCC, per the
-// configured Scheme); warm transactions execute their cold part first and
-// trigger the switch sub-transaction inside the combined Decision&Switch
-// commit phase (Figure 10).
+// cold transactions run under the configured host CC scheme (2PL, OCC or
+// MVCC); warm transactions execute their cold part first and trigger the
+// switch sub-transaction inside the combined Decision&Switch commit phase
+// (Figure 10).
 type p4dbEngine struct{}
 
 func (p4dbEngine) Name() string  { return "p4db" }
@@ -46,15 +46,9 @@ func (p4dbEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn)
 		ctx.ExecHot(p, n, txn)
 		return ClassHot, nil
 	case ClassWarm:
-		if ctx.Scheme == CCOCC {
-			return ClassWarm, ctx.execOCCWarm(p, n, txn)
-		}
-		return ClassWarm, ctx.execWarm(p, n, txn)
+		return ClassWarm, ctx.Scheme.ExecWarm(ctx, p, n, txn)
 	default:
-		if ctx.Scheme == CCOCC {
-			return ClassCold, ctx.execOCCTxn(p, n, txn)
-		}
-		return ClassCold, ctx.execCold(p, n, txn)
+		return ClassCold, ctx.Scheme.ExecCold(ctx, p, n, txn)
 	}
 }
 

@@ -11,22 +11,25 @@ import (
 	"repro/internal/workload"
 )
 
-// TestEnginesCommitSameSerialHistory drives an identical, serial sequence
-// of SmallBank transactions through every registered engine and asserts
-// they all reach the same final database state. With a single driver
-// process there is no concurrency, so every engine — 2PL, OCC, central
-// locking, regional locking, switch offload — must apply exactly the same
-// serial history; any divergence is an isolation or bookkeeping bug in
-// that strategy. For P4DB the hot tuples' values live in the switch
-// registers, so reads go through the engine's data placement.
-func TestEnginesCommitSameSerialHistory(t *testing.T) {
+// TestEngineSchemeGridSerialParity drives an identical, serial sequence
+// of SmallBank transactions through the full engine x scheme grid and
+// asserts every pairing reaches the same final database state. With a
+// single driver process there is no concurrency, so every combination —
+// 2PL, OCC or MVCC under every execution strategy — must apply exactly
+// the same serial history; any divergence is an isolation or bookkeeping
+// bug in that strategy or scheme. For P4DB the hot tuples' values live in
+// the switch registers, so reads go through the engine's data placement.
+// Scheme-pinned engines (lmswitch, chiller, occ) resolve several grid
+// cells to the same effective pairing; those are run once.
+func TestEngineSchemeGridSerialParity(t *testing.T) {
 	const (
 		nodes = 2
 		txns  = 300
 	)
-	finalState := func(name string) map[store.GlobalKey]int64 {
+	finalState := func(name, scheme string) map[store.GlobalKey]int64 {
 		cfg := core.DefaultConfig()
 		cfg.Engine = name
+		cfg.Scheme = scheme
 		cfg.Nodes = nodes
 		cfg.WorkersPerNode = 1
 		cfg.SampleTxns = 4000
@@ -48,7 +51,7 @@ func TestEnginesCommitSameSerialHistory(t *testing.T) {
 				if _, err := eng.Execute(ctx, p, c.Node(0), txn); err != nil {
 					// Serial execution cannot conflict; a single retry
 					// would mask a real strategy bug, so fail instead.
-					driveErr = fmt.Errorf("%s: txn %d aborted: %w", name, k, err)
+					driveErr = fmt.Errorf("%s/%s: txn %d aborted: %w", name, scheme, k, err)
 					return
 				}
 			}
@@ -80,21 +83,49 @@ func TestEnginesCommitSameSerialHistory(t *testing.T) {
 		return state
 	}
 
-	names := engine.Names()
-	ref := finalState(names[0])
-	if len(ref) == 0 {
-		t.Fatal("reference engine produced an empty state")
+	type pair struct{ engine, scheme string }
+	// Enumerate the grid, deduplicating cells that resolve to the same
+	// effective pairing (scheme-pinned engines).
+	var grid []pair
+	seen := make(map[pair]bool)
+	for _, name := range engine.Names() {
+		e, err := engine.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range engine.SchemeNames() {
+			sch, err := engine.ResolveScheme(e, scheme)
+			if err != nil {
+				t.Fatalf("ResolveScheme(%s, %s): %v", name, scheme, err)
+			}
+			eff := pair{name, sch.Name()}
+			if seen[eff] {
+				continue
+			}
+			seen[eff] = true
+			grid = append(grid, eff)
+		}
 	}
-	for _, name := range names[1:] {
-		got := finalState(name)
+	if len(grid) < 9 {
+		t.Fatalf("grid has only %d effective pairings: %v", len(grid), grid)
+	}
+
+	refPair := grid[0]
+	ref := finalState(refPair.engine, refPair.scheme)
+	if len(ref) == 0 {
+		t.Fatal("reference pairing produced an empty state")
+	}
+	for _, pr := range grid[1:] {
+		got := finalState(pr.engine, pr.scheme)
 		if len(got) != len(ref) {
-			t.Fatalf("%s tracked %d tuples, %s tracked %d", name, len(got), names[0], len(ref))
+			t.Fatalf("%s/%s tracked %d tuples, %s/%s tracked %d",
+				pr.engine, pr.scheme, len(got), refPair.engine, refPair.scheme, len(ref))
 		}
 		for gk, want := range ref {
 			if got[gk] != want {
 				table, field, key := gk.SplitField()
-				t.Fatalf("engines %s and %s diverge at table %d key %d field %d: %d vs %d",
-					names[0], name, table, key, field, want, got[gk])
+				t.Fatalf("%s/%s and %s/%s diverge at table %d key %d field %d: %d vs %d",
+					refPair.engine, refPair.scheme, pr.engine, pr.scheme, table, key, field, want, got[gk])
 			}
 		}
 	}

@@ -76,8 +76,99 @@ func TestClassStrings(t *testing.T) {
 	}
 }
 
-func TestCCSchemeStrings(t *testing.T) {
-	if CC2PL.String() != "2PL" || CCOCC.String() != "OCC" {
-		t.Fatal("scheme names wrong")
+// The CC schemes every build of the reproduction registers.
+var wantSchemes = []string{Scheme2PL, SchemeMVCC, SchemeOCC}
+
+func TestSchemeNamesListsAllRegisteredSchemes(t *testing.T) {
+	got := SchemeNames()
+	have := make(map[string]bool, len(got))
+	for _, name := range got {
+		have[name] = true
+	}
+	for _, name := range wantSchemes {
+		if !have[name] {
+			t.Fatalf("scheme %q not registered; have %v", name, got)
+		}
 	}
 }
+
+func TestEveryRegisteredSchemeResolves(t *testing.T) {
+	for _, name := range SchemeNames() {
+		s, err := LookupScheme(name)
+		if err != nil {
+			t.Fatalf("LookupScheme(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("LookupScheme(%q) returned scheme named %q", name, s.Name())
+		}
+		if s.Label() == "" {
+			t.Fatalf("scheme %q has no display label", name)
+		}
+	}
+}
+
+func TestUnknownSchemeLookupIsHardError(t *testing.T) {
+	_, err := LookupScheme("no-such-scheme")
+	if err == nil {
+		t.Fatal("LookupScheme of unknown scheme succeeded")
+	}
+	// The error must help the caller: name it and list what exists, the
+	// same contract engine.Lookup has.
+	for _, want := range append([]string{"no-such-scheme"}, wantSchemes...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("lookup error %v does not mention %q", err, want)
+		}
+	}
+}
+
+func TestResolveSchemeDefaultsAndForces(t *testing.T) {
+	cases := []struct {
+		engine     string
+		configured string
+		want       string
+	}{
+		{"p4db", "", Scheme2PL},         // empty selects the paper's main setup
+		{"noswitch", "mvcc", "mvcc"},    // scheme-aware engines follow the config
+		{"occ", "", SchemeOCC},          // the ablation engine pins OCC...
+		{"occ", "2pl", SchemeOCC},       // ...regardless of the configuration
+		{"lmswitch", "mvcc", Scheme2PL}, // lock-based baselines pin 2PL
+		{"chiller", "occ", Scheme2PL},
+	}
+	for _, tc := range cases {
+		e, err := Lookup(tc.engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ResolveScheme(e, tc.configured)
+		if err != nil {
+			t.Fatalf("ResolveScheme(%s, %q): %v", tc.engine, tc.configured, err)
+		}
+		if s.Name() != tc.want {
+			t.Fatalf("ResolveScheme(%s, %q) = %q, want %q", tc.engine, tc.configured, s.Name(), tc.want)
+		}
+	}
+	for _, eng := range []string{"p4db", "lmswitch", "occ"} {
+		e, _ := Lookup(eng)
+		if _, err := ResolveScheme(e, "bogus"); err == nil {
+			t.Fatalf("ResolveScheme(%s, bogus) accepted an unknown scheme name", eng)
+		}
+	}
+}
+
+func TestRegisterSchemeRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	mustPanic := func(what string, s Scheme) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("RegisterScheme accepted %s", what)
+			}
+		}()
+		RegisterScheme(s)
+	}
+	mustPanic("a duplicate name", twoPLScheme{})
+	mustPanic("an empty name", fakeScheme{})
+}
+
+// fakeScheme is a RegisterScheme-validation stand-in with an empty name.
+type fakeScheme struct{ Scheme }
+
+func (fakeScheme) Name() string { return "" }

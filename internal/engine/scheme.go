@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// This file holds the pluggable concurrency-control layer of the host
+// DBMS. The paper's Appendix A.4 treats the CC family as a swappable
+// dimension orthogonal to the execution strategy: the same switch offload
+// runs over pessimistic 2PL or optimistic validation. Schemes mirror the
+// Engine registry — name-keyed, selected by string through core.Config —
+// so every engine x scheme pairing that makes semantic sense is runnable
+// head-to-head without touching either layer.
+//
+// An Engine decides WHERE a transaction executes (switch, nodes, central
+// lock manager); its Scheme decides HOW the node-resident part isolates
+// itself (locks, backward validation, snapshots). Engines that offload to
+// the switch route their warm and cold paths through the configured
+// Scheme; inherently lock-based baselines pin theirs via SchemeForcer.
+
+// Registered scheme names.
+const (
+	// Scheme2PL is pessimistic two-phase locking (the paper's main setup,
+	// with the NO_WAIT / WAIT_DIE policies).
+	Scheme2PL = "2pl"
+	// SchemeOCC is backward-validation optimistic concurrency control
+	// (Appendix A.4).
+	SchemeOCC = "occ"
+	// SchemeMVCC is multi-version concurrency control with snapshot reads
+	// and first-committer-wins validation (the third family).
+	SchemeMVCC = "mvcc"
+)
+
+// NodeState is one node's scheme-private concurrency-control bookkeeping
+// (OCC row versions and pins, MVCC version chains). The shared lock table
+// stays on the Node itself: it belongs to the host DBMS and is also used
+// by lock-based engines independently of the configured scheme.
+type NodeState interface{}
+
+// Scheme is one host-DBMS concurrency-control family. Like Engines,
+// implementations are stateless singletons: per-cluster state lives on the
+// Context (installed by Init) and per-node state on the Nodes (created by
+// NewNodeState).
+type Scheme interface {
+	// Name is the registry key, e.g. "2pl" or "mvcc".
+	Name() string
+	// Label is the display name, e.g. "2PL" or "MVCC".
+	Label() string
+	// Init installs cluster-wide scheme state on the Context (e.g. the
+	// MVCC snapshot tracker). It runs once at cluster build, after the
+	// nodes exist and before the engine's Prepare.
+	Init(c *Context)
+	// NewNodeState builds one node's CC bookkeeping; nil when the scheme
+	// keeps no per-node state beyond the shared lock table.
+	NewNodeState() NodeState
+	// ExecCold runs one attempt of an entire transaction on the nodes,
+	// returning nil on commit or an abort error after rolling back.
+	ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error
+	// ExecWarm runs one attempt of a warm transaction: the cold part
+	// executes under the scheme and, once it can no longer abort, the
+	// switch sub-transaction runs inside the combined Decision&Switch
+	// phase (Figure 10 / Appendix A.4).
+	ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error
+}
+
+// SchemeForcer is implemented by engines that hardwire their CC scheme
+// regardless of the configured one: the lock-based baselines (LM-Switch,
+// Chiller) pin 2PL, and the "occ" ablation engine pins OCC. The resolved
+// scheme — not the configured one — is what runs and what results report.
+type SchemeForcer interface {
+	ForcedScheme() string
+}
+
+var (
+	schemeMu       sync.RWMutex
+	schemeRegistry = make(map[string]Scheme)
+)
+
+// RegisterScheme adds a scheme under its Name. It panics on an empty or
+// duplicate name — registration happens in init functions, where a
+// conflict is a programming error.
+func RegisterScheme(s Scheme) {
+	schemeMu.Lock()
+	defer schemeMu.Unlock()
+	name := s.Name()
+	if name == "" {
+		panic("engine: RegisterScheme with empty name")
+	}
+	if _, dup := schemeRegistry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate RegisterScheme(%q)", name))
+	}
+	schemeRegistry[name] = s
+}
+
+// LookupScheme resolves a scheme by registry name. Unknown names are a
+// hard error naming the registered schemes — there is no silent default.
+func LookupScheme(name string) (Scheme, error) {
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	s, ok := schemeRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown CC scheme %q (available: %v)", name, schemeNamesLocked())
+	}
+	return s, nil
+}
+
+// SchemeNames lists the registered scheme names, sorted.
+func SchemeNames() []string {
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	return schemeNamesLocked()
+}
+
+func schemeNamesLocked() []string {
+	out := make([]string, 0, len(schemeRegistry))
+	for name := range schemeRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveScheme returns the effective CC scheme for engine e under the
+// configured scheme name; the empty name selects 2PL (the paper's main
+// setup). Engines implementing SchemeForcer override the configuration —
+// but a configured name must be registered even then, so a typo is a hard
+// error regardless of which engine it is paired with.
+func ResolveScheme(e Engine, name string) (Scheme, error) {
+	if name == "" {
+		name = Scheme2PL
+	} else if _, err := LookupScheme(name); err != nil {
+		return nil, err
+	}
+	if f, ok := e.(SchemeForcer); ok {
+		name = f.ForcedScheme()
+	}
+	return LookupScheme(name)
+}
+
+func init() { RegisterScheme(twoPLScheme{}) }
+
+// twoPLScheme is pessimistic two-phase locking over the per-node lock
+// tables, with 2PC for distributed transactions. The execution bodies
+// (execCold / execWarm and the attempt machinery) live in attempt.go and
+// p4db.go; this type is the registry face.
+type twoPLScheme struct{}
+
+func (twoPLScheme) Name() string            { return Scheme2PL }
+func (twoPLScheme) Label() string           { return "2PL" }
+func (twoPLScheme) Init(*Context)           {}
+func (twoPLScheme) NewNodeState() NodeState { return nil }
+
+func (twoPLScheme) ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
+	return c.execCold(p, n, txn)
+}
+
+func (twoPLScheme) ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
+	return c.execWarm(p, n, txn)
+}
