@@ -3,12 +3,26 @@
 //
 // Usage:
 //
-//	p4db-bench [-fig id] [-system names] [-scheme name] [-quick]
-//	           [-measure ms] [-seed n] [-cpuprofile out.prof] [-digest] [-v]
+//	p4db-bench [-fig id | -matrix] [-system names] [-scheme name] [-quick]
+//	           [-parallel n] [-measure ms] [-seed n] [-cpuprofile out.prof]
+//	           [-digest] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
 // 18a, 18b, or "all" (default). The appendix raw-throughput figures 19-21
 // are the txn/s columns of figures 11/13/14.
+//
+// -matrix replaces the figure sweeps with the scenario-matrix runner: the
+// full engines × workloads × schemes grid (every registered engine on
+// YCSB-A/B/C, SmallBank and TPC-C under every registered CC scheme, with
+// hardwired-scheme engines contributing one cell), one row per cell with
+// speedups against the (noswitch, 2pl) cell of the same workload. -system
+// and -scheme restrict the grid's engine and scheme axes.
+//
+// -parallel bounds the worker pool sweep points execute on (all modes;
+// 0 = GOMAXPROCS, 1 = serial). Every point is an independent seeded
+// simulation and rows are reassembled in declared order, so the tables
+// and the digest are bit-identical at any parallelism — only wall-clock
+// changes.
 //
 // -cpuprofile writes a pprof CPU profile of the sweep for harness
 // optimization work (see the "Profiling the harness" section of the
@@ -38,12 +52,15 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (or 'all')")
+	matrix := flag.Bool("matrix", false, "run the engines × workloads × schemes scenario matrix instead of the figures")
+	parallel := flag.Int("parallel", 0, "worker pool size for sweep points (0 = GOMAXPROCS, 1 = serial)")
 	system := flag.String("system", "", "engine(s) for the sweep figures, e.g. p4db,lmswitch (default: each figure's paper set)")
 	scheme := flag.String("scheme", "", "host CC scheme for every run, e.g. 2pl, occ, mvcc (default: 2pl; scheme-pinned engines are unaffected)")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
@@ -98,12 +115,24 @@ func main() {
 		opts.Scheme = *scheme
 	}
 	opts.Seed = *seed
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "bad -parallel value %d\n", *parallel)
+		os.Exit(2)
+	}
+	opts.Parallel = *parallel
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
 
 	runner := bench.All
-	if *fig != "all" {
+	switch {
+	case *matrix:
+		if *fig != "all" {
+			fmt.Fprintln(os.Stderr, "-matrix and -fig are mutually exclusive")
+			os.Exit(2)
+		}
+		runner = bench.Matrix
+	case *fig != "all":
 		r, ok := bench.Figures[*fig]
 		if !ok {
 			ids := make([]string, 0, len(bench.Figures))
@@ -136,6 +165,9 @@ func main() {
 
 	rows := runner(opts)
 	bench.Print(os.Stdout, rows)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "detect cache: %s\n", core.DetectCacheStats())
+	}
 	if *digest {
 		fmt.Printf("\ndigest: %s\n", bench.Digest(rows))
 	}

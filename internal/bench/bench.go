@@ -42,8 +42,14 @@ type Options struct {
 	// registry name); empty keeps the paper's 2PL. Engines that hardwire
 	// their scheme (lmswitch, chiller, occ) are unaffected — the per-row
 	// scheme column reports what actually ran.
-	Scheme   string
-	Seed     uint64
+	Scheme string
+	Seed   uint64
+	// Parallel bounds the worker pool the point runner executes sweep
+	// points on: 0 means GOMAXPROCS, 1 is the serial path. Rows (and the
+	// digest) are bit-identical at any setting — every point is an
+	// independent seeded simulation and assembly happens in declared
+	// order; only wall-clock changes.
+	Parallel int
 	Progress io.Writer // per-run progress lines; nil for silent
 }
 

@@ -1,11 +1,20 @@
 package bench
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/lock"
 	"repro/internal/sim"
 )
+
+// goldenDigest is the pinned digest of the golden sweep below (also
+// recorded in BENCH_sim.json). It is the repo's golden-trace contract:
+// scheduler refactors, engine-layer changes and the parallel point runner
+// must all reproduce it bit-for-bit. A deliberate semantic change (new
+// rows, new columns) moves it — update the constant and record why in
+// BENCH_sim.json's golden_digest.history.
+const goldenDigest = "ed60d87dd9d844ebcb8235cd19b5864c8a71b7875adf1e305bd806a5a1b79ed3"
 
 // determinismOpts is a reduced quick sweep: small enough to run twice in a
 // unit test, large enough that schedule perturbations (lock grant order,
@@ -25,9 +34,7 @@ func determinismOpts() Options {
 // Fig18b (Chiller), a direct OCC point and an MVCC point, so any scheduler
 // reordering anywhere in the stack shows up in the digest.
 func goldenSweep(o Options) []Row {
-	rows := Fig01(o)
-	rows = append(rows, Fig11Contention(o)...)
-	rows = append(rows, Fig18b(o)...)
+	rows := o.executeAll([]plan{fig01Plan(o), fig11tPlan(o), fig18bPlan(o)})
 	res := o.run(o.config("occ", lock.NoWait, o.Threads[0]), o.ycsb(50, 50, 75))
 	rows = append(rows, fill(Row{Figure: "occ-point", Workload: "YCSB-A", Series: "OCC", X: "8 thr"}, res))
 	mo := o
@@ -38,19 +45,54 @@ func goldenSweep(o Options) []Row {
 }
 
 // TestQuickSweepDeterministic is the golden-trace regression guard for the
-// scheduler hot path: one seeded sweep over every engine must produce
-// bit-identical rows (throughput, aborts, latencies, figure values) when it
-// is run twice. Any nondeterminism in the event queue, the callback fast
-// path or the network delivery paths fails this test.
+// scheduler hot path and the parallel point runner: the seeded sweep over
+// every engine must produce bit-identical rows (throughput, aborts,
+// latencies, figure values) on the serial path and on a parallel worker
+// pool, and both must equal the pinned golden digest. Any nondeterminism
+// in the event queue, the callback fast path, the network delivery paths
+// or any state shared between concurrent runs fails this test.
 func TestQuickSweepDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped with -short")
 	}
-	o := determinismOpts()
-	a := Digest(goldenSweep(o))
-	b := Digest(goldenSweep(o))
+	serial := determinismOpts()
+	serial.Parallel = 1
+	parallel := determinismOpts()
+	parallel.Parallel = 4
+
+	a := Digest(goldenSweep(serial))
+	b := Digest(goldenSweep(parallel))
 	if a != b {
-		t.Fatalf("same seed produced different row digests:\n  first:  %s\n  second: %s", a, b)
+		t.Fatalf("parallel=4 produced different row digests:\n  serial:   %s\n  parallel: %s", a, b)
 	}
-	t.Logf("golden digest: %s", a)
+	if a != goldenDigest {
+		t.Fatalf("sweep digest moved off the golden trace:\n  got:    %s\n  golden: %s", a, goldenDigest)
+	}
+	t.Logf("golden digest: %s (serial == parallel)", a)
+}
+
+// TestProgressOrderingDeterministic asserts the -v satellite: the
+// progress stream of a parallel sweep is byte-identical to the serial
+// one's, regardless of the order points finish in — lines are buffered
+// and emitted in declared order.
+func TestProgressOrderingDeterministic(t *testing.T) {
+	o := determinismOpts()
+	o.Measure = 300 * sim.Microsecond
+	o.Samples = 6000
+
+	var serialOut, parallelOut bytes.Buffer
+	serial := o
+	serial.Parallel = 1
+	serial.Progress = &serialOut
+	Fig01(serial)
+
+	parallel := o
+	parallel.Parallel = 4
+	parallel.Progress = &parallelOut
+	Fig01(parallel)
+
+	if serialOut.String() != parallelOut.String() {
+		t.Fatalf("parallel progress stream diverged:\n--- serial ---\n%s--- parallel ---\n%s",
+			serialOut.String(), parallelOut.String())
+	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/pisa"
@@ -10,13 +11,20 @@ import (
 	"repro/internal/workload"
 )
 
+// Every figure below is declared as a plan — an ordered slice of
+// self-contained Points (see point.go) plus the row assembly that depends
+// on other points' results (baseline speedups, ablation chains). The
+// exported FigXX functions execute the plan through the bounded worker
+// pool; All executes every plan through one shared pool so long points
+// (the TPC-C sweeps) overlap with other figures' work.
+
 // bothPolicies is the paper's standard CC-policy pair.
 var bothPolicies = []lock.Policy{lock.NoWait, lock.WaitDie}
 
-// Fig01 regenerates the headline comparison (Figure 1): No-Switch vs P4DB
-// throughput and speedup on YCSB-A, SmallBank (8x5 hot) and TPC-C (8 WH)
-// at full load with 20% distributed transactions.
-func Fig01(o Options) []Row {
+// fig01Plan declares the headline comparison (Figure 1): No-Switch vs
+// P4DB throughput and speedup on YCSB-A, SmallBank (8x5 hot) and TPC-C
+// (8 WH) at full load with 20% distributed transactions.
+func fig01Plan(o Options) plan {
 	type wl struct {
 		name string
 		gen  func() workload.Generator
@@ -26,182 +34,202 @@ func Fig01(o Options) []Row {
 		{"SmallBank", func() workload.Generator { return o.smallbank(5, 20) }},
 		{"TPC-C", func() workload.Generator { return o.tpcc(o.Nodes, 20) }},
 	}
-	var rows []Row
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
 	for _, w := range workloads {
-		var base float64
 		for _, sys := range []string{"noswitch", "p4db"} {
-			o.progressf("fig01 %s %s\n", w.name, sys)
-			res := o.run(o.config(sys, lock.NoWait, workers), w.gen())
-			r := fill(Row{Figure: "Figure 1", Workload: w.name, Series: label(sys), X: "20% dist"}, res)
-			if sys == "noswitch" {
-				base = r.Throughput
-			} else if base > 0 {
-				r.Speedup = r.Throughput / base
+			p := point(fmt.Sprintf("fig01 %s %s", w.name, sys),
+				o.config(sys, lock.NoWait, workers), w.gen,
+				Row{Figure: "Figure 1", Workload: w.name, Series: label(sys), X: "20% dist"})
+			if sys == "p4db" {
+				p.Base = len(pts) - 1 // the No-Switch point right before it
 			}
-			rows = append(rows, r)
+			pts = append(pts, p)
 		}
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// sweepSystems measures P4DB and LM-Switch speedups over the No-Switch
-// baseline with matching lock policy, for one generator factory, across a
-// one-dimensional sweep. Raw No-Switch rows are included (they double as
-// the raw-throughput appendix figures 19-21).
-func (o Options) sweepSystems(fig, wlName string, systems []string, xs []string, workers func(i int) int, gen func(i int) workload.Generator) []Row {
+// Fig01 regenerates Figure 1.
+func Fig01(o Options) []Row { return o.execute(fig01Plan(o)) }
+
+// sweepSystems declares the points measuring P4DB and LM-Switch speedups
+// over the No-Switch baseline with matching lock policy, for one generator
+// factory, across a one-dimensional sweep. Raw No-Switch rows are included
+// (they double as the raw-throughput appendix figures 19-21).
+func (o Options) sweepSystems(fig, wlName string, systems []string, xs []string, workers func(i int) int, gen func(i int) workload.Generator) []Point {
 	systems = o.systemsOr(systems)
-	var rows []Row
+	var pts []Point
 	for i, x := range xs {
+		i := i
 		for _, pol := range bothPolicies {
-			o.progressf("%s %s x=%s base %v\n", fig, wlName, x, pol)
-			base := o.run(o.config("noswitch", pol, workers(i)), gen(i))
-			rows = append(rows, fill(Row{
-				Figure: fig, Workload: wlName,
-				Series: seriesName("noswitch", pol), X: x, Speedup: 1,
-			}, base))
+			base := point(fmt.Sprintf("%s %s x=%s base %v", fig, wlName, x, pol),
+				o.config("noswitch", pol, workers(i)),
+				func() workload.Generator { return gen(i) },
+				Row{
+					Figure: fig, Workload: wlName,
+					Series: seriesName("noswitch", pol), X: x, Speedup: 1,
+				})
+			baseIdx := len(pts)
+			pts = append(pts, base)
 			for _, sys := range systems {
-				o.progressf("%s %s x=%s %v %v\n", fig, wlName, x, sys, pol)
-				res := o.run(o.config(sys, pol, workers(i)), gen(i))
-				r := fill(Row{Figure: fig, Workload: wlName, Series: seriesName(sys, pol), X: x}, res)
-				if base.Throughput() > 0 {
-					r.Speedup = r.Throughput / base.Throughput()
-				}
-				rows = append(rows, r)
+				p := point(fmt.Sprintf("%s %s x=%s %v %v", fig, wlName, x, sys, pol),
+					o.config(sys, pol, workers(i)),
+					func() workload.Generator { return gen(i) },
+					Row{Figure: fig, Workload: wlName, Series: seriesName(sys, pol), X: x})
+				p.Base = baseIdx
+				pts = append(pts, p)
 			}
 		}
 	}
-	return rows
+	return pts
 }
 
-// Fig11Contention regenerates Figure 11 (upper row) / Figure 19 (upper):
-// YCSB A/B/C speedups over No-Switch while scaling worker threads.
-func Fig11Contention(o Options) []Row {
-	var rows []Row
+// ycsbSweepPlan is the shared shape of Figure 11's two rows: one sweep per
+// YCSB mix (A/B/C), against LM-Switch and P4DB.
+func (o Options) ycsbSweepPlan(fig string, xs []string, workers func(i int) int, gen func(writePct, i int) workload.Generator) plan {
+	var pts []Point
 	for _, wl := range []struct {
 		name     string
 		writePct int
 	}{{"YCSB-A", 50}, {"YCSB-B", 5}, {"YCSB-C", 0}} {
 		wl := wl
-		xs := make([]string, len(o.Threads))
-		for i, t := range o.Threads {
-			xs[i] = fmt.Sprintf("%d thr", t)
-		}
-		rows = append(rows, o.sweepSystems("Figure 11 (threads)", wl.name,
-			[]string{"lmswitch", "p4db"}, xs,
-			func(i int) int { return o.Threads[i] },
-			func(i int) workload.Generator { return o.ycsb(wl.writePct, 20, 75) })...)
+		pts = appendPoints(pts, o.sweepSystems(fig, wl.name,
+			[]string{"lmswitch", "p4db"}, xs, workers,
+			func(i int) workload.Generator { return gen(wl.writePct, i) }))
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig11Distributed regenerates Figure 11 (lower row) / Figure 19 (lower):
-// YCSB speedups while scaling the fraction of distributed transactions.
-func Fig11Distributed(o Options) []Row {
-	var rows []Row
+// fig11tPlan declares Figure 11 (upper row) / Figure 19 (upper): YCSB
+// A/B/C speedups over No-Switch while scaling worker threads.
+func fig11tPlan(o Options) plan {
+	xs := make([]string, len(o.Threads))
+	for i, t := range o.Threads {
+		xs[i] = fmt.Sprintf("%d thr", t)
+	}
+	return o.ycsbSweepPlan("Figure 11 (threads)", xs,
+		func(i int) int { return o.Threads[i] },
+		func(writePct, i int) workload.Generator { return o.ycsb(writePct, 20, 75) })
+}
+
+// Fig11Contention regenerates Figure 11 (upper row) / Figure 19 (upper).
+func Fig11Contention(o Options) []Row { return o.execute(fig11tPlan(o)) }
+
+// fig11dPlan declares Figure 11 (lower row) / Figure 19 (lower): YCSB
+// speedups while scaling the fraction of distributed transactions.
+func fig11dPlan(o Options) plan {
 	workers := o.Threads[len(o.Threads)-1]
-	for _, wl := range []struct {
-		name     string
-		writePct int
-	}{{"YCSB-A", 50}, {"YCSB-B", 5}, {"YCSB-C", 0}} {
-		wl := wl
-		xs := make([]string, len(o.DistPcts))
-		for i, d := range o.DistPcts {
-			xs[i] = fmt.Sprintf("%d%% dist", d)
-		}
-		rows = append(rows, o.sweepSystems("Figure 11 (distributed)", wl.name,
-			[]string{"lmswitch", "p4db"}, xs,
-			func(i int) int { return workers },
-			func(i int) workload.Generator { return o.ycsb(wl.writePct, o.DistPcts[i], 75) })...)
+	xs := make([]string, len(o.DistPcts))
+	for i, d := range o.DistPcts {
+		xs[i] = fmt.Sprintf("%d%% dist", d)
 	}
-	return rows
+	return o.ycsbSweepPlan("Figure 11 (distributed)", xs,
+		func(i int) int { return workers },
+		func(writePct, i int) workload.Generator { return o.ycsb(writePct, o.DistPcts[i], 75) })
 }
 
-// Fig12 regenerates the hot/cold commit breakdown (Figure 12): committed
+// Fig11Distributed regenerates Figure 11 (lower row) / Figure 19 (lower).
+func Fig11Distributed(o Options) []Row { return o.execute(fig11dPlan(o)) }
+
+// fig12Plan declares the hot/cold commit breakdown (Figure 12): committed
 // hot vs cold transaction fractions for No-Switch and P4DB on YCSB A/B/C
 // at 20 threads and 20% distributed transactions.
-func Fig12(o Options) []Row {
-	var rows []Row
+func fig12Plan(o Options) plan {
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
 	for _, wl := range []struct {
 		name     string
 		writePct int
 	}{{"YCSB-A", 50}, {"YCSB-B", 5}, {"YCSB-C", 0}} {
+		wl := wl
 		for _, sys := range []string{"noswitch", "p4db"} {
 			for _, pol := range bothPolicies {
-				o.progressf("fig12 %s %v %v\n", wl.name, sys, pol)
-				res := o.run(o.config(sys, pol, workers), o.ycsb(wl.writePct, 20, 75))
-				rows = append(rows, fill(Row{
-					Figure: "Figure 12", Workload: wl.name,
-					Series: seriesName(sys, pol), X: "hot/cold",
-				}, res))
+				pts = append(pts, point(fmt.Sprintf("fig12 %s %v %v", wl.name, sys, pol),
+					o.config(sys, pol, workers),
+					func() workload.Generator { return o.ycsb(wl.writePct, 20, 75) },
+					Row{
+						Figure: "Figure 12", Workload: wl.name,
+						Series: seriesName(sys, pol), X: "hot/cold",
+					}))
 			}
 		}
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig13Contention regenerates Figure 13 (upper) / Figure 20 (upper):
-// SmallBank speedups for hot-set sizes 8x5/8x10/8x15 while scaling
-// threads.
-func Fig13Contention(o Options) []Row {
-	var rows []Row
+// Fig12 regenerates Figure 12.
+func Fig12(o Options) []Row { return o.execute(fig12Plan(o)) }
+
+// fig13tPlan declares Figure 13 (upper) / Figure 20 (upper): SmallBank
+// speedups for hot-set sizes 8x5/8x10/8x15 while scaling threads.
+func fig13tPlan(o Options) plan {
+	var pts []Point
 	for _, hot := range []int{5, 10, 15} {
 		hot := hot
 		xs := make([]string, len(o.Threads))
 		for i, t := range o.Threads {
 			xs[i] = fmt.Sprintf("%d thr", t)
 		}
-		rows = append(rows, o.sweepSystems("Figure 13 (threads)",
+		pts = appendPoints(pts, o.sweepSystems("Figure 13 (threads)",
 			fmt.Sprintf("SB %dx%d", o.Nodes, hot),
 			[]string{"p4db"}, xs,
 			func(i int) int { return o.Threads[i] },
-			func(i int) workload.Generator { return o.smallbank(hot, 20) })...)
+			func(i int) workload.Generator { return o.smallbank(hot, 20) }))
 	}
-	return rows
+	return plan{points: pts}
+}
+
+// Fig13Contention regenerates Figure 13 (upper) / Figure 20 (upper).
+func Fig13Contention(o Options) []Row { return o.execute(fig13tPlan(o)) }
+
+// fig13dPlan declares Figure 13 (lower) / Figure 20 (lower).
+func fig13dPlan(o Options) plan {
+	var pts []Point
+	workers := o.Threads[len(o.Threads)-1]
+	for _, hot := range []int{5, 10, 15} {
+		hot := hot
+		xs := make([]string, len(o.DistPcts))
+		for i, d := range o.DistPcts {
+			xs[i] = fmt.Sprintf("%d%% dist", d)
+		}
+		pts = appendPoints(pts, o.sweepSystems("Figure 13 (distributed)",
+			fmt.Sprintf("SB %dx%d", o.Nodes, hot),
+			[]string{"p4db"}, xs,
+			func(i int) int { return workers },
+			func(i int) workload.Generator { return o.smallbank(hot, o.DistPcts[i]) }))
+	}
+	return plan{points: pts}
 }
 
 // Fig13Distributed regenerates Figure 13 (lower) / Figure 20 (lower).
-func Fig13Distributed(o Options) []Row {
-	var rows []Row
-	workers := o.Threads[len(o.Threads)-1]
-	for _, hot := range []int{5, 10, 15} {
-		hot := hot
-		xs := make([]string, len(o.DistPcts))
-		for i, d := range o.DistPcts {
-			xs[i] = fmt.Sprintf("%d%% dist", d)
-		}
-		rows = append(rows, o.sweepSystems("Figure 13 (distributed)",
-			fmt.Sprintf("SB %dx%d", o.Nodes, hot),
-			[]string{"p4db"}, xs,
-			func(i int) int { return workers },
-			func(i int) workload.Generator { return o.smallbank(hot, o.DistPcts[i]) })...)
-	}
-	return rows
-}
+func Fig13Distributed(o Options) []Row { return o.execute(fig13dPlan(o)) }
 
-// Fig14Contention regenerates Figure 14 (upper) / Figure 21 (upper):
-// TPC-C speedups for 8/16/32 warehouses while scaling threads.
-func Fig14Contention(o Options) []Row {
-	var rows []Row
+// fig14tPlan declares Figure 14 (upper) / Figure 21 (upper): TPC-C
+// speedups for 8/16/32 warehouses while scaling threads.
+func fig14tPlan(o Options) plan {
+	var pts []Point
 	for _, wh := range []int{o.Nodes, o.Nodes * 2, o.Nodes * 4} {
 		wh := wh
 		xs := make([]string, len(o.Threads))
 		for i, t := range o.Threads {
 			xs[i] = fmt.Sprintf("%d thr", t)
 		}
-		rows = append(rows, o.sweepSystems("Figure 14 (threads)",
+		pts = appendPoints(pts, o.sweepSystems("Figure 14 (threads)",
 			fmt.Sprintf("TPCC %dWH", wh),
 			[]string{"p4db"}, xs,
 			func(i int) int { return o.Threads[i] },
-			func(i int) workload.Generator { return o.tpcc(wh, 20) })...)
+			func(i int) workload.Generator { return o.tpcc(wh, 20) }))
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig14Distributed regenerates Figure 14 (lower) / Figure 21 (lower).
-func Fig14Distributed(o Options) []Row {
-	var rows []Row
+// Fig14Contention regenerates Figure 14 (upper) / Figure 21 (upper).
+func Fig14Contention(o Options) []Row { return o.execute(fig14tPlan(o)) }
+
+// fig14dPlan declares Figure 14 (lower) / Figure 21 (lower).
+func fig14dPlan(o Options) plan {
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
 	for _, wh := range []int{o.Nodes, o.Nodes * 2, o.Nodes * 4} {
 		wh := wh
@@ -209,50 +237,58 @@ func Fig14Distributed(o Options) []Row {
 		for i, d := range o.DistPcts {
 			xs[i] = fmt.Sprintf("%d%% dist", d)
 		}
-		rows = append(rows, o.sweepSystems("Figure 14 (distributed)",
+		pts = appendPoints(pts, o.sweepSystems("Figure 14 (distributed)",
 			fmt.Sprintf("TPCC %dWH", wh),
 			[]string{"p4db"}, xs,
 			func(i int) int { return workers },
-			func(i int) workload.Generator { return o.tpcc(wh, o.DistPcts[i]) })...)
+			func(i int) workload.Generator { return o.tpcc(wh, o.DistPcts[i]) }))
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig15ab regenerates the hot/cold-ratio microbenchmark (Figure 15a/b):
+// Fig14Distributed regenerates Figure 14 (lower) / Figure 21 (lower).
+func Fig14Distributed(o Options) []Row { return o.execute(fig14dPlan(o)) }
+
+// fig15abPlan declares the hot/cold-ratio microbenchmark (Figure 15a/b):
 // YCSB-A with 20% distributed transactions while the fraction of hot
 // transactions grows from 0 to 100%.
-func Fig15ab(o Options) []Row {
-	var rows []Row
+func fig15abPlan(o Options) plan {
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
 	for _, hotPct := range []int{0, 25, 50, 75, 100} {
+		hotPct := hotPct
 		for _, pol := range bothPolicies {
-			o.progressf("fig15ab hot=%d %v\n", hotPct, pol)
-			base := o.run(o.config("noswitch", pol, workers), o.ycsb(50, 20, hotPct))
-			rows = append(rows, fill(Row{
-				Figure: "Figure 15a/b", Workload: "YCSB-A",
-				Series: seriesName("noswitch", pol),
-				X:      fmt.Sprintf("%d%% hot", hotPct), Speedup: 1,
-			}, base))
-			res := o.run(o.config("p4db", pol, workers), o.ycsb(50, 20, hotPct))
-			r := fill(Row{
-				Figure: "Figure 15a/b", Workload: "YCSB-A",
-				Series: seriesName("p4db", pol),
-				X:      fmt.Sprintf("%d%% hot", hotPct),
-			}, res)
-			if base.Throughput() > 0 {
-				r.Speedup = r.Throughput / base.Throughput()
-			}
-			rows = append(rows, r)
+			x := fmt.Sprintf("%d%% hot", hotPct)
+			baseIdx := len(pts)
+			pts = append(pts, point(fmt.Sprintf("fig15ab hot=%d %v", hotPct, pol),
+				o.config("noswitch", pol, workers),
+				func() workload.Generator { return o.ycsb(50, 20, hotPct) },
+				Row{
+					Figure: "Figure 15a/b", Workload: "YCSB-A",
+					Series: seriesName("noswitch", pol), X: x, Speedup: 1,
+				}))
+			p := point(fmt.Sprintf("fig15ab hot=%d %v p4db", hotPct, pol),
+				o.config("p4db", pol, workers),
+				func() workload.Generator { return o.ycsb(50, 20, hotPct) },
+				Row{
+					Figure: "Figure 15a/b", Workload: "YCSB-A",
+					Series: seriesName("p4db", pol), X: x,
+				})
+			p.Base = baseIdx
+			pts = append(pts, p)
 		}
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig15c regenerates the switch-optimization ablation (Figure 15c) on the
+// Fig15ab regenerates Figure 15a/b.
+func Fig15ab(o Options) []Row { return o.execute(fig15abPlan(o)) }
+
+// fig15cPlan declares the switch-optimization ablation (Figure 15c) on the
 // hot transactions of YCSB-A: starting from a random layout with all
 // multi-pass optimizations off, fast recirculation, fine-grained locking
 // and finally the declustered layout are enabled cumulatively.
-func Fig15c(o Options) []Row {
+func fig15cPlan(o Options) plan {
 	steps := []struct {
 		name       string
 		random     bool
@@ -264,32 +300,27 @@ func Fig15c(o Options) []Row {
 		{"+Fine-Locking", true, true, true},
 		{"+Declustered", false, true, true},
 	}
-	var rows []Row
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
-	var base float64
 	for _, s := range steps {
-		o.progressf("fig15c %s\n", s.name)
 		cfg := o.config("p4db", lock.NoWait, workers)
 		cfg.RandomLayout = s.random
 		cfg.Switch.FastRecirc = s.fastRecirc
 		cfg.Switch.FineLocks = s.fineLocks
-		res := o.run(cfg, o.ycsb(50, 20, 100))
-		r := fill(Row{Figure: "Figure 15c", Workload: "YCSB-A hot", Series: s.name, X: "ablation"}, res)
-		if base == 0 {
-			base = r.Throughput
-			r.Speedup = 1
-		} else {
-			r.Speedup = r.Throughput / base
-		}
-		rows = append(rows, r)
+		pts = append(pts, point(fmt.Sprintf("fig15c %s", s.name), cfg,
+			func() workload.Generator { return o.ycsb(50, 20, 100) },
+			Row{Figure: "Figure 15c", Workload: "YCSB-A hot", Series: s.name, X: "ablation"}))
 	}
-	return rows
+	return plan{points: pts, post: chainSpeedup}
 }
 
-// Fig16 regenerates the layout-impact experiment (Figure 16): optimal vs
+// Fig15c regenerates Figure 15c.
+func Fig15c(o Options) []Row { return o.execute(fig15cPlan(o)) }
+
+// fig16Plan declares the layout-impact experiment (Figure 16): optimal vs
 // random (worst-case) data layout for all three workloads, reporting
 // throughput and mean transaction latency while scaling threads.
-func Fig16(o Options) []Row {
+func fig16Plan(o Options) plan {
 	type wl struct {
 		name string
 		gen  func() workload.Generator
@@ -299,7 +330,7 @@ func Fig16(o Options) []Row {
 		{"SB 8x5", func() workload.Generator { return o.smallbank(5, 20) }},
 		{"TPCC 8WH", func() workload.Generator { return o.tpcc(o.Nodes, 20) }},
 	}
-	var rows []Row
+	var pts []Point
 	for _, w := range workloads {
 		for _, random := range []bool{false, true} {
 			series := "Optimal Layout"
@@ -307,90 +338,104 @@ func Fig16(o Options) []Row {
 				series = "Worst Layout"
 			}
 			for _, thr := range o.Threads {
-				o.progressf("fig16 %s %s %d thr\n", w.name, series, thr)
 				cfg := o.config("p4db", lock.NoWait, thr)
 				cfg.RandomLayout = random
-				res := o.run(cfg, w.gen())
-				rows = append(rows, fill(Row{
-					Figure: "Figure 16", Workload: w.name, Series: series,
-					X: fmt.Sprintf("%d thr", thr),
-				}, res))
+				pts = append(pts, point(fmt.Sprintf("fig16 %s %s %d thr", w.name, series, thr),
+					cfg, w.gen,
+					Row{
+						Figure: "Figure 16", Workload: w.name, Series: series,
+						X: fmt.Sprintf("%d thr", thr),
+					}))
 			}
 		}
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig17 regenerates the capacity-overflow experiment (Figure 17): YCSB-A
+// Fig16 regenerates Figure 16.
+func Fig16(o Options) []Row { return o.execute(fig16Plan(o)) }
+
+// fig17Plan declares the capacity-overflow experiment (Figure 17): YCSB-A
 // hot-sets growing past several switch capacities. Hot tuples beyond
 // capacity stay on the nodes, so throughput must degrade gracefully toward
 // the No-Switch baseline.
-func Fig17(o Options) []Row {
+func fig17Plan(o Options) plan {
 	capacities := []int{1000, 10000, 65000}
 	hotPerNodeSizes := []int{50, 126, 1250, 8250, 32750}
-	var rows []Row
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
 	for _, hpn := range hotPerNodeSizes {
+		hpn := hpn
 		total := hpn * o.Nodes
 		x := fmt.Sprintf("%d hot", total)
-		gen := func() *workload.YCSB {
+		gen := func() workload.Generator {
 			cfg := workload.YCSBWorkloadA(o.Nodes)
 			cfg.DistPct = 20
 			cfg.HotPerNode = hpn
 			return workload.NewYCSB(cfg)
 		}
-		o.progressf("fig17 base hot=%d\n", total)
-		base := o.run(o.config("noswitch", lock.NoWait, workers), gen())
-		rows = append(rows, fill(Row{
-			Figure: "Figure 17", Workload: "YCSB-A",
-			Series: "No-Switch", X: x, Speedup: 1,
-		}, base))
+		baseIdx := len(pts)
+		pts = append(pts, point(fmt.Sprintf("fig17 base hot=%d", total),
+			o.config("noswitch", lock.NoWait, workers), gen,
+			Row{
+				Figure: "Figure 17", Workload: "YCSB-A",
+				Series: "No-Switch", X: x, Speedup: 1,
+			}))
 		for _, capRows := range capacities {
-			o.progressf("fig17 cap=%d hot=%d\n", capRows, total)
 			cfg := o.config("p4db", lock.NoWait, workers)
 			cfg.Switch = pisa.DefaultConfig()
 			cfg.Switch.SlotsPerArray = capRows / (cfg.Switch.Stages * cfg.Switch.ArraysPerStage)
-			g := gen()
-			cfg.ExplicitHot = g.HotCandidates()
-			res := o.run(cfg, g)
-			r := fill(Row{
-				Figure: "Figure 17", Workload: "YCSB-A",
-				Series: fmt.Sprintf("Capacity %d rows", cfg.Switch.Capacity()), X: x,
-			}, res)
-			if base.Throughput() > 0 {
-				r.Speedup = r.Throughput / base.Throughput()
-			}
-			rows = append(rows, r)
+			cfg.ExplicitHot = gen().(*workload.YCSB).HotCandidates()
+			p := point(fmt.Sprintf("fig17 cap=%d hot=%d", capRows, total), cfg, gen,
+				Row{
+					Figure: "Figure 17", Workload: "YCSB-A",
+					Series: fmt.Sprintf("Capacity %d rows", cfg.Switch.Capacity()), X: x,
+				})
+			p.Base = baseIdx
+			pts = append(pts, p)
 		}
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig18a regenerates the TPC-C latency breakdown (Figure 18a): average
+// Fig17 regenerates Figure 17.
+func Fig17(o Options) []Row { return o.execute(fig17Plan(o)) }
+
+// fig18aPlan declares the TPC-C latency breakdown (Figure 18a): average
 // per-transaction time in each engine component for No-Switch vs P4DB at
 // the highest contention (8 warehouses, 20 threads). Value is µs/txn.
-func Fig18a(o Options) []Row {
-	var rows []Row
+func fig18aPlan(o Options) plan {
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
 	for _, sys := range []string{"noswitch", "p4db"} {
-		o.progressf("fig18a %v\n", sys)
-		res := o.run(o.config(sys, lock.NoWait, workers), o.tpcc(o.Nodes, 20))
-		for _, comp := range metrics.Components() {
-			rows = append(rows, Row{
-				Figure: "Figure 18a", Workload: "TPCC 8WH",
-				Series: label(sys), Scheme: res.Scheme, X: comp.String(),
-				Value:     latPerTxnUs(&res.Breakdown, comp),
-				MeanLatUs: float64(res.Latency.Mean()) / float64(sim.Microsecond),
-			})
+		sys := sys
+		p := point(fmt.Sprintf("fig18a %v", sys),
+			o.config(sys, lock.NoWait, workers),
+			func() workload.Generator { return o.tpcc(o.Nodes, 20) }, Row{})
+		p.Expand = func(res *core.Result) []Row {
+			var rows []Row
+			for _, comp := range metrics.Components() {
+				rows = append(rows, Row{
+					Figure: "Figure 18a", Workload: "TPCC 8WH",
+					Series: label(sys), Scheme: res.Scheme, X: comp.String(),
+					Value:     latPerTxnUs(&res.Breakdown, comp),
+					MeanLatUs: float64(res.Latency.Mean()) / float64(sim.Microsecond),
+				})
+			}
+			return rows
 		}
+		pts = append(pts, p)
 	}
-	return rows
+	return plan{points: pts}
 }
 
-// Fig18b regenerates the existing-optimizations comparison (Figure 18b):
+// Fig18a regenerates Figure 18a.
+func Fig18a(o Options) []Row { return o.execute(fig18aPlan(o)) }
+
+// fig18bPlan declares the existing-optimizations comparison (Figure 18b):
 // plain 2PL/2PC with poor locality, optimal partitioning, a Chiller-style
 // contention-centric scheme, and P4DB, all on TPC-C with 8 warehouses.
-func Fig18b(o Options) []Row {
+func fig18bPlan(o Options) plan {
 	steps := []struct {
 		name string
 		sys  string
@@ -401,43 +446,44 @@ func Fig18b(o Options) []Row {
 		{"+Chiller", "chiller", 20},
 		{"+P4DB", "p4db", 20},
 	}
-	var rows []Row
+	var pts []Point
 	workers := o.Threads[len(o.Threads)-1]
-	var base float64
 	for _, s := range steps {
-		o.progressf("fig18b %s\n", s.name)
-		res := o.run(o.config(s.sys, lock.NoWait, workers), o.tpcc(o.Nodes, s.dist))
-		r := fill(Row{Figure: "Figure 18b", Workload: "TPCC 8WH", Series: s.name, X: "existing opts"}, res)
-		if base == 0 {
-			base = r.Throughput
-			r.Speedup = 1
-		} else {
-			r.Speedup = r.Throughput / base
-		}
-		rows = append(rows, r)
+		s := s
+		pts = append(pts, point(fmt.Sprintf("fig18b %s", s.name),
+			o.config(s.sys, lock.NoWait, workers),
+			func() workload.Generator { return o.tpcc(o.Nodes, s.dist) },
+			Row{Figure: "Figure 18b", Workload: "TPCC 8WH", Series: s.name, X: "existing opts"}))
 	}
-	return rows
+	return plan{points: pts, post: chainSpeedup}
 }
 
-// All runs every figure and returns the concatenated rows.
-func All(o Options) []Row {
-	var rows []Row
-	rows = append(rows, Fig01(o)...)
-	rows = append(rows, Fig11Contention(o)...)
-	rows = append(rows, Fig11Distributed(o)...)
-	rows = append(rows, Fig12(o)...)
-	rows = append(rows, Fig13Contention(o)...)
-	rows = append(rows, Fig13Distributed(o)...)
-	rows = append(rows, Fig14Contention(o)...)
-	rows = append(rows, Fig14Distributed(o)...)
-	rows = append(rows, Fig15ab(o)...)
-	rows = append(rows, Fig15c(o)...)
-	rows = append(rows, Fig16(o)...)
-	rows = append(rows, Fig17(o)...)
-	rows = append(rows, Fig18a(o)...)
-	rows = append(rows, Fig18b(o)...)
-	return rows
+// Fig18b regenerates Figure 18b.
+func Fig18b(o Options) []Row { return o.execute(fig18bPlan(o)) }
+
+// allPlans lists every figure's plan in display order.
+func allPlans(o Options) []plan {
+	return []plan{
+		fig01Plan(o),
+		fig11tPlan(o),
+		fig11dPlan(o),
+		fig12Plan(o),
+		fig13tPlan(o),
+		fig13dPlan(o),
+		fig14tPlan(o),
+		fig14dPlan(o),
+		fig15abPlan(o),
+		fig15cPlan(o),
+		fig16Plan(o),
+		fig17Plan(o),
+		fig18aPlan(o),
+		fig18bPlan(o),
+	}
 }
+
+// All runs every figure through one shared worker pool and returns the
+// concatenated rows in figure order.
+func All(o Options) []Row { return o.executeAll(allPlans(o)) }
 
 // Figures maps figure ids (as used by cmd/p4db-bench -fig) to runners.
 var Figures = map[string]func(Options) []Row{

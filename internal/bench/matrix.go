@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/lock"
+	"repro/internal/workload"
+)
+
+// Matrix is the scenario-matrix runner: the full engines × workloads ×
+// schemes grid, every cell one seeded run at the paper's standard load
+// (top thread count, 20% distributed transactions, NO_WAIT). It opens
+// arbitrary head-to-head comparisons beyond the paper's figure set — any
+// registered engine against any registered CC scheme on every workload.
+//
+// The grid is built from the registries, so a newly registered engine or
+// scheme shows up without touching this file. Engines that hardwire their
+// scheme (SchemeForcer: lmswitch, chiller, occ) contribute exactly one
+// cell per workload — sweeping the configured scheme would run the same
+// simulation several times under different labels.
+//
+// Row shape: Workload = workload name, Series = engine label, Scheme =
+// the CC family the run actually executed, Speedup = throughput vs the
+// (noswitch, 2pl) cell of the same workload when that cell is in the
+// grid. Cells execute on the same bounded worker pool as the figure
+// sweeps (Options.Parallel) and the table is deterministic for a seed at
+// any parallelism.
+
+// matrixWorkloads lists the grid's workload axis at the paper's standard
+// parameters.
+func matrixWorkloads(o Options) []struct {
+	name string
+	gen  func() workload.Generator
+} {
+	return []struct {
+		name string
+		gen  func() workload.Generator
+	}{
+		{"YCSB-A", func() workload.Generator { return o.ycsb(50, 20, 75) }},
+		{"YCSB-B", func() workload.Generator { return o.ycsb(5, 20, 75) }},
+		{"YCSB-C", func() workload.Generator { return o.ycsb(0, 20, 75) }},
+		{"SmallBank", func() workload.Generator { return o.smallbank(5, 20) }},
+		{"TPC-C", func() workload.Generator { return o.tpcc(o.Nodes, 20) }},
+	}
+}
+
+// matrixSchemes returns the scheme axis for one engine: the engine's
+// forced scheme when it pins one, the configured scheme when Options
+// selects one, otherwise every registered scheme.
+func matrixSchemes(o Options, eng engine.Engine) []string {
+	if f, ok := eng.(engine.SchemeForcer); ok {
+		return []string{f.ForcedScheme()}
+	}
+	if o.Scheme != "" {
+		return []string{o.Scheme}
+	}
+	return engine.SchemeNames()
+}
+
+// matrixPlan declares the grid: workload-major, then engines (registry
+// order), then schemes, so the printed table groups head-to-head
+// comparisons per workload.
+func matrixPlan(o Options) plan {
+	engines := o.Systems
+	if len(engines) == 0 {
+		engines = engine.Names()
+	}
+	// The (noswitch, 2pl) cell is every workload's speedup baseline, and a
+	// Point's Base must reference an earlier point — so the baseline engine
+	// leads each workload block (baseline-first, like the figures).
+	for i, sys := range engines {
+		if sys == "noswitch" && i > 0 {
+			reordered := make([]string, 0, len(engines))
+			reordered = append(reordered, "noswitch")
+			reordered = append(reordered, engines[:i]...)
+			reordered = append(reordered, engines[i+1:]...)
+			engines = reordered
+			break
+		}
+	}
+	var pts []Point
+	for _, wl := range matrixWorkloads(o) {
+		wl := wl
+		workers := o.Threads[len(o.Threads)-1]
+		baseIdx := -1
+		for _, sys := range engines {
+			eng, err := engine.Lookup(sys)
+			if err != nil {
+				panic(fmt.Sprintf("bench: matrix: %v", err))
+			}
+			for _, scheme := range matrixSchemes(o, eng) {
+				cfg := o.config(sys, lock.NoWait, workers)
+				cfg.Scheme = scheme
+				p := point(fmt.Sprintf("matrix %s %s/%s", wl.name, sys, scheme),
+					cfg, wl.gen,
+					Row{
+						Figure: "Matrix", Workload: wl.name,
+						Series: label(sys), X: "20% dist",
+					})
+				if sys == "noswitch" && scheme == engine.Scheme2PL {
+					baseIdx = len(pts)
+					p.Row.Speedup = 1
+				} else {
+					p.Base = baseIdx // -1 until the base cell is declared
+				}
+				pts = append(pts, p)
+			}
+		}
+	}
+	return plan{points: pts}
+}
+
+// Matrix runs the engines × workloads × schemes grid and returns one row
+// per cell, grouped by workload.
+func Matrix(o Options) []Row { return o.execute(matrixPlan(o)) }

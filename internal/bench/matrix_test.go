@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// matrixOpts is small enough to run the full grid in a unit test.
+func matrixOpts() Options {
+	o := Quick()
+	o.Threads = []int{6}
+	o.DistPcts = []int{50}
+	o.Samples = 6000
+	o.Warmup = 100 * sim.Microsecond
+	o.Measure = 300 * sim.Microsecond
+	return o
+}
+
+// TestMatrixGrid is the scenario-matrix smoke test: the grid must contain
+// exactly one row per (engine, workload, scheme) cell, with
+// hardwired-scheme engines (lmswitch, chiller, occ) contributing exactly
+// one cell per workload under their forced scheme.
+func TestMatrixGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid; skipped with -short")
+	}
+	o := matrixOpts()
+	o.Parallel = 4
+	rows := Matrix(o)
+
+	// Expected cells: for every workload, every engine runs either its
+	// forced scheme (one cell) or every registered scheme.
+	workloads := []string{"YCSB-A", "YCSB-B", "YCSB-C", "SmallBank", "TPC-C"}
+	wantCells := make(map[string]int)
+	want := 0
+	for _, wl := range workloads {
+		for _, sys := range engine.Names() {
+			eng, err := engine.Lookup(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schemes := engine.SchemeNames()
+			if f, ok := eng.(engine.SchemeForcer); ok {
+				schemes = []string{f.ForcedScheme()}
+			}
+			for _, scheme := range schemes {
+				wantCells[fmt.Sprintf("%s|%s|%s", wl, label(sys), scheme)]++
+				want++
+			}
+		}
+	}
+
+	if len(rows) != want {
+		t.Fatalf("matrix has %d rows, want %d (one per cell)", len(rows), want)
+	}
+	got := make(map[string]int)
+	for _, r := range rows {
+		if r.Figure != "Matrix" {
+			t.Fatalf("row with figure %q in matrix output", r.Figure)
+		}
+		if r.Throughput <= 0 {
+			t.Fatalf("cell with zero throughput: %+v", r)
+		}
+		got[fmt.Sprintf("%s|%s|%s", r.Workload, r.Series, r.Scheme)]++
+	}
+	for cell, n := range got {
+		if n != 1 {
+			t.Fatalf("cell %s appears %d times, want exactly once (forced-scheme dedup broken?)", cell, n)
+		}
+		if wantCells[cell] != 1 {
+			t.Fatalf("unexpected cell %s (not in the declared grid)", cell)
+		}
+	}
+
+	// The (noswitch, 2pl) cell anchors each workload's speedups at 1x.
+	bases := 0
+	for _, r := range rows {
+		if r.Series == label("noswitch") && r.Scheme == engine.Scheme2PL {
+			if r.Speedup != 1 {
+				t.Fatalf("baseline cell has speedup %.2f, want 1: %+v", r.Speedup, r)
+			}
+			bases++
+		}
+	}
+	if bases != len(workloads) {
+		t.Fatalf("found %d baseline cells, want %d", bases, len(workloads))
+	}
+}
+
+// TestMatrixDeterministicAcrossParallelism asserts the grid digest does
+// not depend on the worker pool size.
+func TestMatrixDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full grids; skipped with -short")
+	}
+	o := matrixOpts()
+	serial := o
+	serial.Parallel = 1
+	parallel := o
+	parallel.Parallel = 8
+	a, b := Digest(Matrix(serial)), Digest(Matrix(parallel))
+	if a != b {
+		t.Fatalf("matrix digest depends on parallelism:\n  serial:   %s\n  parallel: %s", a, b)
+	}
+}
+
+// TestMatrixSystemsOverride restricts the engine axis through
+// Options.Systems and keeps the baseline anchored when present.
+func TestMatrixSystemsOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid subset; skipped with -short")
+	}
+	o := matrixOpts()
+	o.Systems = []string{"p4db", "noswitch"} // noswitch not first: runner must reorder
+	o.Scheme = "2pl"
+	rows := Matrix(o)
+	// 5 workloads x 2 engines x 1 scheme.
+	if len(rows) != 10 {
+		t.Fatalf("restricted matrix has %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Series == label("noswitch") && r.Speedup != 1 {
+			t.Fatalf("baseline not anchored: %+v", r)
+		}
+		if r.Series == label("p4db") && r.Speedup <= 0 {
+			t.Fatalf("p4db cell missing speedup vs baseline: %+v", r)
+		}
+	}
+}

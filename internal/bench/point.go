@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The figures of the paper's evaluation are grids of independent seeded
+// simulations: no sweep point reads another point's state, only (for the
+// speedup columns) another point's finished result. The harness therefore
+// splits point *enumeration* from point *execution*: each figure declares
+// an ordered slice of self-contained Point specs, and runPoints executes
+// them across a bounded worker pool while row assembly — fill, baseline
+// speedups, figure post-passes — happens afterwards, serially, in
+// declared order. Rows are thus bit-identical at any Options.Parallel:
+// the only nondeterministic field a run produces (wall-clock events/sec)
+// is excluded from Digest.
+
+// Point is one self-contained sweep point: everything needed to run one
+// simulation and label its result, with no reference to any other point's
+// execution.
+type Point struct {
+	// Label is the progress line for the point (without trailing newline).
+	Label string
+	// Cfg is the fully-assembled cluster configuration.
+	Cfg core.Config
+	// Gen builds the point's workload generator. A factory rather than an
+	// instance so every run owns a fresh generator regardless of how many
+	// points share the parameters.
+	Gen func() workload.Generator
+	// Row is the labeled row template the result is filled into.
+	Row Row
+	// Base is the index (within the same point slice) of the point whose
+	// throughput this row's Speedup is measured against, or -1 for none.
+	// Baseline points preset Row.Speedup themselves (1 where the figure
+	// prints it, 0 where it prints "-").
+	Base int
+	// Expand, when set, replaces the default one-row fill: it maps the
+	// result to any number of rows (the Figure 18a breakdown emits one row
+	// per component).
+	Expand func(res *core.Result) []Row
+}
+
+// plan is one figure's declared work: its points plus an optional
+// serial post-pass over the assembled rows (chain-style speedups).
+type plan struct {
+	points []Point
+	post   func(rows []Row)
+}
+
+// point is the common constructor: a labeled single-row spec with no
+// baseline.
+func point(label string, cfg core.Config, gen func() workload.Generator, row Row) Point {
+	return Point{Label: label, Cfg: cfg, Gen: gen, Row: row, Base: -1}
+}
+
+// appendPoints concatenates src onto dst, re-anchoring src's intra-slice
+// Base indices.
+func appendPoints(dst, src []Point) []Point {
+	off := len(dst)
+	for _, p := range src {
+		if p.Base >= 0 {
+			p.Base += off
+		}
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// parallelism resolves Options.Parallel: 0 means GOMAXPROCS, 1 is the
+// serial path, anything else bounds the worker pool.
+func (o Options) parallelism() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPoints executes every point and returns the results in declared
+// order. With parallelism 1 (or a single point) it runs inline, emitting
+// each progress line before its run exactly as the pre-parallel harness
+// did. Otherwise a bounded worker pool claims points in declared order;
+// progress lines are then emitted on completion, buffered so they still
+// appear in declared order — `-v` output is deterministic at any
+// parallelism, only line timing differs.
+func (o Options) runPoints(points []Point) []*core.Result {
+	results := make([]*core.Result, len(points))
+	workers := o.parallelism()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i, pt := range points {
+			o.progressf("%s\n", pt.Label)
+			results[i] = o.run(pt.Cfg, pt.Gen())
+		}
+		return results
+	}
+
+	var (
+		mu   sync.Mutex
+		next int // next point to claim (dispatch order = declared order)
+		emit int // next progress line to emit
+		done = make([]bool, len(points))
+		wg   sync.WaitGroup
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(points) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	finish := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		for emit < len(points) && done[emit] {
+			o.progressf("%s\n", points[emit].Label)
+			emit++
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				results[i] = o.run(points[i].Cfg, points[i].Gen())
+				finish(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// assemble turns a plan's results into its rows, in declared order:
+// default fill (or Expand), baseline speedups, then the post-pass.
+func assemble(pl plan, results []*core.Result) []Row {
+	rows := make([]Row, 0, len(pl.points))
+	rowOf := make([]int, len(pl.points)) // first row index of each point
+	for i, pt := range pl.points {
+		rowOf[i] = len(rows)
+		if pt.Expand != nil {
+			rows = append(rows, pt.Expand(results[i])...)
+			continue
+		}
+		r := fill(pt.Row, results[i])
+		if pt.Base >= 0 {
+			if pt.Base >= i {
+				panic("bench: point Base must reference an earlier point in the plan")
+			}
+			if base := rows[rowOf[pt.Base]].Throughput; base > 0 {
+				r.Speedup = r.Throughput / base
+			}
+		}
+		rows = append(rows, r)
+	}
+	if pl.post != nil {
+		pl.post(rows)
+	}
+	return rows
+}
+
+// execute runs one figure's plan end to end.
+func (o Options) execute(pl plan) []Row {
+	return assemble(pl, o.runPoints(pl.points))
+}
+
+// executeAll runs several plans through one shared worker pool — long
+// points of one figure overlap with another figure's points instead of
+// serializing at figure boundaries — and returns each plan's rows,
+// concatenated in plan order.
+func (o Options) executeAll(plans []plan) []Row {
+	var pts []Point
+	for _, pl := range plans {
+		pts = append(pts, pl.points...)
+	}
+	results := o.runPoints(pts)
+	var rows []Row
+	off := 0
+	for _, pl := range plans {
+		rows = append(rows, assemble(pl, results[off:off+len(pl.points)])...)
+		off += len(pl.points)
+	}
+	return rows
+}
+
+// chainSpeedup is the post-pass of the cumulative-ablation figures (15c,
+// 18b): the first row (with nonzero throughput) is the 1x base, every
+// later row is measured against it.
+func chainSpeedup(rows []Row) {
+	var base float64
+	for i := range rows {
+		if base == 0 {
+			base = rows[i].Throughput
+			rows[i].Speedup = 1
+		} else {
+			rows[i].Speedup = rows[i].Throughput / base
+		}
+	}
+}

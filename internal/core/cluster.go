@@ -98,41 +98,39 @@ func (c *Cluster) detect() {
 
 	// The preparation result is a pure function of (sample, cap, switch
 	// geometry, layout mode, seed); sweep points that only vary workers or
-	// engine share it via the detection cache (see detectcache.go).
+	// engine share it via the detection cache (see detectcache.go), and
+	// concurrent sweep points computing the same preparation share one
+	// computation.
 	key := detectKey(c.cfg, samples, cap)
-	if art := lookupDetect(key); art != nil {
-		c.ctx.HotLabel = art.hotLabel
-		c.ctx.Layout = art.layout
-		c.ctx.HotIdx = art.hotIdx
-		return
-	}
+	art := getDetect(key, func() *detectArtifacts {
+		var hs *hotset.HotSet
+		if len(c.cfg.ExplicitHot) > 0 {
+			hs = hotset.FromKeys(c.cfg.ExplicitHot, samples, cap)
+		} else {
+			hs = hotset.DetectAuto(samples, cap)
+		}
 
-	var hs *hotset.HotSet
-	if len(c.cfg.ExplicitHot) > 0 {
-		hs = hotset.FromKeys(c.cfg.ExplicitHot, samples, cap)
-	} else {
-		hs = hotset.DetectAuto(samples, cap)
-	}
+		hotLabel := make(map[store.GlobalKey]bool, hs.Size())
+		for _, k := range hs.Keys() {
+			hotLabel[k] = true
+		}
 
-	c.ctx.HotLabel = make(map[store.GlobalKey]bool, hs.Size())
-	for _, k := range hs.Keys() {
-		c.ctx.HotLabel[k] = true
-	}
-
-	spec := layout.Spec{
-		Stages:         c.cfg.Switch.Stages,
-		ArraysPerStage: c.cfg.Switch.ArraysPerStage,
-		SlotsPerArray:  c.cfg.Switch.SlotsPerArray,
-	}
-	var l *layout.Layout
-	if c.cfg.RandomLayout {
-		l = layout.Random(hs.Graph(), spec, sim.NewRNG(c.cfg.Seed^0xBAD))
-	} else {
-		l = refineLayout(hs, samples, spec)
-	}
-	c.ctx.Layout = l
-	c.ctx.HotIdx = hotset.BuildIndex(hs, l)
-	storeDetect(key, &detectArtifacts{hotLabel: c.ctx.HotLabel, layout: l, hotIdx: c.ctx.HotIdx})
+		spec := layout.Spec{
+			Stages:         c.cfg.Switch.Stages,
+			ArraysPerStage: c.cfg.Switch.ArraysPerStage,
+			SlotsPerArray:  c.cfg.Switch.SlotsPerArray,
+		}
+		var l *layout.Layout
+		if c.cfg.RandomLayout {
+			l = layout.Random(hs.Graph(), spec, sim.NewRNG(c.cfg.Seed^0xBAD))
+		} else {
+			l = refineLayout(hs, samples, spec)
+		}
+		return &detectArtifacts{hotLabel: hotLabel, layout: l, hotIdx: hotset.BuildIndex(hs, l)}
+	})
+	c.ctx.HotLabel = art.hotLabel
+	c.ctx.Layout = art.layout
+	c.ctx.HotIdx = art.hotIdx
 }
 
 // refineLayout is the profile-guided step of the layout algorithm: the

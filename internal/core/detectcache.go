@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hotset"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/store"
 )
 
@@ -20,6 +21,23 @@ import (
 // set, layout, index) are immutable after construction and shared
 // read-only across clusters; cached results are bit-identical to a fresh
 // computation, so seeded sweeps are unaffected.
+//
+// The cache is built for the parallel sweep runner:
+//
+//   - It is sharded by the first key byte, so concurrent cluster builds
+//     touching different preparations never contend on one lock.
+//   - A miss installs an in-flight entry before computing (singleflight):
+//     when a parallel sweep launches many points that share one
+//     preparation, the first computes it and the rest wait on it instead
+//     of burning a core each on identical work.
+//   - It is bounded by a two-generation sweep: each shard keeps a current
+//     and a previous map; when the current map reaches its cap it becomes
+//     the previous one (whose entries are evicted wholesale on the next
+//     rotation). Entries hit in the old generation are promoted, so a
+//     long matrix run keeps its working set while retired preparations
+//     age out — the cache can never grow without limit.
+//   - Hit/miss/eviction/size counters (metrics.CacheCounters) are exposed
+//     through DetectCacheStats for harness visibility.
 
 // detectArtifacts is one cached preparation result.
 type detectArtifacts struct {
@@ -28,10 +46,38 @@ type detectArtifacts struct {
 	hotIdx   *hotset.Index
 }
 
-var detectCache = struct {
-	sync.Mutex
-	m map[[32]byte]*detectArtifacts
-}{m: make(map[[32]byte]*detectArtifacts)}
+const (
+	detectShards   = 16 // power of two; shard = first key byte & mask
+	detectShardCap = 32 // per-shard per-generation entries (512 total, 1024 with the old generation)
+)
+
+// detectEntry is one cache slot. ready is closed once art is set; waiters
+// observing an open channel block on the in-flight computation instead of
+// recomputing.
+type detectEntry struct {
+	ready chan struct{}
+	art   *detectArtifacts
+}
+
+type detectShard struct {
+	mu   sync.Mutex
+	cur  map[[32]byte]*detectEntry
+	prev map[[32]byte]*detectEntry
+}
+
+var (
+	detectCache [detectShards]detectShard
+	detectStats metrics.CacheCounters
+)
+
+// DetectCacheStats snapshots the detection-cache counters: how many
+// cluster builds reused a cached preparation vs computed one, and how many
+// entries the generation sweep has evicted.
+func DetectCacheStats() metrics.CacheStats { return detectStats.Stats() }
+
+// ResetDetectCacheStats zeroes the counters (tests and repeated sweeps).
+// The cached entries themselves are kept — only the accounting resets.
+func ResetDetectCacheStats() { detectStats.Reset() }
 
 // detectKey hashes every input the preparation step depends on: the full
 // sample (keys and dependencies), the capacity cap, the switch geometry,
@@ -71,21 +117,74 @@ func detectKey(cfg Config, samples [][]hotset.Access, cap int) [32]byte {
 	return key
 }
 
-// lookupDetect returns the cached artifacts for key, if present.
-func lookupDetect(key [32]byte) *detectArtifacts {
-	detectCache.Lock()
-	defer detectCache.Unlock()
-	return detectCache.m[key]
+// getDetect returns the artifacts for key, computing them with compute on
+// a miss. Concurrent callers with the same key share one computation.
+func getDetect(key [32]byte, compute func() *detectArtifacts) *detectArtifacts {
+	s := &detectCache[key[0]&(detectShards-1)]
+	s.mu.Lock()
+	if e, ok := s.cur[key]; ok {
+		s.mu.Unlock()
+		return awaitDetect(e, compute)
+	}
+	if e, ok := s.prev[key]; ok {
+		// Old-generation hit: promote so the working set survives the
+		// next rotation. The promotion may push the current map slightly
+		// past its cap; the next miss rotates and restores the bound.
+		delete(s.prev, key)
+		if s.cur == nil {
+			s.cur = make(map[[32]byte]*detectEntry, detectShardCap)
+		}
+		s.cur[key] = e
+		s.mu.Unlock()
+		return awaitDetect(e, compute)
+	}
+	// Miss: install an in-flight entry before computing so concurrent
+	// builders of the same preparation wait instead of duplicating it.
+	e := &detectEntry{ready: make(chan struct{})}
+	if len(s.cur) >= detectShardCap {
+		detectStats.Evict(int64(len(s.prev)))
+		s.prev = s.cur
+		s.cur = nil
+	}
+	if s.cur == nil {
+		s.cur = make(map[[32]byte]*detectEntry, detectShardCap)
+	}
+	s.cur[key] = e
+	s.mu.Unlock()
+	detectStats.Miss()
+	detectStats.Insert()
+
+	// If compute panics (a mis-configured cluster build), drop the entry
+	// so waiters and later callers recompute rather than deadlock on a
+	// ready channel that never closes.
+	completed := false
+	defer func() {
+		if !completed {
+			s.mu.Lock()
+			if s.cur[key] == e {
+				delete(s.cur, key)
+				detectStats.Evict(1)
+			} else if s.prev[key] == e {
+				delete(s.prev, key)
+				detectStats.Evict(1)
+			}
+			s.mu.Unlock()
+			close(e.ready)
+		}
+	}()
+	e.art = compute()
+	completed = true
+	close(e.ready)
+	return e.art
 }
 
-// storeDetect caches artifacts under key. The cache is bounded: a sweep
-// touches a few dozen distinct preparations, so on overflow it simply
-// resets rather than tracking recency.
-func storeDetect(key [32]byte, a *detectArtifacts) {
-	detectCache.Lock()
-	defer detectCache.Unlock()
-	if len(detectCache.m) >= 256 {
-		detectCache.m = make(map[[32]byte]*detectArtifacts)
+// awaitDetect blocks until the entry's computation finishes. A nil result
+// means the computing goroutine panicked; fall back to computing locally.
+func awaitDetect(e *detectEntry, compute func() *detectArtifacts) *detectArtifacts {
+	<-e.ready
+	if e.art == nil {
+		return compute()
 	}
-	detectCache.m[key] = a
+	detectStats.Hit()
+	return e.art
 }

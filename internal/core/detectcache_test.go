@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// shardKey builds a key landing in shard s with a distinguishing suffix.
+func shardKey(s byte, n int) [32]byte {
+	var k [32]byte
+	k[0] = s
+	k[1] = byte(n)
+	k[2] = byte(n >> 8)
+	return k
+}
+
+func dummyArtifacts() *detectArtifacts { return &detectArtifacts{} }
+
+// TestDetectCacheHitMissCounters checks the accounting: a first build
+// misses, a repeat hits, and size tracks live entries.
+func TestDetectCacheHitMissCounters(t *testing.T) {
+	ResetDetectCacheStats()
+	key := shardKey(1, 1)
+	computes := 0
+	get := func() *detectArtifacts {
+		return getDetect(key, func() *detectArtifacts { computes++; return dummyArtifacts() })
+	}
+	a := get()
+	b := get()
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if a != b {
+		t.Fatal("repeat lookup returned a different artifact")
+	}
+	s := DetectCacheStats()
+	if s.Misses < 1 || s.Hits < 1 {
+		t.Fatalf("stats = %+v, want >=1 miss and >=1 hit", s)
+	}
+}
+
+// TestDetectCacheBounded drives one shard far past its cap and checks the
+// generation sweep keeps the shard bounded and counts evictions.
+func TestDetectCacheBounded(t *testing.T) {
+	ResetDetectCacheStats()
+	const shard = 2
+	for n := 0; n < 6*detectShardCap; n++ {
+		getDetect(shardKey(shard, n), dummyArtifacts)
+	}
+	s := &detectCache[shard]
+	s.mu.Lock()
+	live := len(s.cur) + len(s.prev)
+	s.mu.Unlock()
+	if live > 2*detectShardCap {
+		t.Fatalf("shard holds %d entries, bound is %d", live, 2*detectShardCap)
+	}
+	if st := DetectCacheStats(); st.Evictions == 0 {
+		t.Fatalf("no evictions recorded after overflowing the shard: %+v", st)
+	}
+}
+
+// TestDetectCachePromotion checks an old-generation hit survives the next
+// rotation: the promoted entry must still resolve without recomputing.
+func TestDetectCachePromotion(t *testing.T) {
+	const shard = 3
+	hot := shardKey(shard, 9999)
+	computes := 0
+	getHot := func() *detectArtifacts {
+		return getDetect(hot, func() *detectArtifacts { computes++; return dummyArtifacts() })
+	}
+	getHot()
+	// Rotate once: hot moves to the previous generation...
+	for n := 0; n < detectShardCap; n++ {
+		getDetect(shardKey(shard, n), dummyArtifacts)
+	}
+	// ...touch it (promoting it back), then rotate again.
+	getHot()
+	for n := detectShardCap; n < 2*detectShardCap; n++ {
+		getDetect(shardKey(shard, n), dummyArtifacts)
+	}
+	getHot()
+	if computes != 1 {
+		t.Fatalf("hot entry recomputed %d times despite promotion, want 1", computes)
+	}
+}
+
+// TestDetectCacheSingleflight checks that concurrent builders of the same
+// preparation share one computation instead of each burning a core.
+func TestDetectCacheSingleflight(t *testing.T) {
+	key := shardKey(4, 77)
+	var computes atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*detectArtifacts, 16)
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			results[i] = getDetect(key, func() *detectArtifacts {
+				computes.Add(1)
+				return dummyArtifacts()
+			})
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times under concurrency, want 1", n)
+	}
+	for i, r := range results {
+		if r != results[0] {
+			t.Fatalf("caller %d got a different artifact", i)
+		}
+	}
+}

@@ -1,15 +1,89 @@
 // Package metrics provides counters, latency histograms and per-component
-// time breakdowns for the simulated DBMS. All types are plain (non-atomic)
-// because the discrete-event simulator runs one process at a time; metric
-// updates are therefore race-free by construction.
+// time breakdowns for the simulated DBMS. The per-run types (Counters,
+// Breakdown, Histogram) are plain (non-atomic) because the discrete-event
+// simulator runs one process at a time; metric updates are therefore
+// race-free by construction, and every run owns its instances — nothing
+// here is shared between the concurrent runs of a parallel sweep.
+//
+// CacheCounters is the one exception: it instruments process-wide caches
+// (the offline-detection artifact cache in internal/core) that concurrent
+// runs deliberately share, so it is atomic.
 package metrics
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
+
+// CacheCounters instruments a process-wide cache that concurrent
+// simulation runs share: hits, misses, evictions and the live entry
+// count. All methods are safe for concurrent use.
+type CacheCounters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	size      atomic.Int64
+}
+
+// Hit records one cache hit.
+func (c *CacheCounters) Hit() { c.hits.Add(1) }
+
+// Miss records one cache miss.
+func (c *CacheCounters) Miss() { c.misses.Add(1) }
+
+// Evict records n entries dropped by the eviction policy.
+func (c *CacheCounters) Evict(n int64) {
+	c.evictions.Add(n)
+	c.size.Add(-n)
+}
+
+// Insert records one entry added to the cache.
+func (c *CacheCounters) Insert() { c.size.Add(1) }
+
+// Stats returns a snapshot of the counters. The fields are read
+// individually, so a snapshot taken while the cache is in use is
+// approximate — exact once the cache is quiescent.
+func (c *CacheCounters) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.size.Load(),
+	}
+}
+
+// Reset zeroes every counter (tests and repeated sweeps).
+func (c *CacheCounters) Reset() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.size.Store(0)
+}
+
+// CacheStats is a point-in-time snapshot of a CacheCounters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Size      int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 when the cache is unused.
+func (s CacheStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// String formats the snapshot for progress output.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d hits / %d misses (%.0f%% hit rate), %d live, %d evicted",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Size, s.Evictions)
+}
 
 // Component identifies where transaction time is spent, matching the
 // latency breakdown of Figure 18a in the paper.
