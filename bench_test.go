@@ -151,6 +151,13 @@ func BenchmarkFig18a_LatencyBreakdown(b *testing.B) {
 // -> optimal partitioning -> Chiller -> P4DB).
 func BenchmarkFig18b_ExistingOptimizations(b *testing.B) { benchFigure(b, bench.Fig18b) }
 
+// BenchmarkFigCalvin_Deterministic regenerates the deterministic-execution
+// comparison (No-Switch vs Calvin at three sequencer batch sizes vs P4DB).
+// Its calvin points double as the CI smoke for the sequencer, the TPC-C
+// reconnaissance pass and the vote-free single-round commit (the 1x
+// benchmark step runs every benchmark once).
+func BenchmarkFigCalvin_Deterministic(b *testing.B) { benchFigure(b, bench.FigCalvin) }
+
 // BenchmarkAblation_WarmCommit quantifies the combined Decision&Switch
 // phase (Figure 10) against running classic 2PC and a separate switch
 // round trip, an ablation DESIGN.md calls out: it compares TPC-C under

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	p4db-bench [-fig id | -matrix] [-system names] [-scheme name] [-quick]
-//	           [-parallel n] [-measure ms] [-seed n] [-cpuprofile out.prof]
-//	           [-digest] [-v]
+//	p4db-bench [-fig id | -matrix | -golden] [-system names] [-scheme name]
+//	           [-quick] [-parallel n] [-measure ms] [-seed n]
+//	           [-cpuprofile out.prof] [-digest] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
-// 18a, 18b, or "all" (default). The appendix raw-throughput figures 19-21
-// are the txn/s columns of figures 11/13/14.
+// 18a, 18b, calvin, or "all" (default). The appendix raw-throughput
+// figures 19-21 are the txn/s columns of figures 11/13/14; "calvin" is
+// the deterministic-execution comparison (No-Switch vs Calvin at three
+// sequencer batch sizes vs P4DB).
 //
 // -matrix replaces the figure sweeps with the scenario-matrix runner: the
 // full engines × workloads × schemes grid (every registered engine on
@@ -31,14 +33,24 @@
 // must print the same digest, which makes scheduler refactors checkable
 // end to end.
 //
+// -golden runs the pinned golden sweep (bench.GoldenSweep) serially and
+// on a 4-worker pool and verifies both digests against the committed
+// internal/bench/testdata/golden.digest — the same pin
+// TestQuickSweepDeterministic enforces. It exits non-zero on any
+// mismatch, which makes it the CI golden-digest gate; all sizing flags
+// are ignored (the sweep is pinned by definition).
+//
 // -system selects execution engines by registry name (comma-separated,
 // e.g. -system=p4db,lmswitch,chiller) and replaces the engines the sweep
 // figures compare against the No-Switch baseline; any engine registered
 // in internal/engine is selectable without touching this command.
+// Figures with a fixed engine set (1, 12, 15ab, 15c, 16, 17, 18a, 18b,
+// calvin) reject -system instead of silently ignoring it; with -fig all
+// the override applies to the figures that sweep an engine axis.
 //
 // -scheme selects the host DBMS concurrency-control family by scheme
 // registry name (2pl, occ, mvcc) for every run of the sweep; engines that
-// hardwire their scheme (lmswitch, chiller, occ) are unaffected, and the
+// hardwire their scheme (lmswitch, chiller, occ, calvin) are unaffected, and the
 // per-row cc column reports what actually ran.
 package main
 
@@ -60,6 +72,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (or 'all')")
 	matrix := flag.Bool("matrix", false, "run the engines × workloads × schemes scenario matrix instead of the figures")
+	golden := flag.Bool("golden", false, "run the pinned golden sweep and verify its digest against internal/bench/testdata/golden.digest (CI gate)")
 	parallel := flag.Int("parallel", 0, "worker pool size for sweep points (0 = GOMAXPROCS, 1 = serial)")
 	system := flag.String("system", "", "engine(s) for the sweep figures, e.g. p4db,lmswitch (default: each figure's paper set)")
 	scheme := flag.String("scheme", "", "host CC scheme for every run, e.g. 2pl, occ, mvcc (default: 2pl; scheme-pinned engines are unaffected)")
@@ -124,6 +137,26 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 
+	if *golden {
+		// The golden sweep is pinned by definition: only sizing flags may
+		// be silently ignored. Flags that would change WHAT runs must
+		// hard-error instead of producing a misleading "OK" for a sweep
+		// the user did not select.
+		conflict := *fig != "all" || *matrix
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "system", "scheme", "seed":
+				conflict = true
+			}
+		})
+		if conflict {
+			fmt.Fprintln(os.Stderr, "-golden runs the pinned sweep; it is mutually exclusive with -fig, -matrix, -system, -scheme and -seed")
+			os.Exit(2)
+		}
+		runGoldenGate()
+		return
+	}
+
 	runner := bench.All
 	switch {
 	case *matrix:
@@ -141,6 +174,15 @@ func main() {
 			}
 			sort.Strings(ids)
 			fmt.Fprintf(os.Stderr, "unknown figure %q; available: %v or all\n", *fig, ids)
+			os.Exit(2)
+		}
+		if len(opts.Systems) > 0 && !bench.SystemsAware[*fig] {
+			aware := make([]string, 0, len(bench.SystemsAware))
+			for id := range bench.SystemsAware {
+				aware = append(aware, id)
+			}
+			sort.Strings(aware)
+			fmt.Fprintf(os.Stderr, "figure %q compares a fixed engine set and ignores -system; figures honoring -system: %v (or use -matrix / -fig all)\n", *fig, aware)
 			os.Exit(2)
 		}
 		runner = r
@@ -171,4 +213,26 @@ func main() {
 	if *digest {
 		fmt.Printf("\ndigest: %s\n", bench.Digest(rows))
 	}
+}
+
+// runGoldenGate is the -golden mode: run the pinned golden sweep twice
+// (serial and on a 4-worker pool) and verify both digests against the
+// committed golden.digest file. Exit status is the CI contract: 0 only
+// when both runs reproduce the pin bit-for-bit.
+func runGoldenGate() {
+	pinned := bench.GoldenDigest()
+	fmt.Printf("golden (pinned):     %s\n", pinned)
+	serial := bench.Digest(bench.GoldenSweep(1))
+	fmt.Printf("golden (serial):     %s\n", serial)
+	parallel := bench.Digest(bench.GoldenSweep(4))
+	fmt.Printf("golden (parallel=4): %s\n", parallel)
+	if serial != parallel {
+		fmt.Fprintln(os.Stderr, "FAIL: serial and parallel golden sweeps diverge")
+		os.Exit(1)
+	}
+	if serial != pinned {
+		fmt.Fprintln(os.Stderr, "FAIL: golden sweep digest moved off internal/bench/testdata/golden.digest; deliberate change? update the file and record why in BENCH_sim.json")
+		os.Exit(1)
+	}
+	fmt.Println("OK: golden sweep reproduces the pinned digest (serial == parallel=4)")
 }

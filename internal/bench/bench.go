@@ -40,7 +40,7 @@ type Options struct {
 	Systems []string
 	// Scheme selects the host CC scheme every run executes under (scheme
 	// registry name); empty keeps the paper's 2PL. Engines that hardwire
-	// their scheme (lmswitch, chiller, occ) are unaffected — the per-row
+	// their scheme (lmswitch, chiller, occ, calvin) are unaffected — the per-row
 	// scheme column reports what actually ran.
 	Scheme string
 	Seed   uint64

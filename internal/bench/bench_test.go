@@ -158,7 +158,36 @@ func TestQuickAndDefaultOptionsSane(t *testing.T) {
 			t.Fatalf("bad options: %+v", o)
 		}
 	}
-	if len(Figures) != 14 {
-		t.Fatalf("figure registry has %d entries, want 14", len(Figures))
+	if len(Figures) != 15 {
+		t.Fatalf("figure registry has %d entries, want 15 (14 paper figures + calvin)", len(Figures))
+	}
+}
+
+// TestSystemsAwareMatchesPlans pins the SystemsAware set against the plan
+// declarations themselves: a figure is -system aware exactly when building
+// its plan with an Options.Systems override actually produces points for
+// that engine. "occ" is the sentinel — no figure's paper-default engine
+// set contains it, so its presence in a plan proves the override was
+// consulted. This keeps cmd/p4db-bench's hard-error (and its inverse, the
+// silent no-op this guards against) from drifting as figures are added.
+func TestSystemsAwareMatchesPlans(t *testing.T) {
+	o := tiny()
+	o.Systems = []string{"occ"}
+	for id, planFn := range figurePlans {
+		honors := false
+		for _, pt := range planFn(o).points {
+			if pt.Cfg.Engine == "occ" {
+				honors = true
+				break
+			}
+		}
+		if honors != SystemsAware[id] {
+			t.Errorf("figure %q: plan honors -system = %v, SystemsAware says %v", id, honors, SystemsAware[id])
+		}
+	}
+	for id := range SystemsAware {
+		if _, ok := figurePlans[id]; !ok {
+			t.Errorf("SystemsAware names unknown figure %q", id)
+		}
 	}
 }

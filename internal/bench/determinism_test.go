@@ -2,71 +2,37 @@ package bench
 
 import (
 	"bytes"
+	"regexp"
 	"testing"
 
-	"repro/internal/lock"
 	"repro/internal/sim"
 )
 
-// goldenDigest is the pinned digest of the golden sweep below (also
-// recorded in BENCH_sim.json). It is the repo's golden-trace contract:
-// scheduler refactors, engine-layer changes and the parallel point runner
-// must all reproduce it bit-for-bit. A deliberate semantic change (new
-// rows, new columns) moves it — update the constant and record why in
-// BENCH_sim.json's golden_digest.history.
-const goldenDigest = "ed60d87dd9d844ebcb8235cd19b5864c8a71b7875adf1e305bd806a5a1b79ed3"
-
-// determinismOpts is a reduced quick sweep: small enough to run twice in a
-// unit test, large enough that schedule perturbations (lock grant order,
-// abort patterns, 2PC interleavings) would move the numbers.
-func determinismOpts() Options {
-	o := Quick()
-	o.Threads = []int{8}
-	o.DistPcts = []int{50}
-	o.Samples = 8000
-	o.Warmup = 200 * sim.Microsecond
-	o.Measure = 600 * sim.Microsecond
-	return o
-}
-
-// goldenSweep exercises every execution engine and all three CC schemes:
-// Fig01 (P4DB + No-Switch over YCSB/SmallBank/TPC-C), Fig11 (LM-Switch),
-// Fig18b (Chiller), a direct OCC point and an MVCC point, so any scheduler
-// reordering anywhere in the stack shows up in the digest.
-func goldenSweep(o Options) []Row {
-	rows := o.executeAll([]plan{fig01Plan(o), fig11tPlan(o), fig18bPlan(o)})
-	res := o.run(o.config("occ", lock.NoWait, o.Threads[0]), o.ycsb(50, 50, 75))
-	rows = append(rows, fill(Row{Figure: "occ-point", Workload: "YCSB-A", Series: "OCC", X: "8 thr"}, res))
-	mo := o
-	mo.Scheme = "mvcc"
-	res = mo.run(mo.config("noswitch", lock.NoWait, mo.Threads[0]), mo.ycsb(50, 50, 75))
-	rows = append(rows, fill(Row{Figure: "mvcc-point", Workload: "YCSB-A", Series: "MVCC", X: "8 thr"}, res))
-	return rows
-}
-
 // TestQuickSweepDeterministic is the golden-trace regression guard for the
 // scheduler hot path and the parallel point runner: the seeded sweep over
-// every engine must produce bit-identical rows (throughput, aborts,
-// latencies, figure values) on the serial path and on a parallel worker
-// pool, and both must equal the pinned golden digest. Any nondeterminism
-// in the event queue, the callback fast path, the network delivery paths
-// or any state shared between concurrent runs fails this test.
+// every engine (GoldenSweep) must produce bit-identical rows (throughput,
+// aborts, latencies, figure values) on the serial path and on a parallel
+// worker pool, and both must equal the digest pinned in the committed
+// testdata/golden.digest file — the same pin the CI golden-digest gate
+// (p4db-bench -golden) enforces. Any nondeterminism in the event queue,
+// the callback fast path, the network delivery paths, the calvin
+// sequencer or any state shared between concurrent runs fails this test.
 func TestQuickSweepDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped with -short")
 	}
-	serial := determinismOpts()
-	serial.Parallel = 1
-	parallel := determinismOpts()
-	parallel.Parallel = 4
+	golden := GoldenDigest()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(golden) {
+		t.Fatalf("testdata/golden.digest does not hold a SHA-256 hex digest: %q", golden)
+	}
 
-	a := Digest(goldenSweep(serial))
-	b := Digest(goldenSweep(parallel))
+	a := Digest(GoldenSweep(1))
+	b := Digest(GoldenSweep(4))
 	if a != b {
 		t.Fatalf("parallel=4 produced different row digests:\n  serial:   %s\n  parallel: %s", a, b)
 	}
-	if a != goldenDigest {
-		t.Fatalf("sweep digest moved off the golden trace:\n  got:    %s\n  golden: %s", a, goldenDigest)
+	if a != golden {
+		t.Fatalf("sweep digest moved off the golden trace:\n  got:    %s\n  golden: %s\n(deliberate change? update internal/bench/testdata/golden.digest and record why in BENCH_sim.json)", a, golden)
 	}
 	t.Logf("golden digest: %s (serial == parallel)", a)
 }
@@ -76,7 +42,7 @@ func TestQuickSweepDeterministic(t *testing.T) {
 // one's, regardless of the order points finish in — lines are buffered
 // and emitted in declared order.
 func TestProgressOrderingDeterministic(t *testing.T) {
-	o := determinismOpts()
+	o := GoldenOptions()
 	o.Measure = 300 * sim.Microsecond
 	o.Samples = 6000
 
@@ -94,5 +60,35 @@ func TestProgressOrderingDeterministic(t *testing.T) {
 	if serialOut.String() != parallelOut.String() {
 		t.Fatalf("parallel progress stream diverged:\n--- serial ---\n%s--- parallel ---\n%s",
 			serialOut.String(), parallelOut.String())
+	}
+}
+
+// TestCalvinSweepDeterministic asserts the deterministic engine's own
+// contract end to end: two seeded calvin sweeps — the batch-size figure,
+// which covers declared key sets (YCSB/SmallBank), the TPC-C
+// reconnaissance pass and three sequencer batch bounds — produce
+// bit-identical digests, serially and on a parallel pool. The calvin
+// sequencer, the ordered waiting grants and the ordered release path must
+// not leak any run-to-run (map-order, timing) nondeterminism.
+func TestCalvinSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three sweeps; skipped with -short")
+	}
+	o := GoldenOptions()
+	o.Measure = 300 * sim.Microsecond
+	o.Samples = 6000
+
+	serial := o
+	serial.Parallel = 1
+	parallel := o
+	parallel.Parallel = 4
+
+	a, b := Digest(FigCalvin(serial)), Digest(FigCalvin(serial))
+	if a != b {
+		t.Fatalf("two seeded calvin sweeps diverged:\n  first:  %s\n  second: %s", a, b)
+	}
+	c := Digest(FigCalvin(parallel))
+	if a != c {
+		t.Fatalf("calvin sweep digest depends on parallelism:\n  serial:   %s\n  parallel: %s", a, c)
 	}
 }

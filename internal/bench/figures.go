@@ -461,6 +461,59 @@ func fig18bPlan(o Options) plan {
 // Fig18b regenerates Figure 18b.
 func Fig18b(o Options) []Row { return o.execute(fig18bPlan(o)) }
 
+// figCalvinPlan declares the deterministic-execution comparison (beyond
+// the paper's figure set): for YCSB-A, SmallBank and TPC-C, the No-Switch
+// 2PL/2PC baseline, Calvin at three sequencer batch sizes, and P4DB for
+// context — all at full load with 20% distributed transactions. It is the
+// ablation for the sequencer's batch-size knob (core.Config.BatchSize)
+// and the head-to-head the scenario matrix summarizes in one cell: Calvin
+// trades sequencing latency for zero conflict aborts and a vote-free
+// single-round commit, so it gains on the baseline exactly where the
+// baseline's abort rate explodes.
+func figCalvinPlan(o Options) plan {
+	type wl struct {
+		name string
+		gen  func() workload.Generator
+	}
+	workloads := []wl{
+		{"YCSB-A", func() workload.Generator { return o.ycsb(50, 20, 75) }},
+		{"SmallBank", func() workload.Generator { return o.smallbank(5, 20) }},
+		{"TPC-C", func() workload.Generator { return o.tpcc(o.Nodes, 20) }},
+	}
+	var pts []Point
+	workers := o.Threads[len(o.Threads)-1]
+	for _, w := range workloads {
+		baseIdx := len(pts)
+		pts = append(pts, point(fmt.Sprintf("figcalvin %s noswitch", w.name),
+			o.config("noswitch", lock.NoWait, workers), w.gen,
+			Row{
+				Figure: "Calvin", Workload: w.name, Series: label("noswitch"),
+				X: "20% dist", Speedup: 1,
+			}))
+		for _, batch := range []int{4, 16, 64} {
+			cfg := o.config("calvin", lock.NoWait, workers)
+			cfg.BatchSize = batch
+			p := point(fmt.Sprintf("figcalvin %s calvin batch=%d", w.name, batch),
+				cfg, w.gen,
+				Row{
+					Figure: "Calvin", Workload: w.name, Series: label("calvin"),
+					X: fmt.Sprintf("batch %d", batch),
+				})
+			p.Base = baseIdx
+			pts = append(pts, p)
+		}
+		p := point(fmt.Sprintf("figcalvin %s p4db", w.name),
+			o.config("p4db", lock.NoWait, workers), w.gen,
+			Row{Figure: "Calvin", Workload: w.name, Series: label("p4db"), X: "20% dist"})
+		p.Base = baseIdx
+		pts = append(pts, p)
+	}
+	return plan{points: pts}
+}
+
+// FigCalvin regenerates the deterministic-execution comparison.
+func FigCalvin(o Options) []Row { return o.execute(figCalvinPlan(o)) }
+
 // allPlans lists every figure's plan in display order.
 func allPlans(o Options) []plan {
 	return []plan{
@@ -478,6 +531,7 @@ func allPlans(o Options) []plan {
 		fig17Plan(o),
 		fig18aPlan(o),
 		fig18bPlan(o),
+		figCalvinPlan(o),
 	}
 }
 
@@ -485,20 +539,46 @@ func allPlans(o Options) []plan {
 // concatenated rows in figure order.
 func All(o Options) []Row { return o.executeAll(allPlans(o)) }
 
+// figurePlans maps figure ids to their plan declarations. The Figures
+// runner map is derived from it, and the SystemsAware consistency test
+// builds every plan from here to check which ones really consult
+// Options.Systems.
+var figurePlans = map[string]func(Options) plan{
+	"1":      fig01Plan,
+	"11t":    fig11tPlan,
+	"11d":    fig11dPlan,
+	"12":     fig12Plan,
+	"13t":    fig13tPlan,
+	"13d":    fig13dPlan,
+	"14t":    fig14tPlan,
+	"14d":    fig14dPlan,
+	"15ab":   fig15abPlan,
+	"15c":    fig15cPlan,
+	"16":     fig16Plan,
+	"17":     fig17Plan,
+	"18a":    fig18aPlan,
+	"18b":    fig18bPlan,
+	"calvin": figCalvinPlan,
+}
+
 // Figures maps figure ids (as used by cmd/p4db-bench -fig) to runners.
-var Figures = map[string]func(Options) []Row{
-	"1":    Fig01,
-	"11t":  Fig11Contention,
-	"11d":  Fig11Distributed,
-	"12":   Fig12,
-	"13t":  Fig13Contention,
-	"13d":  Fig13Distributed,
-	"14t":  Fig14Contention,
-	"14d":  Fig14Distributed,
-	"15ab": Fig15ab,
-	"15c":  Fig15c,
-	"16":   Fig16,
-	"17":   Fig17,
-	"18a":  Fig18a,
-	"18b":  Fig18b,
+var Figures = func() map[string]func(Options) []Row {
+	out := make(map[string]func(Options) []Row, len(figurePlans))
+	for id, planFn := range figurePlans {
+		planFn := planFn
+		out[id] = func(o Options) []Row { return o.execute(planFn(o)) }
+	}
+	return out
+}()
+
+// SystemsAware lists the figure ids whose plans consult Options.Systems
+// (the -system override). The remaining figures compare a fixed engine
+// set — the paper defines them that way — so cmd/p4db-bench hard-errors
+// when -system is combined with one of them instead of silently ignoring
+// the override. TestSystemsAwareMatchesPlans pins this set against the
+// plan declarations, so it cannot drift silently.
+var SystemsAware = map[string]bool{
+	"11t": true, "11d": true,
+	"13t": true, "13d": true,
+	"14t": true, "14d": true,
 }

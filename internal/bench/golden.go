@@ -1,0 +1,76 @@
+package bench
+
+import (
+	_ "embed"
+	"strings"
+
+	"repro/internal/lock"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// goldenDigestFile is the committed pin of the golden sweep's digest,
+// internal/bench/testdata/golden.digest. Both TestQuickSweepDeterministic
+// and the CI golden-digest gate (p4db-bench -golden) read this one file,
+// so a deliberate digest move is a reviewed one-line diff instead of an
+// edit buried in test source. When it moves, record why in
+// BENCH_sim.json's golden_digest.history.
+//
+//go:embed testdata/golden.digest
+var goldenDigestFile string
+
+// GoldenDigest returns the pinned digest of the golden sweep.
+func GoldenDigest() string { return strings.TrimSpace(goldenDigestFile) }
+
+// GoldenOptions returns the reduced option set the golden sweep runs at:
+// small enough to run twice in a unit test, large enough that schedule
+// perturbations (lock grant order, abort patterns, 2PC interleavings,
+// sequencer batching) would move the numbers.
+func GoldenOptions() Options {
+	o := Quick()
+	o.Threads = []int{8}
+	o.DistPcts = []int{50}
+	o.Samples = 8000
+	o.Warmup = 200 * sim.Microsecond
+	o.Measure = 600 * sim.Microsecond
+	return o
+}
+
+// goldenPointsPlan declares the golden sweep's direct engine/scheme
+// points beyond the figure plans: OCC, MVCC and the two Calvin points —
+// SmallBank through the declared-key-set path and TPC-C through the
+// reconnaissance pass. Declared as a plan so they execute on the same
+// worker pool as the figures and the parallel half of the gate covers
+// them too.
+func goldenPointsPlan(o Options) plan {
+	workers := o.Threads[0]
+	mvccCfg := o.config("noswitch", lock.NoWait, workers)
+	mvccCfg.Scheme = "mvcc"
+	return plan{points: []Point{
+		point("golden occ", o.config("occ", lock.NoWait, workers),
+			func() workload.Generator { return o.ycsb(50, 50, 75) },
+			Row{Figure: "occ-point", Workload: "YCSB-A", Series: "OCC", X: "8 thr"}),
+		point("golden mvcc", mvccCfg,
+			func() workload.Generator { return o.ycsb(50, 50, 75) },
+			Row{Figure: "mvcc-point", Workload: "YCSB-A", Series: "MVCC", X: "8 thr"}),
+		point("golden calvin", o.config("calvin", lock.NoWait, workers),
+			func() workload.Generator { return o.smallbank(5, 50) },
+			Row{Figure: "calvin-point", Workload: "SmallBank", Series: "Calvin", X: "8 thr"}),
+		point("golden calvin recon", o.config("calvin", lock.NoWait, workers),
+			func() workload.Generator { return o.tpcc(o.Nodes, 50) },
+			Row{Figure: "calvin-recon-point", Workload: "TPC-C", Series: "Calvin", X: "8 thr"}),
+	}}
+}
+
+// GoldenSweep runs the golden sweep on a pool of the given size and
+// returns its rows. The sweep exercises every execution engine and all
+// three CC schemes: Fig01 (P4DB + No-Switch over YCSB/SmallBank/TPC-C),
+// Fig11 (LM-Switch), Fig18b (Chiller), a direct OCC point, an MVCC point
+// and two Calvin points — all through one shared worker pool, so any
+// scheduler reordering (or cross-run state leak under the parallel pool)
+// anywhere in the stack shows up in Digest(GoldenSweep(...)).
+func GoldenSweep(parallel int) []Row {
+	o := GoldenOptions()
+	o.Parallel = parallel
+	return o.executeAll([]plan{fig01Plan(o), fig11tPlan(o), fig18bPlan(o), goldenPointsPlan(o)})
+}

@@ -16,7 +16,7 @@ import (
 //
 // The grid is built from the registries, so a newly registered engine or
 // scheme shows up without touching this file. Engines that hardwire their
-// scheme (SchemeForcer: lmswitch, chiller, occ) contribute exactly one
+// scheme (SchemeForcer: lmswitch, chiller, occ, calvin) contribute exactly one
 // cell per workload — sweeping the configured scheme would run the same
 // simulation several times under different labels.
 //

@@ -75,6 +75,26 @@ func TestMatrixGrid(t *testing.T) {
 		}
 	}
 
+	// The deterministic engine contributes exactly one cell per workload
+	// (it pins 2PL) and, uniquely in the grid, never aborts: conflicts
+	// resolve by waiting in pre-declared lock order.
+	calvinCells := 0
+	for _, r := range rows {
+		if r.Series != label("calvin") {
+			continue
+		}
+		calvinCells++
+		if r.Scheme != engine.Scheme2PL {
+			t.Fatalf("calvin cell ran scheme %q, want pinned 2pl: %+v", r.Scheme, r)
+		}
+		if r.AbortRate != 0 {
+			t.Fatalf("calvin cell aborted (deterministic locking must not): %+v", r)
+		}
+	}
+	if calvinCells != len(workloads) {
+		t.Fatalf("found %d calvin cells, want %d (one per workload)", calvinCells, len(workloads))
+	}
+
 	// The (noswitch, 2pl) cell anchors each workload's speedups at 1x.
 	bases := 0
 	for _, r := range rows {

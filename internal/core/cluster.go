@@ -55,6 +55,7 @@ func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 		Scheme:    sch,
 		Policy:    cfg.Policy,
 		SwitchCfg: cfg.Switch,
+		BatchSize: cfg.BatchSize,
 	}
 	c := &Cluster{cfg: cfg, env: env, gen: gen, eng: eng, ctx: ctx}
 	stores := make([]*store.Store, cfg.Nodes)

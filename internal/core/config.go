@@ -56,6 +56,13 @@ type Config struct {
 	// ("occ") — spell those as "occ/*" or "*/occ".
 	CostOverrides map[string]CostModel
 
+	// BatchSize bounds the epoch batches of engines that sequence
+	// transactions before execution (the calvin deterministic sequencer
+	// dispatches a batch when it holds this many transactions or when the
+	// epoch timer fires, whichever comes first); 0 keeps the engine's
+	// default. Engines without a sequencing stage ignore it.
+	BatchSize int
+
 	// RandomLayout replaces the declustered (max-cut) layout with the
 	// random worst-case layout of the Figure 16 experiment.
 	RandomLayout bool

@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+func init() { Register(calvinEngine{}) }
+
+// This file implements a Calvin-style deterministic execution engine
+// (Thomson et al., SIGMOD'12) — the classic contrast to both the paper's
+// switch offload and the validating (OCC/MVCC) families. The design point
+// it opens: agree on a global transaction order FIRST, then make every
+// node execute that order faithfully, and distributed commit needs no
+// agreement protocol at all.
+//
+//   - Sequencing. Workers submit transactions to a cluster-wide sequencer
+//     that collects them into epoch batches (closed when Config.BatchSize
+//     transactions accumulated or the epoch timer fires) and fixes each
+//     batch's order with a seeded-RNG shuffle — an arbitrary but
+//     reproducible global order, the stand-in for Calvin's replicated
+//     Paxos input log. Equal seeds replay the same order.
+//   - Deterministic locking. A transaction's read/write set must be
+//     declared before it executes (workload.Txn.LockSet); generators that
+//     cannot promise exact sets (TPC-C, SetDeclarer) get a reconnaissance
+//     pass first — Calvin's optimistic lock location prediction. All locks
+//     are then acquired in ascending global key order with waiting grants
+//     (lock.Table.AcquireWait): ordered acquisition keeps every waits-for
+//     chain acyclic, so there is no deadlock detection, no waits-for
+//     graph, and — unlike NO_WAIT/WAIT_DIE — no aborts, ever.
+//   - Single-round commit. Execution applies in place (nothing can force
+//     a rollback once the locks are held), and commit is one log append
+//     plus one-way apply/release messages to the remote participants.
+//     Classic 2PC's prepare/vote round exists to discover whether every
+//     participant CAN commit; determinism replaces that agreement — every
+//     node independently reaches the same decision — so the vote round
+//     (and its blocking window) disappears.
+//
+// The engine pins 2PL the way the other inherently lock-based baselines
+// do (SchemeForcer): deterministic locking is defined in terms of lock
+// hold order, so the configured validating schemes do not apply.
+
+// calvinDefaultBatch is the sequencer's epoch batch bound when
+// core.Config.BatchSize is zero.
+const calvinDefaultBatch = 16
+
+// calvinEpoch bounds how long the sequencer holds an underfull batch: an
+// epoch timer dispatches whatever is pending, so a closed batch never
+// waits on future arrivals (Calvin's 10 ms epochs, scaled to the
+// simulation's µs latencies).
+const calvinEpoch = 10 * sim.Microsecond
+
+type calvinEngine struct{}
+
+func (calvinEngine) Name() string  { return "calvin" }
+func (calvinEngine) Label() string { return "Calvin" }
+
+// ForcedScheme pins 2PL: deterministic execution is defined over lock
+// acquisition order, so the configured validating schemes do not apply.
+func (calvinEngine) ForcedScheme() string { return Scheme2PL }
+
+// Prepare installs the cluster-wide sequencer. Node 0 hosts it — the
+// stand-in for Calvin's replicated sequencing layer; submissions and
+// dispatch grants pay the fabric latency to and from that node.
+func (calvinEngine) Prepare(ctx *Context) error {
+	batch := ctx.BatchSize
+	if batch < 0 {
+		return fmt.Errorf("calvin: negative batch size %d", batch)
+	}
+	if batch == 0 {
+		batch = calvinDefaultBatch
+	}
+	ctx.EngineData = &calvinSequencer{
+		node:  0,
+		batch: batch,
+		rng:   ctx.Env.Rand().Fork(0xCA1711),
+	}
+	return nil
+}
+
+func (calvinEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
+	ctx.execCalvin(p, n, txn)
+	return ClassCold, nil
+}
+
+// calvinSequencerOf returns the cluster's sequencer, failing fast when the
+// cluster was prepared for another engine (an assembly bug).
+func calvinSequencerOf(c *Context) *calvinSequencer {
+	s, ok := c.EngineData.(*calvinSequencer)
+	if !ok {
+		panic("engine: calvin execution on a cluster prepared for another engine")
+	}
+	return s
+}
+
+// calvinSubmission is one transaction parked in the sequencer: the signal
+// that releases its worker and the node the grant travels back to.
+type calvinSubmission struct {
+	turn *sim.Signal
+	node netsim.NodeID
+}
+
+// calvinSequencer is the cluster-wide epoch sequencer. All state mutation
+// happens in scheduler-callback context (one event at a time), so it needs
+// no locks and stays deterministic for a seed.
+type calvinSequencer struct {
+	node    netsim.NodeID // hosting node; submissions travel here
+	batch   int           // dispatch when this many transactions pend
+	rng     *sim.RNG      // per-batch order; forked from the cluster seed
+	pending []calvinSubmission
+	gen     uint64 // dispatch generation; invalidates the epoch's timer
+}
+
+// enqueue runs at the sequencer node (inside a delivery callback): park
+// the submission and dispatch when the batch bound is reached. Each
+// epoch's FIRST submission arms that epoch's timer, carrying the current
+// dispatch generation — so a batch that fills and dispatches by count
+// invalidates its timer, and the next epoch starts its full calvinEpoch
+// window from its own first arrival (a leftover timer must not flush a
+// successor batch early).
+func (s *calvinSequencer) enqueue(c *Context, sub calvinSubmission) {
+	s.pending = append(s.pending, sub)
+	if len(s.pending) >= s.batch {
+		s.dispatch(c)
+		return
+	}
+	if len(s.pending) == 1 {
+		gen := s.gen
+		c.Env.After(calvinEpoch, func() {
+			if s.gen == gen && len(s.pending) > 0 {
+				s.dispatch(c)
+			}
+		})
+	}
+}
+
+// dispatch closes the current epoch: fix the batch's global order with a
+// seeded shuffle and release every worker in that order. Grants are
+// delivered like any other message, so workers co-located with the
+// sequencer learn their turn a fabric latency earlier than remote ones —
+// the epoch order decides start order among same-node submitters, while
+// correctness never depends on start order at all: isolation comes from
+// the ordered lock acquisition, and the seeded shuffle plus deterministic
+// delivery make the whole schedule reproducible per seed.
+func (s *calvinSequencer) dispatch(c *Context) {
+	batch := s.pending
+	s.pending = nil
+	s.gen++
+	for _, i := range s.rng.Perm(len(batch)) {
+		sub := batch[i]
+		if sub.node == s.node {
+			sub.turn.Fire(nil)
+			continue
+		}
+		c.Net.Send(s.node, sub.node, func() { sub.turn.Fire(nil) })
+	}
+}
+
+// execCalvin runs one transaction to commit. It never returns an abort:
+// conflicts resolve by waiting in pre-declared lock order, and the commit
+// round has no vote to lose.
+func (c *Context) execCalvin(p *sim.Proc, n *Node, txn *workload.Txn) {
+	seq := calvinSequencerOf(c)
+	t0 := p.Now()
+	p.Sleep(c.Costs.TxnOverhead)
+	c.charge(n, metrics.TxnEngine, t0)
+
+	refs := txn.LockSet()
+	if d, ok := c.Gen.(workload.SetDeclarer); !ok || !d.DeclaresKeySets() {
+		c.calvinRecon(p, n, refs)
+	}
+
+	// Sequencing: submit, then park until the epoch batch this
+	// transaction lands in is ordered and our turn is granted.
+	t1 := p.Now()
+	turn := c.Env.NewSignal()
+	sub := calvinSubmission{turn: turn, node: n.id}
+	if n.id == seq.node {
+		seq.enqueue(c, sub)
+	} else {
+		c.Net.Send(n.id, seq.node, func() { seq.enqueue(c, sub) })
+	}
+	p.Await(turn)
+	c.charge(n, metrics.TxnEngine, t1)
+
+	// Deterministic locking: the whole declared set, ascending global key
+	// order, waiting grants. Consecutive same-node runs share one round
+	// trip; acquisition within the trip stays in key order, so the global
+	// order is preserved exactly.
+	ts := c.issueTS()
+	locks := make(map[netsim.NodeID]*lock.Txn, 2)
+	lockTxn := func(id netsim.NodeID) *lock.Txn {
+		t, ok := locks[id]
+		if !ok {
+			t = lock.NewTxn(ts)
+			locks[id] = t
+		}
+		return t
+	}
+	for i := 0; i < len(refs); {
+		home := refs[i].Home
+		j := i
+		for j < len(refs) && refs[j].Home == home {
+			j++
+		}
+		run := refs[i:j]
+		if home == n.id {
+			tl := p.Now()
+			for _, ref := range run {
+				p.Sleep(c.Costs.LockOp)
+				n.locks.AcquireWait(p, lockTxn(home), lock.Key(ref.Key), calvinMode(ref))
+			}
+			c.charge(n, metrics.LockAcquisition, tl)
+		} else {
+			tl := p.Now()
+			c.Net.RPC(p, n.id, home, func() {
+				rn := c.Nodes[home]
+				for _, ref := range run {
+					p.Sleep(c.Costs.LockOp)
+					rn.locks.AcquireWait(p, lockTxn(home), lock.Key(ref.Key), calvinMode(ref))
+				}
+			})
+			c.charge(n, metrics.RemoteAccess, tl)
+		}
+		i = j
+	}
+
+	// Execution: every lock is held, so operations apply in place with no
+	// undo images — nothing can force a rollback anymore.
+	exec := workload.NewExecutor()
+	var writes []wal.ColdWrite
+	apply := func(id netsim.NodeID, op workload.Op) {
+		tb := c.Nodes[id].store.Table(op.Table)
+		exec.Apply(tb, op)
+		if op.Kind.IsWrite() {
+			writes = append(writes, wal.ColdWrite{
+				Table: op.Table, Key: op.Key, Field: op.Field,
+				Value: tb.Get(op.Key, op.Field),
+			})
+		}
+	}
+	for _, op := range txn.Ops {
+		if op.Home == n.id {
+			t2 := p.Now()
+			p.Sleep(c.Costs.LocalAccess)
+			apply(n.id, op)
+			c.charge(n, metrics.LocalAccess, t2)
+			continue
+		}
+		t2 := p.Now()
+		op := op
+		c.Net.RPC(p, n.id, op.Home, func() {
+			p.Sleep(c.Costs.LocalAccess)
+			apply(op.Home, op)
+		})
+		c.charge(n, metrics.RemoteAccess, t2)
+	}
+
+	// Single-round commit: no prepare, no votes — every participant is
+	// certain to commit, so the coordinator logs and releases locally and
+	// the remote participants release on a one-way message.
+	t3 := p.Now()
+	p.Sleep(c.Costs.LogAppend)
+	n.log.AppendCold(ts, writes)
+	held := make([]netsim.NodeID, 0, len(locks))
+	for id := range locks {
+		held = append(held, id)
+	}
+	// Release in node order: map iteration order would reorder the
+	// release messages run to run and break seeded reproducibility.
+	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+	for _, id := range held {
+		if id == n.id {
+			n.locks.ReleaseAllOrdered(locks[id])
+			continue
+		}
+		id, lt := id, locks[id]
+		c.Net.Send(n.id, id, func() { c.Nodes[id].locks.ReleaseAllOrdered(lt) })
+	}
+	c.charge(n, metrics.TxnEngine, t3)
+}
+
+// calvinMode maps a declared lock reference to its table mode.
+func calvinMode(ref workload.LockRef) lock.Mode {
+	if ref.Write {
+		return lock.Exclusive
+	}
+	return lock.Shared
+}
+
+// calvinRecon models the reconnaissance pass for workloads whose
+// read/write sets depend on data (TPC-C): a lock-free read-only pass over
+// the transaction's partitions discovers the set before sequencing. The
+// simulation's keys are static, so the pass always confirms — what it
+// charges is the cost: one local access per row plus one round trip to
+// every remote partition, visited in node order.
+func (c *Context) calvinRecon(p *sim.Proc, n *Node, refs []workload.LockRef) {
+	perNode := make(map[netsim.NodeID]int, 2)
+	for _, ref := range refs {
+		perNode[ref.Home]++
+	}
+	if local := perNode[n.id]; local > 0 {
+		t0 := p.Now()
+		p.Sleep(c.Costs.LocalAccess * sim.Time(local))
+		c.charge(n, metrics.LocalAccess, t0)
+	}
+	remotes := make([]netsim.NodeID, 0, len(perNode))
+	for id := range perNode {
+		if id != n.id {
+			remotes = append(remotes, id)
+		}
+	}
+	sort.Slice(remotes, func(i, j int) bool { return remotes[i] < remotes[j] })
+	for _, id := range remotes {
+		rows := perNode[id]
+		t0 := p.Now()
+		c.Net.RPC(p, n.id, id, func() {
+			p.Sleep(c.Costs.LocalAccess * sim.Time(rows))
+		})
+		c.charge(n, metrics.RemoteAccess, t0)
+	}
+}

@@ -135,6 +135,15 @@ type Context struct {
 	// Scheme.Init (the MVCC snapshot tracker); nil for stateless schemes.
 	SchemeData interface{}
 
+	// EngineData is engine-owned cluster-wide state installed by the
+	// engine's Prepare (the calvin sequencer); nil for stateless engines.
+	EngineData interface{}
+
+	// BatchSize is the deterministic-sequencer batch bound threaded from
+	// core.Config.BatchSize; 0 selects the engine's default. Only engines
+	// that order transactions before execution (calvin) read it.
+	BatchSize int
+
 	// Hot-set artifacts of the offline preparation step (Figure 3).
 	Layout   *layout.Layout
 	HotIdx   *hotset.Index

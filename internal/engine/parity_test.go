@@ -106,8 +106,19 @@ func TestEngineSchemeGridSerialParity(t *testing.T) {
 			grid = append(grid, eff)
 		}
 	}
-	if len(grid) < 9 {
+	// noswitch and p4db run under all three schemes; lmswitch, chiller,
+	// occ and calvin pin theirs — 10 effective pairings.
+	if len(grid) < 10 {
 		t.Fatalf("grid has only %d effective pairings: %v", len(grid), grid)
+	}
+	hasCalvin := false
+	for _, pr := range grid {
+		if pr.engine == "calvin" {
+			hasCalvin = true
+		}
+	}
+	if !hasCalvin {
+		t.Fatal("deterministic engine missing from the parity grid")
 	}
 
 	refPair := grid[0]

@@ -6,7 +6,7 @@ import (
 )
 
 // The strategies every build of the reproduction registers.
-var wantEngines = []string{"chiller", "lmswitch", "noswitch", "occ", "p4db"}
+var wantEngines = []string{"calvin", "chiller", "lmswitch", "noswitch", "occ", "p4db"}
 
 func TestNamesListsAllRegisteredEngines(t *testing.T) {
 	got := Names()

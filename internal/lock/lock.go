@@ -13,6 +13,7 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -203,22 +204,91 @@ func (tb *Table) Acquire(p *sim.Proc, txn *Txn, key Key, m Mode) error {
 	return nil
 }
 
+// AcquireWait requests key in mode m for txn and always waits — FIFO,
+// behind the current owners and every queued waiter — regardless of the
+// table's deadlock-prevention policy. It never returns an abort: it is the
+// acquisition primitive of deterministic (Calvin-style) locking, where the
+// caller guarantees deadlock freedom externally by acquiring its entire
+// pre-declared lock set in one global key order. With ordered acquisition
+// a waiter only ever holds keys smaller than the one it waits on, so every
+// waits-for chain runs strictly uphill and can never close into a cycle —
+// no waits-for graph, no deadlock detection, no aborts.
+//
+// Callers must request each key once, in its strongest mode (ordered
+// acquisition forbids the Shared->Exclusive upgrade, which waits on a key
+// already held); re-requesting a key in the same or weaker mode stays a
+// no-op for convenience.
+func (tb *Table) AcquireWait(p *sim.Proc, txn *Txn, key Key, m Mode) {
+	if held, ok := txn.held[key]; ok {
+		if held == Exclusive || m == Shared {
+			return // already sufficient
+		}
+		panic("lock: AcquireWait upgrade would deadlock; request the strongest mode first")
+	}
+	e := tb.entries[key]
+	if e == nil {
+		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		tb.entries[key] = e
+	}
+	// Join the FIFO queue even when compatible with the owners if anyone
+	// is already waiting: overtaking a queued Exclusive request would
+	// starve it and make grant order depend on arrival timing.
+	if len(e.waiters) == 0 && compatible(e, txn, m) {
+		e.owners[txn] = m
+		txn.held[key] = m
+		tb.Stats.Acquired++
+		return
+	}
+	tb.Stats.Conflicts++
+	tb.Stats.Waits++
+	w := &waiter{txn: txn, mode: m, sig: tb.env.NewSignal()}
+	e.waiters = append(e.waiters, w)
+	// The releaser installs us as owner before firing (see grantWaiters).
+	p.Await(w.sig)
+}
+
 // ReleaseAll releases every lock txn holds and grants eligible waiters.
 // It is called at commit and at abort; grants happen at the current
 // virtual time.
 func (tb *Table) ReleaseAll(txn *Txn) {
 	for key := range txn.held {
-		e := tb.entries[key]
-		if e == nil {
-			continue
-		}
-		delete(e.owners, txn)
-		tb.grantWaiters(key, e)
-		if len(e.owners) == 0 && len(e.waiters) == 0 {
-			delete(tb.entries, key)
-		}
+		tb.releaseOne(txn, key)
 	}
 	txn.held = make(map[Key]Mode, 8)
+}
+
+// ReleaseAllOrdered releases every lock txn holds in ascending key order.
+// Deterministic (Calvin-style) engines use it instead of ReleaseAll:
+// their waiting grants routinely leave queued waiters on several released
+// keys at once, and ReleaseAll's map iteration would wake those waiters
+// in a run-to-run random order, breaking seeded reproducibility. The
+// NO_WAIT/WAIT_DIE paths keep ReleaseAll (waiters on multiple keys of one
+// releasing transaction are rare there, and its pinned golden schedules
+// predate this method).
+func (tb *Table) ReleaseAllOrdered(txn *Txn) {
+	keys := make([]Key, 0, len(txn.held))
+	for key := range txn.held {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		tb.releaseOne(txn, key)
+	}
+	txn.held = make(map[Key]Mode, 8)
+}
+
+// releaseOne drops txn's hold on key and grants eligible waiters. The
+// caller resets txn.held afterwards.
+func (tb *Table) releaseOne(txn *Txn, key Key) {
+	e := tb.entries[key]
+	if e == nil {
+		return
+	}
+	delete(e.owners, txn)
+	tb.grantWaiters(key, e)
+	if len(e.owners) == 0 && len(e.waiters) == 0 {
+		delete(tb.entries, key)
+	}
 }
 
 // grantWaiters admits waiters from the head of the FIFO queue while they

@@ -340,3 +340,131 @@ func TestEntryGarbageCollected(t *testing.T) {
 		t.Fatalf("entries leaked: %d", len(tb.entries))
 	}
 }
+
+func TestAcquireWaitNeverAborts(t *testing.T) {
+	// AcquireWait must wait FIFO regardless of the table's policy — here
+	// NO_WAIT, which would abort a plain Acquire immediately.
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1, t2 := NewTxn(1), NewTxn(2)
+	var got []int
+	e.Spawn("holder", func(p *sim.Proc) {
+		tb.AcquireWait(p, t1, 10, Exclusive)
+		p.Sleep(5 * sim.Microsecond)
+		got = append(got, 1)
+		tb.ReleaseAll(t1)
+	})
+	e.Spawn("waiter", func(p *sim.Proc) {
+		p.Sleep(1 * sim.Microsecond)
+		tb.AcquireWait(p, t2, 10, Exclusive)
+		got = append(got, 2)
+		if _, held := t2.Holds(10); !held {
+			t.Error("waiter resumed without holding the lock")
+		}
+		tb.ReleaseAll(t2)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("execution order = %v, want [1 2] (waiter granted on release)", got)
+	}
+	if tb.Stats.Aborts != 0 {
+		t.Fatalf("AcquireWait recorded %d aborts, want 0", tb.Stats.Aborts)
+	}
+}
+
+func TestAcquireWaitFIFOOrderAndNoOvertaking(t *testing.T) {
+	// A compatible (shared) request arriving behind a queued exclusive
+	// waiter must queue FIFO instead of overtaking it: grant order is
+	// arrival order, which keeps deterministic schedules reproducible.
+	e := sim.NewEnv(1)
+	tb := NewTable(e, WaitDie)
+	holder, xreq, sreq := NewTxn(1), NewTxn(2), NewTxn(3)
+	var got []int
+	e.Spawn("holder", func(p *sim.Proc) {
+		tb.AcquireWait(p, holder, 7, Shared)
+		p.Sleep(10 * sim.Microsecond)
+		tb.ReleaseAll(holder)
+	})
+	e.Spawn("exclusive", func(p *sim.Proc) {
+		p.Sleep(1 * sim.Microsecond)
+		tb.AcquireWait(p, xreq, 7, Exclusive)
+		got = append(got, 2)
+		p.Sleep(1 * sim.Microsecond)
+		tb.ReleaseAll(xreq)
+	})
+	e.Spawn("shared", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Microsecond)
+		// Compatible with the shared holder, but behind the exclusive
+		// waiter in the queue.
+		tb.AcquireWait(p, sreq, 7, Shared)
+		got = append(got, 3)
+		tb.ReleaseAll(sreq)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("grant order = %v, want [2 3] (FIFO, no overtaking)", got)
+	}
+}
+
+func TestAcquireWaitReacquireIsNoopAndUpgradePanics(t *testing.T) {
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	t1 := NewTxn(1)
+	e.Spawn("p", func(p *sim.Proc) {
+		tb.AcquireWait(p, t1, 5, Exclusive)
+		tb.AcquireWait(p, t1, 5, Exclusive) // no-op
+		tb.AcquireWait(p, t1, 5, Shared)    // weaker: no-op
+		if tb.Owners(5) != 1 {
+			t.Errorf("owners = %d, want 1", tb.Owners(5))
+		}
+		tb.AcquireWait(p, t1, 6, Shared)
+		defer func() {
+			if recover() == nil {
+				t.Error("S->X upgrade via AcquireWait did not panic")
+			}
+		}()
+		tb.AcquireWait(p, t1, 6, Exclusive)
+	})
+	e.Run()
+}
+
+func TestReleaseAllOrderedGrantsInKeyOrder(t *testing.T) {
+	// One transaction holds several contended keys; on ordered release the
+	// waiters must be woken in ascending key order, independent of map
+	// iteration order. (This is what keeps calvin schedules seeded-stable.)
+	e := sim.NewEnv(1)
+	tb := NewTable(e, NoWait)
+	holder := NewTxn(1)
+	keys := []Key{40, 10, 30, 20}
+	var woken []Key
+	e.Spawn("holder", func(p *sim.Proc) {
+		for _, k := range keys {
+			tb.AcquireWait(p, holder, k, Exclusive)
+		}
+		p.Sleep(5 * sim.Microsecond)
+		tb.ReleaseAllOrdered(holder)
+		if holder.NumHeld() != 0 {
+			t.Errorf("holder still holds %d locks after ReleaseAllOrdered", holder.NumHeld())
+		}
+	})
+	for i, k := range keys {
+		k := k
+		w := NewTxn(uint64(10 + i))
+		e.Spawn("waiter", func(p *sim.Proc) {
+			p.Sleep(1 * sim.Microsecond)
+			tb.AcquireWait(p, w, k, Exclusive)
+			woken = append(woken, k)
+			tb.ReleaseAll(w)
+		})
+	}
+	e.Run()
+	want := []Key{10, 20, 30, 40}
+	if len(woken) != len(want) {
+		t.Fatalf("woke %d waiters, want %d", len(woken), len(want))
+	}
+	for i := range want {
+		if woken[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v (ascending keys)", woken, want)
+		}
+	}
+}

@@ -63,6 +63,12 @@ func (sb *SmallBank) Nodes() int { return sb.cfg.NumNodes }
 // Config returns the generator's configuration.
 func (sb *SmallBank) Config() SmallBankConfig { return sb.cfg }
 
+// DeclaresKeySets implements SetDeclarer: every SmallBank transaction
+// names its one or two accounts up front (the conditional logic only
+// affects values, never which rows are touched), so the operation list is
+// the exact read/write set.
+func (sb *SmallBank) DeclaresKeySets() bool { return true }
+
 // Populate implements Generator: every account starts with the same
 // balance in both tables.
 func (sb *SmallBank) Populate(stores []*store.Store) {

@@ -82,6 +82,15 @@ func (tc *TPCC) Nodes() int { return tc.cfg.NumNodes }
 // Config returns the generator's configuration.
 func (tc *TPCC) Config() TPCCConfig { return tc.cfg }
 
+// DeclaresKeySets implements SetDeclarer: real TPC-C computes part of its
+// access set from data it reads (customer-by-last-name lookups, the order
+// lines behind d_next_o_id), so a deterministic engine cannot trust the
+// operation list as an a-priori declaration — it must run a
+// reconnaissance pass to discover the read/write set before sequencing.
+// The simulation's keys are in fact static, which makes the recon pass
+// always confirm; answering false here is what charges its cost.
+func (tc *TPCC) DeclaresKeySets() bool { return false }
+
 // whPerNode returns warehouses per node.
 func (tc *TPCC) whPerNode() int { return tc.cfg.Warehouses / tc.cfg.NumNodes }
 

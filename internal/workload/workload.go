@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -103,6 +104,52 @@ func (t *Txn) Distributed(self netsim.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// LockRef is one row of a transaction's declared lock set: the partition
+// owner, the row-granular lock key and the strongest access mode any of
+// the transaction's operations needs on that row.
+type LockRef struct {
+	Home  netsim.NodeID
+	Key   store.GlobalKey
+	Write bool
+}
+
+// LockSet returns the transaction's declared row-level lock set in
+// ascending global key order: one entry per distinct row, write-mode when
+// any operation writes the row. Deterministic engines acquire exactly
+// this set, in exactly this order, before executing a single operation —
+// ordered acquisition keeps every waits-for chain acyclic, so conflicts
+// resolve by waiting instead of deadlock detection or aborts.
+func (t *Txn) LockSet() []LockRef {
+	refs := make([]LockRef, 0, len(t.Ops))
+	idx := make(map[store.GlobalKey]int, len(t.Ops))
+	for _, op := range t.Ops {
+		gk := op.LockKey()
+		if i, ok := idx[gk]; ok {
+			if op.Kind.IsWrite() {
+				refs[i].Write = true
+			}
+			continue
+		}
+		idx[gk] = len(refs)
+		refs = append(refs, LockRef{Home: op.Home, Key: gk, Write: op.Kind.IsWrite()})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Key < refs[j].Key })
+	return refs
+}
+
+// SetDeclarer is implemented by generators that can promise, at generation
+// time, whether a transaction's operation list is its exact read/write set.
+// Deterministic engines need the full set before execution starts: when a
+// benchmark's real-world counterpart computes keys from data it read
+// (TPC-C's item and customer lookups), the generator answers false and the
+// engine runs a reconnaissance pass (Calvin's optimistic lock location
+// prediction) to discover the set before sequencing.
+type SetDeclarer interface {
+	// DeclaresKeySets reports whether every generated transaction's
+	// operation list is an exact a-priori read/write-set declaration.
+	DeclaresKeySets() bool
 }
 
 // Generator produces transactions for a specific benchmark configuration.

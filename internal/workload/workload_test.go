@@ -399,3 +399,92 @@ func TestSmallBankTransferDirectionBias(t *testing.T) {
 		}
 	}
 }
+
+func TestLockSetSortedDedupedAndModed(t *testing.T) {
+	// A hand-built transaction with a duplicate row (read then write), out
+	// of key order, across two tables: LockSet must return one entry per
+	// distinct row, in ascending global key order, write-mode when any
+	// operation writes the row.
+	txn := &Txn{Ops: []Op{
+		{Table: SBSavings, Key: 5, Home: 1, Kind: Read, DependsOn: -1},
+		{Table: SBChecking, Key: 9, Home: 1, Kind: Read, DependsOn: -1},
+		{Table: SBChecking, Key: 2, Home: 0, Kind: Read, DependsOn: -1},
+		{Table: SBChecking, Key: 9, Home: 1, Kind: Add, Value: 1, DependsOn: -1}, // upgrades row 9 to write
+	}}
+	refs := txn.LockSet()
+	if len(refs) != 3 {
+		t.Fatalf("LockSet has %d entries, want 3 (row 9 deduplicated): %+v", len(refs), refs)
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1].Key >= refs[i].Key {
+			t.Fatalf("LockSet not in ascending key order: %+v", refs)
+		}
+	}
+	byKey := map[store.GlobalKey]LockRef{}
+	for _, r := range refs {
+		byKey[r.Key] = r
+	}
+	if r := byKey[store.Global(SBChecking, 9)]; !r.Write || r.Home != 1 {
+		t.Fatalf("row 9 = %+v, want write-mode at home 1 (read+write dedup keeps strongest mode)", r)
+	}
+	if r := byKey[store.Global(SBChecking, 2)]; r.Write {
+		t.Fatalf("row 2 = %+v, want read-mode", r)
+	}
+	if r := byKey[store.Global(SBSavings, 5)]; r.Write {
+		t.Fatalf("savings row 5 = %+v, want read-mode", r)
+	}
+}
+
+func TestLockSetCoversEveryGeneratedOp(t *testing.T) {
+	// For every generator, each generated operation's row must appear in
+	// the declared lock set with a sufficient mode — the invariant the
+	// deterministic engine relies on to lock before executing.
+	gens := []Generator{
+		NewYCSB(YCSBWorkloadA(4)),
+		NewSmallBank(DefaultSmallBank(4, 5)),
+		NewTPCC(DefaultTPCC(4, 4)),
+	}
+	for _, g := range gens {
+		for _, txn := range genMany(g, 200, 99) {
+			refs := txn.LockSet()
+			byKey := map[store.GlobalKey]LockRef{}
+			for _, r := range refs {
+				byKey[r.Key] = r
+			}
+			for _, op := range txn.Ops {
+				r, ok := byKey[op.LockKey()]
+				if !ok {
+					t.Fatalf("%s: op %+v not in declared lock set", g.Name(), op)
+				}
+				if op.Kind.IsWrite() && !r.Write {
+					t.Fatalf("%s: write op %+v declared read-mode", g.Name(), op)
+				}
+				if r.Home != op.Home {
+					t.Fatalf("%s: op %+v declared home %d", g.Name(), op, r.Home)
+				}
+			}
+		}
+	}
+}
+
+func TestSetDeclarers(t *testing.T) {
+	// YCSB and SmallBank pre-declare exact sets; TPC-C's real-world
+	// counterpart has data-dependent reads, so it must answer false and
+	// route deterministic engines through the reconnaissance pass.
+	for _, tc := range []struct {
+		gen  Generator
+		want bool
+	}{
+		{NewYCSB(YCSBWorkloadA(4)), true},
+		{NewSmallBank(DefaultSmallBank(4, 5)), true},
+		{NewTPCC(DefaultTPCC(4, 4)), false},
+	} {
+		d, ok := tc.gen.(SetDeclarer)
+		if !ok {
+			t.Fatalf("%s does not implement SetDeclarer", tc.gen.Name())
+		}
+		if got := d.DeclaresKeySets(); got != tc.want {
+			t.Fatalf("%s.DeclaresKeySets() = %v, want %v", tc.gen.Name(), got, tc.want)
+		}
+	}
+}

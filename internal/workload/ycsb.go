@@ -78,6 +78,11 @@ func (y *YCSB) Nodes() int { return y.cfg.NumNodes }
 // Config returns the generator's configuration.
 func (y *YCSB) Config() YCSBConfig { return y.cfg }
 
+// DeclaresKeySets implements SetDeclarer: YCSB operations draw independent
+// uniform keys, so the generated operation list is the exact read/write
+// set — deterministic engines can sequence the transaction as-is.
+func (y *YCSB) DeclaresKeySets() bool { return true }
+
 // Populate implements Generator. YCSB rows default to zero values and
 // materialize lazily, so only the table is created.
 func (y *YCSB) Populate(stores []*store.Store) {
