@@ -5,7 +5,8 @@
 //
 //	p4db-bench [-fig id | -matrix | -golden] [-system names] [-scheme name]
 //	           [-quick] [-parallel n] [-measure ms] [-seed n]
-//	           [-cpuprofile out.prof] [-digest] [-v]
+//	           [-cpuprofile out.prof] [-memprofile out.prof] [-trace out.trace]
+//	           [-digest] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
 // 18a, 18b, calvin, or "all" (default). The appendix raw-throughput
@@ -28,7 +29,10 @@
 //
 // -cpuprofile writes a pprof CPU profile of the sweep for harness
 // optimization work (see the "Profiling the harness" section of the
-// README). -digest prints the SHA-256 digest of the deterministic row
+// README). -memprofile writes an allocation profile captured at sweep
+// exit (after a final GC), and -trace writes a runtime execution trace —
+// the tool for inspecting the worker pool's scheduling and any residual
+// goroutine churn on the hot path. -digest prints the SHA-256 digest of the deterministic row
 // fields after the tables — two runs with the same seed and figure set
 // must print the same digest, which makes scheduler refactors checkable
 // end to end.
@@ -58,7 +62,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strconv"
 	"strings"
@@ -83,6 +89,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile at sweep exit to this file")
+	traceOut := flag.String("trace", "", "write a runtime execution trace of the sweep to this file")
 	digest := flag.Bool("digest", false, "print the deterministic row digest after the tables")
 	flag.Parse()
 
@@ -203,6 +211,34 @@ func main() {
 			os.Exit(2)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(2)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			// GC first so the profile shows live retention, not garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	rows := runner(opts)

@@ -50,7 +50,12 @@ type Options struct {
 	// independent seeded simulation and assembly happens in declared
 	// order; only wall-clock changes.
 	Parallel int
-	Progress io.Writer // per-run progress lines; nil for silent
+	// Unbatched disables per-destination delivery coalescing in every
+	// cluster the sweep builds (core.Config.NoDeliveryBatching). The
+	// batching determinism test runs the golden sweep both ways and
+	// asserts the digest does not move.
+	Unbatched bool
+	Progress  io.Writer // per-run progress lines; nil for silent
 }
 
 // Default returns the paper-scale options: 8 nodes, 8-20 worker threads.
@@ -99,6 +104,7 @@ func (o Options) config(sys string, pol lock.Policy, workers int) core.Config {
 	cfg.WorkersPerNode = workers
 	cfg.SampleTxns = o.Samples
 	cfg.Seed = o.Seed
+	cfg.NoDeliveryBatching = o.Unbatched
 	return cfg
 }
 

@@ -92,3 +92,19 @@ func TestCalvinSweepDeterministic(t *testing.T) {
 		t.Fatalf("calvin sweep digest depends on parallelism:\n  serial:   %s\n  parallel: %s", a, c)
 	}
 }
+
+// TestBatchedDeliveryDigestInvariant proves delivery batching is a pure
+// event-count optimization: the golden sweep with per-destination
+// coalescing disabled (every one-way message its own scheduled event)
+// reproduces the pinned golden digest bit-for-bit, serially and on a
+// parallel pool. If batching ever reordered two deliveries, some lock
+// grant, 2PC vote or sequencer batch boundary would shift and move a row.
+func TestBatchedDeliveryDigestInvariant(t *testing.T) {
+	pinned := GoldenDigest()
+	if got := Digest(GoldenSweepUnbatched(1)); got != pinned {
+		t.Fatalf("unbatched serial golden sweep digest %s != pinned %s", got, pinned)
+	}
+	if got := Digest(GoldenSweepUnbatched(4)); got != pinned {
+		t.Fatalf("unbatched parallel=4 golden sweep digest %s != pinned %s", got, pinned)
+	}
+}

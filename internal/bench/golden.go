@@ -72,5 +72,22 @@ func goldenPointsPlan(o Options) plan {
 func GoldenSweep(parallel int) []Row {
 	o := GoldenOptions()
 	o.Parallel = parallel
+	return goldenPlansRun(o)
+}
+
+// GoldenSweepUnbatched is GoldenSweep with per-destination delivery
+// coalescing disabled in every cluster. Batching only merges scheduled
+// events whose deliveries already share an instant — execution order is
+// identical by construction — so this sweep must reproduce the same
+// digest; TestBatchedDeliveryDigestInvariant pins that.
+func GoldenSweepUnbatched(parallel int) []Row {
+	o := GoldenOptions()
+	o.Parallel = parallel
+	o.Unbatched = true
+	return goldenPlansRun(o)
+}
+
+// goldenPlansRun executes the golden sweep's plan set at the given options.
+func goldenPlansRun(o Options) []Row {
 	return o.executeAll([]plan{fig01Plan(o), fig11tPlan(o), fig18bPlan(o), goldenPointsPlan(o)})
 }

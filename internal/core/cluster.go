@@ -57,6 +57,9 @@ func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 		SwitchCfg: cfg.Switch,
 		BatchSize: cfg.BatchSize,
 	}
+	if cfg.NoDeliveryBatching {
+		ctx.Net.SetCoalescing(false)
+	}
 	c := &Cluster{cfg: cfg, env: env, gen: gen, eng: eng, ctx: ctx}
 	stores := make([]*store.Store, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -253,12 +256,13 @@ func (r *Result) EventsPerSec() float64 {
 func (c *Cluster) Run(warmup, measure sim.Time) *Result {
 	wallStart := time.Now()
 	for _, n := range c.ctx.Nodes {
-		n := n
 		for w := 0; w < c.cfg.WorkersPerNode; w++ {
 			rng := c.env.Rand().Fork(uint64(n.ID())<<16 | uint64(w))
-			c.env.Spawn(fmt.Sprintf("worker-%d-%d", n.ID(), w), func(p *sim.Proc) {
-				c.ctx.RunWorker(p, c.eng, n, rng)
-			})
+			// Workers are continuation-driven state machines, not
+			// processes: StartWorker's initial After(0, ·) draws the same
+			// event sequence number the worker's Spawn used to, so seeded
+			// schedules are unchanged.
+			c.ctx.StartWorker(c.eng, n, rng)
 		}
 	}
 	c.env.RunUntil(warmup)

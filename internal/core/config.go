@@ -72,6 +72,13 @@ type Config struct {
 	HotSetCap int
 	// SampleTxns is the size of the offline detection sample.
 	SampleTxns int
+	// NoDeliveryBatching disables the network's per-destination delivery
+	// coalescing (netsim.Network.SetCoalescing(false)): every one-way
+	// message gets its own scheduled event. Simulated results are
+	// identical either way — the determinism tests run seeded sweeps both
+	// ways to prove it — so this knob exists for those tests and for
+	// isolating batching in profiles, not for experiments.
+	NoDeliveryBatching bool
 	// ExplicitHot bypasses frequency-based detection and offloads exactly
 	// these tuples (truncated to the capacity / HotSetCap bound, most
 	// frequently sampled first). It is used when the hot-set is known a

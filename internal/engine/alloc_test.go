@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestAttemptPoolRecycleZeroAlloc pins the attempt free-list cycle —
+// newAttempt, lockTxn materialization, releaseAttempt — at zero heap
+// allocations once the pool is primed. This is the arena-allocation
+// invariant of the coroutine-free scheduler core: steady-state cold
+// execution must not allocate per-attempt state.
+func TestAttemptPoolRecycleZeroAlloc(t *testing.T) {
+	c := &Context{Env: sim.NewEnv(1)}
+	// Prime the pool: first incarnation allocates the attempt and its
+	// lock contexts; every later incarnation must recycle both.
+	at := c.newAttempt()
+	at.lockTxn(0)
+	at.lockTxn(1)
+	c.releaseAttempt(at)
+	if avg := testing.AllocsPerRun(1000, func() {
+		at := c.newAttempt()
+		at.lockTxn(0)
+		at.lockTxn(1)
+		c.releaseAttempt(at)
+	}); avg != 0 {
+		t.Fatalf("attempt recycle allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -85,9 +85,8 @@ func (calvinEngine) Prepare(ctx *Context) error {
 	return nil
 }
 
-func (calvinEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	ctx.execCalvin(p, n, txn)
-	return ClassCold, nil
+func (calvinEngine) Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error)) {
+	ctx.execCalvinK(n, txn, func() { k(ClassCold, nil) })
 }
 
 // calvinSequencerOf returns the cluster's sequencer, failing fast when the
@@ -163,33 +162,45 @@ func (s *calvinSequencer) dispatch(c *Context) {
 	}
 }
 
-// execCalvin runs one transaction to commit. It never returns an abort:
-// conflicts resolve by waiting in pre-declared lock order, and the commit
-// round has no vote to lose.
-func (c *Context) execCalvin(p *sim.Proc, n *Node, txn *workload.Txn) {
+// execCalvinK runs one transaction to commit as a continuation chain. It
+// never reports an abort: conflicts resolve by waiting in pre-declared
+// lock order, and the commit round has no vote to lose.
+func (c *Context) execCalvinK(n *Node, txn *workload.Txn, k func()) {
 	seq := calvinSequencerOf(c)
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
+	t0 := c.Env.Now()
+	c.Env.After(c.Costs.TxnOverhead, func() {
+		c.charge(n, metrics.TxnEngine, t0)
 
-	refs := txn.LockSet()
-	if d, ok := c.Gen.(workload.SetDeclarer); !ok || !d.DeclaresKeySets() {
-		c.calvinRecon(p, n, refs)
-	}
+		refs := txn.LockSet()
+		sequenced := func() {
+			// Sequencing: submit, then wait until the epoch batch this
+			// transaction lands in is ordered and our turn is granted. A
+			// co-located sequencer may grant the turn inline, in which
+			// case Subscribe continues immediately.
+			t1 := c.Env.Now()
+			turn := c.Env.NewSignal()
+			sub := calvinSubmission{turn: turn, node: n.id}
+			if n.id == seq.node {
+				seq.enqueue(c, sub)
+			} else {
+				c.Net.Send(n.id, seq.node, func() { seq.enqueue(c, sub) })
+			}
+			turn.Subscribe(func() {
+				c.charge(n, metrics.TxnEngine, t1)
+				c.calvinLockedExecK(n, txn, refs, k)
+			})
+		}
+		if d, ok := c.Gen.(workload.SetDeclarer); !ok || !d.DeclaresKeySets() {
+			c.calvinReconK(n, refs, sequenced)
+		} else {
+			sequenced()
+		}
+	})
+}
 
-	// Sequencing: submit, then park until the epoch batch this
-	// transaction lands in is ordered and our turn is granted.
-	t1 := p.Now()
-	turn := c.Env.NewSignal()
-	sub := calvinSubmission{turn: turn, node: n.id}
-	if n.id == seq.node {
-		seq.enqueue(c, sub)
-	} else {
-		c.Net.Send(n.id, seq.node, func() { seq.enqueue(c, sub) })
-	}
-	p.Await(turn)
-	c.charge(n, metrics.TxnEngine, t1)
-
+// calvinLockedExecK is the post-sequencing half of a Calvin transaction:
+// deterministic locking, in-place execution, single-round commit.
+func (c *Context) calvinLockedExecK(n *Node, txn *workload.Txn, refs []workload.LockRef, k func()) {
 	// Deterministic locking: the whole declared set, ascending global key
 	// order, waiting grants. Consecutive same-node runs share one round
 	// trip; acquisition within the trip stays in key order, so the global
@@ -204,87 +215,136 @@ func (c *Context) execCalvin(p *sim.Proc, n *Node, txn *workload.Txn) {
 		}
 		return t
 	}
-	for i := 0; i < len(refs); {
+
+	// Execution: every lock is held, so operations apply in place with no
+	// undo images — nothing can force a rollback anymore.
+	execPhase := func() {
+		exec := workload.NewExecutor()
+		var writes []wal.ColdWrite
+		apply := func(id netsim.NodeID, op workload.Op) {
+			tb := c.Nodes[id].store.Table(op.Table)
+			exec.Apply(tb, op)
+			if op.Kind.IsWrite() {
+				writes = append(writes, wal.ColdWrite{
+					Table: op.Table, Key: op.Key, Field: op.Field,
+					Value: tb.Get(op.Key, op.Field),
+				})
+			}
+		}
+		commit := func() {
+			// Single-round commit: no prepare, no votes — every
+			// participant is certain to commit, so the coordinator logs
+			// and releases locally and the remote participants release on
+			// a one-way message.
+			t3 := c.Env.Now()
+			c.Env.After(c.Costs.LogAppend, func() {
+				n.log.AppendCold(ts, writes)
+				held := make([]netsim.NodeID, 0, len(locks))
+				for id := range locks {
+					held = append(held, id)
+				}
+				// Release in node order: map iteration order would reorder
+				// the release messages run to run and break seeded
+				// reproducibility.
+				sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+				for _, id := range held {
+					if id == n.id {
+						n.locks.ReleaseAllOrdered(locks[id])
+						continue
+					}
+					id, lt := id, locks[id]
+					c.Net.Send(n.id, id, func() { c.Nodes[id].locks.ReleaseAllOrdered(lt) })
+				}
+				c.charge(n, metrics.TxnEngine, t3)
+				k()
+			})
+		}
+		oi := 0
+		var t2 sim.Time
+		var opStep func()
+		opStep = func() {
+			if oi >= len(txn.Ops) {
+				commit()
+				return
+			}
+			op := txn.Ops[oi]
+			t2 = c.Env.Now()
+			if op.Home == n.id {
+				c.Env.After(c.Costs.LocalAccess, func() {
+					apply(n.id, op)
+					c.charge(n, metrics.LocalAccess, t2)
+					oi++
+					opStep()
+				})
+				return
+			}
+			c.Net.RPCK(n.id, op.Home, func(done func()) {
+				c.Env.After(c.Costs.LocalAccess, func() {
+					apply(op.Home, op)
+					done()
+				})
+			}, func() {
+				c.charge(n, metrics.RemoteAccess, t2)
+				oi++
+				opStep()
+			})
+		}
+		opStep()
+	}
+
+	var lockRuns func(i int)
+	lockRuns = func(i int) {
+		if i >= len(refs) {
+			execPhase()
+			return
+		}
 		home := refs[i].Home
 		j := i
 		for j < len(refs) && refs[j].Home == home {
 			j++
 		}
 		run := refs[i:j]
+		tl := c.Env.Now()
 		if home == n.id {
-			tl := p.Now()
-			for _, ref := range run {
-				p.Sleep(c.Costs.LockOp)
-				n.locks.AcquireWait(p, lockTxn(home), lock.Key(ref.Key), calvinMode(ref))
-			}
-			c.charge(n, metrics.LockAcquisition, tl)
-		} else {
-			tl := p.Now()
-			c.Net.RPC(p, n.id, home, func() {
-				rn := c.Nodes[home]
-				for _, ref := range run {
-					p.Sleep(c.Costs.LockOp)
-					rn.locks.AcquireWait(p, lockTxn(home), lock.Key(ref.Key), calvinMode(ref))
+			ri := 0
+			var next func()
+			next = func() {
+				if ri >= len(run) {
+					c.charge(n, metrics.LockAcquisition, tl)
+					lockRuns(j)
+					return
 				}
-			})
+				ref := run[ri]
+				ri++
+				c.Env.After(c.Costs.LockOp, func() {
+					n.locks.AcquireWaitK(lockTxn(home), lock.Key(ref.Key), calvinMode(ref), next)
+				})
+			}
+			next()
+			return
+		}
+		c.Net.RPCK(n.id, home, func(done func()) {
+			rn := c.Nodes[home]
+			ri := 0
+			var next func()
+			next = func() {
+				if ri >= len(run) {
+					done()
+					return
+				}
+				ref := run[ri]
+				ri++
+				c.Env.After(c.Costs.LockOp, func() {
+					rn.locks.AcquireWaitK(lockTxn(home), lock.Key(ref.Key), calvinMode(ref), next)
+				})
+			}
+			next()
+		}, func() {
 			c.charge(n, metrics.RemoteAccess, tl)
-		}
-		i = j
-	}
-
-	// Execution: every lock is held, so operations apply in place with no
-	// undo images — nothing can force a rollback anymore.
-	exec := workload.NewExecutor()
-	var writes []wal.ColdWrite
-	apply := func(id netsim.NodeID, op workload.Op) {
-		tb := c.Nodes[id].store.Table(op.Table)
-		exec.Apply(tb, op)
-		if op.Kind.IsWrite() {
-			writes = append(writes, wal.ColdWrite{
-				Table: op.Table, Key: op.Key, Field: op.Field,
-				Value: tb.Get(op.Key, op.Field),
-			})
-		}
-	}
-	for _, op := range txn.Ops {
-		if op.Home == n.id {
-			t2 := p.Now()
-			p.Sleep(c.Costs.LocalAccess)
-			apply(n.id, op)
-			c.charge(n, metrics.LocalAccess, t2)
-			continue
-		}
-		t2 := p.Now()
-		op := op
-		c.Net.RPC(p, n.id, op.Home, func() {
-			p.Sleep(c.Costs.LocalAccess)
-			apply(op.Home, op)
+			lockRuns(j)
 		})
-		c.charge(n, metrics.RemoteAccess, t2)
 	}
-
-	// Single-round commit: no prepare, no votes — every participant is
-	// certain to commit, so the coordinator logs and releases locally and
-	// the remote participants release on a one-way message.
-	t3 := p.Now()
-	p.Sleep(c.Costs.LogAppend)
-	n.log.AppendCold(ts, writes)
-	held := make([]netsim.NodeID, 0, len(locks))
-	for id := range locks {
-		held = append(held, id)
-	}
-	// Release in node order: map iteration order would reorder the
-	// release messages run to run and break seeded reproducibility.
-	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
-	for _, id := range held {
-		if id == n.id {
-			n.locks.ReleaseAllOrdered(locks[id])
-			continue
-		}
-		id, lt := id, locks[id]
-		c.Net.Send(n.id, id, func() { c.Nodes[id].locks.ReleaseAllOrdered(lt) })
-	}
-	c.charge(n, metrics.TxnEngine, t3)
+	lockRuns(0)
 }
 
 // calvinMode maps a declared lock reference to its table mode.
@@ -295,21 +355,16 @@ func calvinMode(ref workload.LockRef) lock.Mode {
 	return lock.Shared
 }
 
-// calvinRecon models the reconnaissance pass for workloads whose
+// calvinReconK models the reconnaissance pass for workloads whose
 // read/write sets depend on data (TPC-C): a lock-free read-only pass over
 // the transaction's partitions discovers the set before sequencing. The
 // simulation's keys are static, so the pass always confirms — what it
 // charges is the cost: one local access per row plus one round trip to
 // every remote partition, visited in node order.
-func (c *Context) calvinRecon(p *sim.Proc, n *Node, refs []workload.LockRef) {
+func (c *Context) calvinReconK(n *Node, refs []workload.LockRef, k func()) {
 	perNode := make(map[netsim.NodeID]int, 2)
 	for _, ref := range refs {
 		perNode[ref.Home]++
-	}
-	if local := perNode[n.id]; local > 0 {
-		t0 := p.Now()
-		p.Sleep(c.Costs.LocalAccess * sim.Time(local))
-		c.charge(n, metrics.LocalAccess, t0)
 	}
 	remotes := make([]netsim.NodeID, 0, len(perNode))
 	for id := range perNode {
@@ -318,12 +373,32 @@ func (c *Context) calvinRecon(p *sim.Proc, n *Node, refs []workload.LockRef) {
 		}
 	}
 	sort.Slice(remotes, func(i, j int) bool { return remotes[i] < remotes[j] })
-	for _, id := range remotes {
+	i := 0
+	var t0 sim.Time
+	var step func()
+	step = func() {
+		if i >= len(remotes) {
+			k()
+			return
+		}
+		id := remotes[i]
 		rows := perNode[id]
-		t0 := p.Now()
-		c.Net.RPC(p, n.id, id, func() {
-			p.Sleep(c.Costs.LocalAccess * sim.Time(rows))
+		t0 = c.Env.Now()
+		c.Net.RPCK(n.id, id, func(done func()) {
+			c.Env.After(c.Costs.LocalAccess*sim.Time(rows), done)
+		}, func() {
+			c.charge(n, metrics.RemoteAccess, t0)
+			i++
+			step()
 		})
-		c.charge(n, metrics.RemoteAccess, t0)
 	}
+	if local := perNode[n.id]; local > 0 {
+		lt := c.Env.Now()
+		c.Env.After(c.Costs.LocalAccess*sim.Time(local), func() {
+			c.charge(n, metrics.LocalAccess, lt)
+			step()
+		})
+		return
+	}
+	step()
 }

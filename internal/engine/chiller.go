@@ -3,8 +3,6 @@ package engine
 import (
 	"repro/internal/lock"
 	"repro/internal/metrics"
-	"repro/internal/sim"
-	"repro/internal/twopc"
 	"repro/internal/workload"
 )
 
@@ -26,87 +24,138 @@ func (chillerEngine) ForcedScheme() string { return Scheme2PL }
 
 func (chillerEngine) Prepare(ctx *Context) error { return nil }
 
-func (chillerEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	return ClassCold, ctx.execChiller(p, n, txn)
+func (chillerEngine) Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error)) {
+	ctx.execChillerK(n, txn, func(err error) { k(ClassCold, err) })
 }
 
-// execChiller runs one transaction with the hot operations reordered into
-// a late, early-released inner region.
-func (c *Context) execChiller(p *sim.Proc, n *Node, txn *workload.Txn) error {
+// execChillerK runs one transaction with the hot operations reordered
+// into a late, early-released inner region.
+func (c *Context) execChillerK(n *Node, txn *workload.Txn, k func(error)) {
 	// Chiller reorders hot operations behind cold ones; dependencies that
 	// cross the regions cannot be reordered, so such transactions run as
 	// plain 2PL (the scheme's own fallback).
 	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.IsHotTuple(op) }) {
-		return c.execCold(p, n, txn)
+		c.execColdK(n, txn, k)
+		return
 	}
 	at := c.newAttempt()
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
+	t0 := c.Env.Now()
+	c.Env.After(c.Costs.TxnOverhead, func() {
+		c.charge(n, metrics.TxnEngine, t0)
 
-	var outer, inner []workload.Op
-	for _, op := range txn.Ops {
-		if c.IsHotTuple(op) {
-			inner = append(inner, op)
-		} else {
-			outer = append(outer, op)
-		}
-	}
-	if err := c.execOps(p, n, at, outer); err != nil {
-		return err
-	}
-	remotes := at.remoteNodes(n.id)
-	coord := twopc.NewCoordinator(c.Net, n.id)
-	parts := c.coldParticipants(at, remotes)
-	if len(parts) > 0 && !coord.Prepare(p, parts) {
-		c.abort(p, n, at)
-		return lock.ErrConflict
-	}
-	// Inner region: lock, apply and immediately release the hot tuples.
-	for _, op := range inner {
-		tl := p.Now()
-		var lerr error
-		op := op
-		if op.Home == n.id {
-			p.Sleep(c.Costs.LockOp)
-			lerr = n.locks.Acquire(p, at.innerTxn(n.id), lock.Key(op.LockKey()), lockMode(op))
-			if lerr == nil {
-				p.Sleep(c.Costs.LocalAccess)
-				c.applyOp(at, n.id, op)
+		var outer, inner []workload.Op
+		for _, op := range txn.Ops {
+			if c.IsHotTuple(op) {
+				inner = append(inner, op)
+			} else {
+				outer = append(outer, op)
 			}
-			c.charge(n, metrics.LockAcquisition, tl)
-		} else {
-			c.Net.RPC(p, n.id, op.Home, func() {
-				p.Sleep(c.Costs.LockOp)
-				lerr = c.Nodes[op.Home].locks.Acquire(p, at.innerTxn(op.Home), lock.Key(op.LockKey()), lockMode(op))
-				if lerr == nil {
-					p.Sleep(c.Costs.LocalAccess)
-					c.applyOp(at, op.Home, op)
+		}
+		c.execOpsK(n, at, outer, func(err error) {
+			if err != nil {
+				k(err)
+				return
+			}
+			remotes := at.remoteNodes(n.id)
+			coord := c.coordOf(n)
+			parts := c.coldParticipants(at, remotes)
+
+			// The inner region runs once the outer prepare round (if any)
+			// voted yes: lock, apply and immediately release the hot
+			// tuples, then the final commit round for the outer part.
+			finish := func() {
+				// Early release of the contended inner locks.
+				c.releaseInner(n, at)
+				seal := func() {
+					t2 := c.Env.Now()
+					c.Env.After(c.Costs.LogAppend, func() {
+						n.log.AppendCold(at.ts, at.writes)
+						at.writes = nil
+						n.locks.ReleaseAll(at.lockTxn(n.id))
+						c.charge(n, metrics.TxnEngine, t2)
+						k(nil)
+					})
 				}
-			})
-			c.charge(n, metrics.RemoteAccess, tl)
-		}
-		if lerr != nil {
-			c.releaseInner(n, at)
-			c.abort(p, n, at)
-			if len(parts) > 0 {
-				coord.Finish(p, parts, false)
+				if len(parts) > 0 {
+					coord.FinishK(parts, true, seal)
+				} else {
+					seal()
+				}
 			}
-			return lerr
-		}
-	}
-	// Early release of the contended inner locks.
-	c.releaseInner(n, at)
-	// Final commit round for the outer part.
-	if len(parts) > 0 {
-		coord.Finish(p, parts, true)
-	}
-	t2 := p.Now()
-	p.Sleep(c.Costs.LogAppend)
-	n.log.AppendCold(at.ts, at.writes)
-	n.locks.ReleaseAll(at.lockTxn(n.id))
-	c.charge(n, metrics.TxnEngine, t2)
-	return nil
+			ii := 0
+			var innerStep func()
+			failInner := func(lerr error) {
+				c.releaseInner(n, at)
+				c.abort(n, at)
+				if len(parts) > 0 {
+					coord.FinishK(parts, false, func() { k(lerr) })
+					return
+				}
+				k(lerr)
+			}
+			innerStep = func() {
+				if ii >= len(inner) {
+					finish()
+					return
+				}
+				op := inner[ii]
+				ii++
+				tl := c.Env.Now()
+				if op.Home == n.id {
+					c.Env.After(c.Costs.LockOp, func() {
+						n.locks.AcquireK(at.innerTxn(n.id), lock.Key(op.LockKey()), lockMode(op), func(lerr error) {
+							if lerr != nil {
+								c.charge(n, metrics.LockAcquisition, tl)
+								failInner(lerr)
+								return
+							}
+							c.Env.After(c.Costs.LocalAccess, func() {
+								c.applyOp(at, n.id, op)
+								c.charge(n, metrics.LockAcquisition, tl)
+								innerStep()
+							})
+						})
+					})
+					return
+				}
+				var lerr error
+				c.Net.RPCK(n.id, op.Home, func(done func()) {
+					c.Env.After(c.Costs.LockOp, func() {
+						c.Nodes[op.Home].locks.AcquireK(at.innerTxn(op.Home), lock.Key(op.LockKey()), lockMode(op), func(err error) {
+							lerr = err
+							if err != nil {
+								done()
+								return
+							}
+							c.Env.After(c.Costs.LocalAccess, func() {
+								c.applyOp(at, op.Home, op)
+								done()
+							})
+						})
+					})
+				}, func() {
+					c.charge(n, metrics.RemoteAccess, tl)
+					if lerr != nil {
+						failInner(lerr)
+						return
+					}
+					innerStep()
+				})
+			}
+			if len(parts) > 0 {
+				coord.PrepareK(parts, func(ok bool) {
+					if !ok {
+						c.abort(n, at)
+						k(lock.ErrConflict)
+						return
+					}
+					innerStep()
+				})
+				return
+			}
+			innerStep()
+		})
+	})
 }
 
 // releaseInner releases the Chiller inner-region locks (locally at once,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/pisa"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/twopc"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -159,6 +160,32 @@ type Context struct {
 
 	nextTS    uint64
 	measuring bool
+
+	// Free lists for the hot-path state machines (attempt.go, switch.go):
+	// steady-state execution recycles attempts, lock contexts and
+	// continuation frames instead of allocating. A single worker drives
+	// each simulation shard, so the pools need no synchronization.
+	freeAttempts   []*attempt
+	freeOpsFrames  []*opsFrame
+	freeColdFrames []*coldFrame
+	freeHotFrames  []*hotFrame
+
+	// coords caches one 2PC coordinator per node; the per-commit Stats of
+	// the old throwaway coordinators were never read, so sharing is safe.
+	coords []*twopc.Coordinator
+}
+
+// coordOf returns the cached 2PC coordinator for node n.
+func (c *Context) coordOf(n *Node) *twopc.Coordinator {
+	if c.coords == nil {
+		c.coords = make([]*twopc.Coordinator, len(c.Nodes))
+	}
+	if co := c.coords[n.id]; co != nil {
+		return co
+	}
+	co := twopc.NewCoordinator(c.Net, n.id)
+	c.coords[n.id] = co
+	return co
 }
 
 // issueTS hands out the next cluster-unique timestamp. The paper assigns
@@ -225,50 +252,124 @@ func (c *Context) charge(n *Node, comp metrics.Component, since sim.Time) {
 	}
 }
 
-// RunWorker is one closed-loop worker: generate, execute with retries,
-// account. It never returns; the simulation environment unwinds it at
-// shutdown.
-func (c *Context) RunWorker(p *sim.Proc, eng Engine, n *Node, rng *sim.RNG) {
-	for {
-		txn := c.Gen.Next(rng, n.id)
-		start := p.Now()
-		var cls Class
-		attempts := 0
-		for {
-			var err error
-			cls, err = eng.Execute(c, p, n, txn)
-			if err == nil {
-				break
-			}
-			if c.measuring {
-				n.counters.Aborts++
-			}
-			// Randomized backoff that grows with consecutive failures,
-			// bounded at 8x — standard NO_WAIT retry damping.
-			if attempts < 8 {
-				attempts++
-			}
-			backoff := c.Costs.AbortBackoff/2 + sim.Time(rng.Int63n(int64(c.Costs.AbortBackoff)))
-			p.Sleep(backoff * sim.Time(attempts))
-		}
+// workerSM is one closed-loop worker as a continuation-driven state
+// machine: generate, execute with retries, account, chain to the next
+// transaction — all without ever parking a goroutine. A committed
+// transaction chains to its successor inline (exactly like the retired
+// process loop continued inline after Execute returned), which keeps the
+// event-sequence draws identical to the process formulation; the stack
+// stays bounded because every engine path begins by scheduling its
+// transaction-overhead wait.
+type workerSM struct {
+	c        *Context
+	eng      Engine
+	n        *Node
+	rng      *sim.RNG
+	txn      *workload.Txn
+	start    sim.Time
+	attempts int
+
+	beginFn func()
+	retryFn func()
+	doneFn  func(Class, error)
+}
+
+// StartWorker launches one closed-loop worker. It replaces the former
+// RunWorker process: the initial After(0, ·) draws the same event the
+// worker's Spawn used to, so seeded schedules carry over unchanged. The
+// worker runs until the environment stops dispatching events.
+func (c *Context) StartWorker(eng Engine, n *Node, rng *sim.RNG) {
+	sm := &workerSM{c: c, eng: eng, n: n, rng: rng}
+	sm.beginFn = sm.begin
+	sm.retryFn = sm.retry
+	sm.doneFn = sm.done
+	c.Env.After(0, sm.beginFn)
+}
+
+// begin starts the next transaction of the closed loop.
+func (sm *workerSM) begin() {
+	sm.txn = sm.c.Gen.Next(sm.rng, sm.n.id)
+	sm.start = sm.c.Env.Now()
+	sm.attempts = 0
+	sm.eng.Execute(sm.c, sm.n, sm.txn, sm.doneFn)
+}
+
+// retry re-executes the current transaction after a backoff.
+func (sm *workerSM) retry() {
+	sm.eng.Execute(sm.c, sm.n, sm.txn, sm.doneFn)
+}
+
+// done receives the outcome of one attempt.
+func (sm *workerSM) done(cls Class, err error) {
+	c := sm.c
+	n := sm.n
+	if err != nil {
 		if c.measuring {
-			n.latency.Record(p.Now() - start)
-			n.breakdown.AddTxn()
-			switch cls {
-			case ClassHot:
+			n.counters.Aborts++
+		}
+		// Randomized backoff that grows with consecutive failures,
+		// bounded at 8x — standard NO_WAIT retry damping.
+		if sm.attempts < 8 {
+			sm.attempts++
+		}
+		backoff := c.Costs.AbortBackoff/2 + sim.Time(sm.rng.Int63n(int64(c.Costs.AbortBackoff)))
+		c.Env.After(backoff*sim.Time(sm.attempts), sm.retryFn)
+		return
+	}
+	if c.measuring {
+		n.latency.Record(c.Env.Now() - sm.start)
+		n.breakdown.AddTxn()
+		switch cls {
+		case ClassHot:
+			n.counters.CommittedHot++
+		case ClassWarm:
+			n.counters.CommittedWarm++
+		default:
+			// In the baselines a transaction on hot tuples still
+			// counts as a hot transaction for the Figure 12
+			// breakdown, even though it executes on the nodes.
+			if c.TxnOnHotSet(sm.txn) {
 				n.counters.CommittedHot++
-			case ClassWarm:
-				n.counters.CommittedWarm++
-			default:
-				// In the baselines a transaction on hot tuples still
-				// counts as a hot transaction for the Figure 12
-				// breakdown, even though it executes on the nodes.
-				if c.TxnOnHotSet(txn) {
-					n.counters.CommittedHot++
-				} else {
-					n.counters.CommittedCold++
-				}
+			} else {
+				n.counters.CommittedCold++
 			}
 		}
 	}
+	sm.begin()
+}
+
+// runK drives a callback state machine to completion from a process:
+// start launches the machine with a completion callback, and the process
+// parks until it fires. It is the bridge tests and examples use to call
+// the continuation-form engine paths from straight-line code.
+func runK(p *sim.Proc, start func(fin func())) {
+	done, parked := false, false
+	start(func() {
+		if parked {
+			p.Env().Resume(0, p)
+		} else {
+			done = true
+		}
+	})
+	if !done {
+		parked = true
+		p.Park()
+	}
+}
+
+// ExecuteSync drives one Execute attempt to completion from a process —
+// the process-form face of the callback engine API (tests, examples,
+// recovery tooling).
+func (c *Context) ExecuteSync(p *sim.Proc, eng Engine, n *Node, txn *workload.Txn) (Class, error) {
+	var (
+		cls Class
+		err error
+	)
+	runK(p, func(fin func()) {
+		eng.Execute(c, n, txn, func(cl Class, e error) {
+			cls, err = cl, e
+			fin()
+		})
+	})
+	return cls, err
 }

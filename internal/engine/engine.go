@@ -18,7 +18,6 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -60,10 +59,13 @@ type Engine interface {
 	// it to claim the switch (register offload) or build strategy-specific
 	// structures (the LM-Switch central lock table).
 	Prepare(ctx *Context) error
-	// Execute runs one attempt of one transaction from node n. It returns
-	// the transaction's class on commit, or an abort error after rolling
-	// every side effect back; the worker loop retries with backoff.
-	Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error)
+	// Execute runs one attempt of one transaction from node n as a callback
+	// state machine: it must eventually invoke k exactly once with the
+	// transaction's class on commit, or an abort error after rolling every
+	// side effect back; the worker state machine retries with backoff. No
+	// goroutine parks on the hot path — every wait inside an engine is a
+	// resumption callback on the simulation's event queue.
+	Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error))
 }
 
 var (

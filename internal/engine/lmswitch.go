@@ -3,7 +3,6 @@ package engine
 import (
 	"repro/internal/lock"
 	"repro/internal/metrics"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -30,69 +29,101 @@ func (lmSwitchEngine) Prepare(ctx *Context) error {
 	return nil
 }
 
-func (lmSwitchEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	return ClassCold, ctx.execLM(p, n, txn)
+func (lmSwitchEngine) Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error)) {
+	ctx.execLMK(n, txn, func(err error) { k(ClassCold, err) })
 }
 
-// execLM runs one transaction with central locking for hot tuples.
-func (c *Context) execLM(p *sim.Proc, n *Node, txn *workload.Txn) error {
+// execLMK runs one transaction with central locking for hot tuples, as a
+// continuation chain over the operations.
+func (c *Context) execLMK(n *Node, txn *workload.Txn, k func(error)) {
 	at := c.newAttempt()
 	at.lm = lock.NewTxn(at.ts)
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
-	for _, op := range txn.Ops {
-		if c.IsHotTuple(op) {
-			op := op
+	t0 := c.Env.Now()
+	var step func()
+	i := 0
+	commit := func() {
+		c.commitColdK(n, at, func() {
+			lm := at.lm
+			c.Net.SendToSwitch(n.id, func() { c.LMLocks.ReleaseAll(lm) })
+			k(nil)
+		})
+	}
+	step = func() {
+		if i >= len(txn.Ops) {
+			commit()
+			return
+		}
+		op := txn.Ops[i]
+		i++
+		if !c.IsHotTuple(op) {
+			c.execOpsK(n, at, txn.Ops[i-1:i], func(err error) {
+				if err != nil {
+					k(err)
+					return
+				}
+				step()
+			})
+			return
+		}
+		if op.Home == n.id {
+			// Local data, central lock: the lock request costs a
+			// dedicated switch round trip on top of the (otherwise
+			// free) local access — the price of centralized locking.
+			tl := c.Env.Now()
 			var lerr error
-			if op.Home == n.id {
-				// Local data, central lock: the lock request costs a
-				// dedicated switch round trip on top of the (otherwise
-				// free) local access — the price of centralized locking.
-				tl := p.Now()
-				c.Net.RPCToSwitch(p, n.id, func() {
-					lerr = c.LMLocks.Acquire(p, at.lm, lock.Key(op.LockKey()), lockMode(op))
+			c.Net.RPCToSwitchK(n.id, func(done func()) {
+				c.LMLocks.AcquireK(at.lm, lock.Key(op.LockKey()), lockMode(op), func(err error) {
+					lerr = err
+					done()
 				})
+			}, func() {
 				c.charge(n, metrics.LockAcquisition, tl)
 				if lerr != nil {
-					c.abort(p, n, at)
-					return lerr
+					c.abort(n, at)
+					k(lerr)
+					return
 				}
-				ta := p.Now()
-				p.Sleep(c.Costs.LocalAccess)
-				c.applyOp(at, n.id, op)
-				c.charge(n, metrics.LocalAccess, ta)
-			} else {
-				// Remote data: the request passes through the switch
-				// anyway, so the lock is acquired ON PATH (NetLock's key
-				// idea) — the journey costs the same full round trip the
-				// baseline pays, with the lock taken at the midpoint.
-				tl := p.Now()
-				p.Sleep(c.Net.Latency().NodeToSwitch)
-				lerr = c.LMLocks.Acquire(p, at.lm, lock.Key(op.LockKey()), lockMode(op))
+				ta := c.Env.Now()
+				c.Env.After(c.Costs.LocalAccess, func() {
+					c.applyOp(at, n.id, op)
+					c.charge(n, metrics.LocalAccess, ta)
+					step()
+				})
+			})
+			return
+		}
+		// Remote data: the request passes through the switch anyway, so
+		// the lock is acquired ON PATH (NetLock's key idea) — the journey
+		// costs the same full round trip the baseline pays, with the lock
+		// taken at the midpoint.
+		tl := c.Env.Now()
+		c.Env.After(c.Net.Latency().NodeToSwitch, func() {
+			c.LMLocks.AcquireK(at.lm, lock.Key(op.LockKey()), lockMode(op), func(lerr error) {
 				c.charge(n, metrics.LockAcquisition, tl)
 				if lerr != nil {
 					// The denial still has to travel back to the caller.
-					p.Sleep(c.Net.Latency().NodeToSwitch)
-					c.abort(p, n, at)
-					return lerr
+					c.Env.After(c.Net.Latency().NodeToSwitch, func() {
+						c.abort(n, at)
+						k(lerr)
+					})
+					return
 				}
-				ta := p.Now()
-				p.Sleep(c.Net.Latency().NodeToSwitch) // switch -> home node
-				p.Sleep(c.Costs.LocalAccess)
-				c.applyOp(at, op.Home, op)
-				p.Sleep(c.Net.Latency().NodeToNode) // home node -> caller
-				c.charge(n, metrics.RemoteAccess, ta)
-				at.lockTxn(op.Home) // 2PC participant (holds writes)
-			}
-			continue
-		}
-		if err := c.execOps(p, n, at, []workload.Op{op}); err != nil {
-			return err
-		}
+				ta := c.Env.Now()
+				c.Env.After(c.Net.Latency().NodeToSwitch, func() { // switch -> home node
+					c.Env.After(c.Costs.LocalAccess, func() {
+						c.applyOp(at, op.Home, op)
+						c.Env.After(c.Net.Latency().NodeToNode, func() { // home node -> caller
+							c.charge(n, metrics.RemoteAccess, ta)
+							at.lockTxn(op.Home) // 2PC participant (holds writes)
+							step()
+						})
+					})
+				})
+			})
+		})
 	}
-	c.commitCold(p, n, at)
-	lm := at.lm
-	c.Net.SendToSwitch(n.id, func() { c.LMLocks.ReleaseAll(lm) })
-	return nil
+	c.Env.After(c.Costs.TxnOverhead, func() {
+		c.charge(n, metrics.TxnEngine, t0)
+		step()
+	})
 }

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/lock"
 	"repro/internal/netsim"
-	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -58,12 +57,12 @@ func (mvccScheme) Init(c *Context) {
 
 func (mvccScheme) NewNodeState() NodeState { return newMVCCState() }
 
-func (mvccScheme) ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
-	return c.execOptimisticTxn(p, n, txn, c.newMVCCAttempt())
+func (mvccScheme) ExecCold(c *Context, n *Node, txn *workload.Txn, k func(error)) {
+	c.execOptimisticTxnK(n, txn, c.newMVCCAttempt(), k)
 }
 
-func (mvccScheme) ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
-	return c.execOptimisticWarm(p, n, txn, func() voteFirst { return c.newMVCCAttempt() })
+func (mvccScheme) ExecWarm(c *Context, n *Node, txn *workload.Txn, k func(error)) {
+	c.execOptimisticWarmK(n, txn, func() voteFirst { return c.newMVCCAttempt() }, k)
 }
 
 // ErrWriteConflict aborts an MVCC transaction that lost the

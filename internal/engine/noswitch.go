@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -18,6 +17,6 @@ func (noSwitchEngine) Label() string { return "No-Switch" }
 
 func (noSwitchEngine) Prepare(ctx *Context) error { return nil }
 
-func (noSwitchEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	return ClassCold, ctx.Scheme.ExecCold(ctx, p, n, txn)
+func (noSwitchEngine) Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error)) {
+	ctx.Scheme.ExecCold(ctx, n, txn, func(err error) { k(ClassCold, err) })
 }

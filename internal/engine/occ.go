@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/lock"
 	"repro/internal/netsim"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -37,12 +36,12 @@ func (occScheme) Label() string           { return "OCC" }
 func (occScheme) Init(*Context)           {}
 func (occScheme) NewNodeState() NodeState { return newOCCState() }
 
-func (occScheme) ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
-	return c.execOptimisticTxn(p, n, txn, c.newOCCAttempt())
+func (occScheme) ExecCold(c *Context, n *Node, txn *workload.Txn, k func(error)) {
+	c.execOptimisticTxnK(n, txn, c.newOCCAttempt(), k)
 }
 
-func (occScheme) ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
-	return c.execOptimisticWarm(p, n, txn, func() voteFirst { return c.newOCCAttempt() })
+func (occScheme) ExecWarm(c *Context, n *Node, txn *workload.Txn, k func(error)) {
+	c.execOptimisticWarmK(n, txn, func() voteFirst { return c.newOCCAttempt() }, k)
 }
 
 // occEngine is the No-Switch baseline running under OCC regardless of the
@@ -55,8 +54,8 @@ func (occEngine) ForcedScheme() string { return SchemeOCC }
 
 func (occEngine) Prepare(ctx *Context) error { return nil }
 
-func (occEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	return ClassCold, ctx.Scheme.ExecCold(ctx, p, n, txn)
+func (occEngine) Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error)) {
+	ctx.Scheme.ExecCold(ctx, n, txn, func(err error) { k(ClassCold, err) })
 }
 
 // occStateOf returns the node's OCC bookkeeping, failing fast when the

@@ -9,6 +9,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/twopc"
+	"repro/internal/txnwire"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -147,26 +148,49 @@ func applyBufferedOp(at bufferedView, n *Node, op workload.Op) {
 	}
 }
 
-// execOptimisticOps runs the operations against the attempt's private
+// execOptimisticOpsK runs the operations against the attempt's private
 // view, visiting remote nodes over the network for their reads (the
 // buffered writes travel with the transaction and are shipped at commit).
-func (c *Context) execOptimisticOps(p *sim.Proc, n *Node, at voteFirst, ops []workload.Op) {
-	for _, op := range ops {
-		if op.Home == n.id {
-			t0 := p.Now()
-			p.Sleep(c.Costs.LocalAccess)
-			at.applyOp(n, op)
-			c.charge(n, metrics.LocalAccess, t0)
-			continue
+// One operation completes before the next is dispatched, exactly like the
+// retired process loop.
+func (c *Context) execOptimisticOpsK(n *Node, at voteFirst, ops []workload.Op, k func()) {
+	i := 0
+	var t0 sim.Time
+	var step func()
+	step = func() {
+		if i >= len(ops) {
+			k()
+			return
 		}
-		t0 := p.Now()
-		op := op
-		c.Net.RPC(p, n.id, op.Home, func() {
-			p.Sleep(c.Costs.LocalAccess)
-			at.applyOp(c.Nodes[op.Home], op)
+		op := ops[i]
+		t0 = c.Env.Now()
+		if op.Home == n.id {
+			c.Env.After(c.Costs.LocalAccess, func() {
+				at.applyOp(n, op)
+				c.charge(n, metrics.LocalAccess, t0)
+				i++
+				step()
+			})
+			return
+		}
+		c.Net.RPCK(n.id, op.Home, func(done func()) {
+			c.Env.After(c.Costs.LocalAccess, func() {
+				at.applyOp(c.Nodes[op.Home], op)
+				done()
+			})
+		}, func() {
+			c.charge(n, metrics.RemoteAccess, t0)
+			i++
+			step()
 		})
-		c.charge(n, metrics.RemoteAccess, t0)
 	}
+	step()
+}
+
+// execOptimisticOps is the process-form face of execOptimisticOpsK
+// (white-box tests drive partial attempts with it).
+func (c *Context) execOptimisticOps(p *sim.Proc, n *Node, at voteFirst, ops []workload.Op) {
+	runK(p, func(fin func()) { c.execOptimisticOpsK(n, at, ops, fin) })
 }
 
 // abortOptimistic releases all pins (nothing was applied yet). Remote
@@ -196,6 +220,9 @@ func (c *Context) optimisticParticipants(at voteFirst, remotes []netsim.NodeID) 
 				sp.Sleep(c.Costs.LogAppend)
 				return at.validateAndPin(rn)
 			},
+			PrepareK: func(done func(bool)) {
+				c.Env.After(c.Costs.LogAppend, func() { done(at.validateAndPin(rn)) })
+			},
 			Commit: func() { at.install(c, rn) },
 			Abort:  func() { at.unpin(rn) },
 		})
@@ -203,110 +230,153 @@ func (c *Context) optimisticParticipants(at voteFirst, remotes []netsim.NodeID) 
 	return parts
 }
 
-// execOptimisticTxn executes an entire cold transaction under a
-// validating scheme.
-func (c *Context) execOptimisticTxn(p *sim.Proc, n *Node, txn *workload.Txn, at voteFirst) error {
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
-	c.execOptimisticOps(p, n, at, txn.Ops)
-	at.readDone(c)
-
-	t1 := p.Now()
-	defer c.charge(n, metrics.TxnEngine, t1)
-	// Local validation first: a cheap early abort.
-	if !at.validateAndPin(n) {
-		c.abortOptimistic(n, at)
-		return at.abortErr()
-	}
-	at.sealed(c)
-	remotes := at.remoteNodes(n.id)
-	if len(remotes) == 0 {
-		p.Sleep(c.Costs.LogAppend)
-		n.log.AppendCold(at.txnTS(), at.coldWrites())
-		at.install(c, n)
-		return nil
-	}
-	coord := twopc.NewCoordinator(c.Net, n.id)
-	if !coord.Commit(p, c.optimisticParticipants(at, remotes)) {
-		c.abortOptimistic(n, at)
-		return at.abortErr()
-	}
-	p.Sleep(c.Costs.LogAppend)
-	n.log.AppendCold(at.txnTS(), at.coldWrites())
-	at.install(c, n)
-	return nil
+// execOptimisticTxnK executes an entire cold transaction under a
+// validating scheme. The retired process form charged TxnEngine through a
+// defer on every exit; here each exit charges explicitly before handing
+// the outcome to k.
+func (c *Context) execOptimisticTxnK(n *Node, txn *workload.Txn, at voteFirst, k func(error)) {
+	t0 := c.Env.Now()
+	c.Env.After(c.Costs.TxnOverhead, func() {
+		c.charge(n, metrics.TxnEngine, t0)
+		c.execOptimisticOpsK(n, at, txn.Ops, func() {
+			at.readDone(c)
+			t1 := c.Env.Now()
+			// Local validation first: a cheap early abort.
+			if !at.validateAndPin(n) {
+				c.abortOptimistic(n, at)
+				c.charge(n, metrics.TxnEngine, t1)
+				k(at.abortErr())
+				return
+			}
+			at.sealed(c)
+			commit := func() {
+				c.Env.After(c.Costs.LogAppend, func() {
+					n.log.AppendCold(at.txnTS(), at.coldWrites())
+					at.install(c, n)
+					c.charge(n, metrics.TxnEngine, t1)
+					k(nil)
+				})
+			}
+			remotes := at.remoteNodes(n.id)
+			if len(remotes) == 0 {
+				commit()
+				return
+			}
+			c.coordOf(n).CommitK(c.optimisticParticipants(at, remotes), func(ok bool) {
+				if !ok {
+					c.abortOptimistic(n, at)
+					c.charge(n, metrics.TxnEngine, t1)
+					k(at.abortErr())
+					return
+				}
+				commit()
+			})
+		})
+	})
 }
 
-// execOptimisticWarm executes a warm transaction per Appendix A.4: the
+// execOptimisticTxn is the process-form face of execOptimisticTxnK
+// (white-box tests).
+func (c *Context) execOptimisticTxn(p *sim.Proc, n *Node, txn *workload.Txn, at voteFirst) error {
+	var err error
+	runK(p, func(fin func()) {
+		c.execOptimisticTxnK(n, txn, at, func(e error) {
+			err = e
+			fin()
+		})
+	})
+	return err
+}
+
+// execOptimisticWarmK executes a warm transaction per Appendix A.4: the
 // cold part validates first (so it cannot abort anymore), then the switch
 // sub-transaction runs inside the combined Decision&Switch phase, and the
 // buffered writes apply when the multicast decision arrives.
-func (c *Context) execOptimisticWarm(p *sim.Proc, n *Node, txn *workload.Txn, newAt func() voteFirst) error {
+func (c *Context) execOptimisticWarmK(n *Node, txn *workload.Txn, newAt func() voteFirst, k func(error)) {
 	// The warm scheme runs all cold operations strictly before the switch
 	// sub-transaction, so a dependency crossing the temperature split
 	// cannot be honoured — fall back to the fully cold path (see
-	// execWarm).
+	// execWarmK).
 	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.OnSwitch(op) }) {
-		return c.execOptimisticTxn(p, n, txn, newAt())
+		c.execOptimisticTxnK(n, txn, newAt(), k)
+		return
 	}
 	at := newAt()
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
+	t0 := c.Env.Now()
+	c.Env.After(c.Costs.TxnOverhead, func() {
+		c.charge(n, metrics.TxnEngine, t0)
 
-	var coldOps, hotOps []workload.Op
-	for _, op := range txn.Ops {
-		if c.OnSwitch(op) {
-			hotOps = append(hotOps, op)
-		} else {
-			coldOps = append(coldOps, op)
+		var coldOps, hotOps []workload.Op
+		for _, op := range txn.Ops {
+			if c.OnSwitch(op) {
+				hotOps = append(hotOps, op)
+			} else {
+				coldOps = append(coldOps, op)
+			}
 		}
-	}
-	c.execOptimisticOps(p, n, at, coldOps)
-	at.readDone(c)
-	if !at.validateAndPin(n) {
-		c.abortOptimistic(n, at)
-		return at.abortErr()
-	}
-	at.sealed(c)
+		c.execOptimisticOpsK(n, at, coldOps, func() {
+			at.readDone(c)
+			if !at.validateAndPin(n) {
+				c.abortOptimistic(n, at)
+				k(at.abortErr())
+				return
+			}
+			at.sealed(c)
 
-	// Vote first: unlike the 2PL warm path, participants can refuse
-	// (their validation may fail), and the switch intent must only be
-	// logged — i.e. the transaction only counts as committed — once the
-	// cold part is certain to commit.
-	t1 := p.Now()
-	remotes := at.remoteNodes(n.id)
-	coord := twopc.NewCoordinator(c.Net, n.id)
-	parts := c.optimisticParticipants(at, remotes)
-	if len(remotes) > 0 && !coord.Prepare(p, parts) {
-		coord.Finish(p, parts, false)
-		c.abortOptimistic(n, at)
-		c.charge(n, metrics.TxnEngine, t1)
-		return at.abortErr()
-	}
-	pkt, passes := c.compileHot(hotOps, at.txnTS())
-	p.Sleep(c.Costs.LogAppend)
-	rec := n.log.AppendSwitchIntent(at.txnTS(), pkt.Instrs)
-	coord.SwitchPhase(p, parts, func(sub *sim.Proc) {
-		resp, xerr := c.Sw.Exec(sub, pkt)
-		if xerr != nil {
-			panic(fmt.Sprintf("engine: switch rejected warm optimistic packet: %v", xerr))
-		}
-		rec.Complete(resp)
+			// Vote first: unlike the 2PL warm path, participants can refuse
+			// (their validation may fail), and the switch intent must only
+			// be logged — i.e. the transaction only counts as committed —
+			// once the cold part is certain to commit.
+			t1 := c.Env.Now()
+			remotes := at.remoteNodes(n.id)
+			coord := c.coordOf(n)
+			parts := c.optimisticParticipants(at, remotes)
+			proceed := func() {
+				pkt, passes := c.compileHot(hotOps, at.txnTS())
+				c.Env.After(c.Costs.LogAppend, func() {
+					rec := n.log.AppendSwitchIntent(at.txnTS(), pkt.Instrs)
+					coord.SwitchPhaseK(parts, func(done func()) {
+						c.Sw.ExecK(pkt, func(resp *txnwire.Response, xerr error) {
+							if xerr != nil {
+								panic(fmt.Sprintf("engine: switch rejected warm optimistic packet: %v", xerr))
+							}
+							rec.Complete(resp)
+							done()
+						})
+					}, func() {
+						c.charge(n, metrics.SwitchTxn, t1)
+						t2 := c.Env.Now()
+						c.Env.After(c.Costs.LogAppend, func() {
+							n.log.AppendCold(at.txnTS(), at.coldWrites())
+							at.install(c, n)
+							c.charge(n, metrics.TxnEngine, t2)
+							if c.measuring {
+								if passes > 1 {
+									n.counters.MultiPass++
+								} else {
+									n.counters.SinglePass++
+								}
+							}
+							k(nil)
+						})
+					})
+				})
+			}
+			if len(remotes) == 0 {
+				proceed()
+				return
+			}
+			coord.PrepareK(parts, func(ok bool) {
+				if !ok {
+					coord.FinishK(parts, false, func() {
+						c.abortOptimistic(n, at)
+						c.charge(n, metrics.TxnEngine, t1)
+						k(at.abortErr())
+					})
+					return
+				}
+				proceed()
+			})
+		})
 	})
-	c.charge(n, metrics.SwitchTxn, t1)
-	t2 := p.Now()
-	p.Sleep(c.Costs.LogAppend)
-	n.log.AppendCold(at.txnTS(), at.coldWrites())
-	at.install(c, n)
-	c.charge(n, metrics.TxnEngine, t2)
-	if c.measuring {
-		if passes > 1 {
-			n.counters.MultiPass++
-		} else {
-			n.counters.SinglePass++
-		}
-	}
-	return nil
 }

@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
-	"repro/internal/sim"
 	"repro/internal/store"
-	"repro/internal/twopc"
+	"repro/internal/txnwire"
 	"repro/internal/workload"
 )
 
@@ -39,81 +38,97 @@ func (p4dbEngine) Prepare(ctx *Context) error {
 	return nil
 }
 
-func (p4dbEngine) Execute(ctx *Context, p *sim.Proc, n *Node, txn *workload.Txn) (Class, error) {
-	cls := ctx.Classify(txn)
-	switch cls {
+func (p4dbEngine) Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error)) {
+	switch ctx.Classify(txn) {
 	case ClassHot:
-		ctx.ExecHot(p, n, txn)
-		return ClassHot, nil
+		ctx.ExecHotK(n, txn, func() { k(ClassHot, nil) })
 	case ClassWarm:
-		return ClassWarm, ctx.Scheme.ExecWarm(ctx, p, n, txn)
+		ctx.Scheme.ExecWarm(ctx, n, txn, func(err error) { k(ClassWarm, err) })
 	default:
-		return ClassCold, ctx.Scheme.ExecCold(ctx, p, n, txn)
+		ctx.Scheme.ExecCold(ctx, n, txn, func(err error) { k(ClassCold, err) })
 	}
 }
 
-// execWarm executes a warm transaction (Section 6.2): the cold part runs
-// first under 2PL; once it cannot abort anymore, the switch
-// sub-transaction is sent inside the combined Decision&Switch phase and
-// participants commit on the switch's multicast.
-func (c *Context) execWarm(p *sim.Proc, n *Node, txn *workload.Txn) error {
+// execWarmK executes a warm transaction (Section 6.2) as a continuation
+// chain: the cold part runs first under 2PL; once it cannot abort
+// anymore, the switch sub-transaction is sent inside the combined
+// Decision&Switch phase and participants commit on the switch's
+// multicast. Warm transactions are rare enough in the measured sweeps
+// that this path uses plain closures rather than a pooled frame.
+func (c *Context) execWarmK(n *Node, txn *workload.Txn, k func(error)) {
 	// The warm scheme runs all cold operations strictly before the switch
 	// sub-transaction, so a dependency that crosses the temperature split
 	// (possible when part of a hot pair spilled off the switch, Figure 17)
 	// cannot be honoured — those transactions fall back to the fully cold
 	// path, like the paper's alternative of keeping such tuples together.
 	if crossTemperatureDeps(txn, func(op workload.Op) bool { return c.OnSwitch(op) }) {
-		return c.execCold(p, n, txn)
+		c.execColdK(n, txn, k)
+		return
 	}
 	at := c.newAttempt()
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	c.charge(n, metrics.TxnEngine, t0)
+	t0 := c.Env.Now()
+	c.Env.After(c.Costs.TxnOverhead, func() {
+		c.charge(n, metrics.TxnEngine, t0)
 
-	var coldOps, hotOps []workload.Op
-	for _, op := range txn.Ops {
-		if c.OnSwitch(op) {
-			hotOps = append(hotOps, op)
-		} else {
-			coldOps = append(coldOps, op)
+		var coldOps, hotOps []workload.Op
+		for _, op := range txn.Ops {
+			if c.OnSwitch(op) {
+				hotOps = append(hotOps, op)
+			} else {
+				coldOps = append(coldOps, op)
+			}
 		}
-	}
-	if err := c.execOps(p, n, at, coldOps); err != nil {
-		return err
-	}
-
-	pkt, passes := c.compileHot(hotOps, at.ts)
-	p.Sleep(c.Costs.LogAppend)
-	rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
-
-	t1 := p.Now()
-	remotes := at.remoteNodes(n.id)
-	coord := twopc.NewCoordinator(c.Net, n.id)
-	ok := coord.CommitWithSwitch(p, c.coldParticipants(at, remotes), func(sub *sim.Proc) {
-		resp, xerr := c.Sw.Exec(sub, pkt)
-		if xerr != nil {
-			panic(fmt.Sprintf("engine: switch rejected warm packet: %v", xerr))
-		}
-		rec.Complete(resp)
+		c.execOpsK(n, at, coldOps, func(err error) {
+			if err != nil {
+				k(err)
+				return
+			}
+			pkt, passes := c.compileHot(hotOps, at.ts)
+			c.Env.After(c.Costs.LogAppend, func() {
+				rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
+				t1 := c.Env.Now()
+				remotes := at.remoteNodes(n.id)
+				coord := c.coordOf(n)
+				coord.CommitWithSwitchK(c.coldParticipants(at, remotes), func(done func()) {
+					c.Sw.ExecK(pkt, func(resp *txnwire.Response, xerr error) {
+						if xerr != nil {
+							panic(fmt.Sprintf("engine: switch rejected warm packet: %v", xerr))
+						}
+						rec.Complete(resp)
+						done()
+					})
+				}, func(ok bool) {
+					if !ok {
+						// Cannot happen: participants are already prepared
+						// (locks held, constraints checked) and always vote
+						// yes.
+						panic("engine: prepared warm transaction failed to commit")
+					}
+					c.charge(n, metrics.SwitchTxn, t1)
+					t2 := c.Env.Now()
+					c.Env.After(c.Costs.LogAppend, func() {
+						n.log.AppendCold(at.ts, at.writes)
+						at.writes = nil
+						n.locks.ReleaseAll(at.lockTxn(n.id))
+						c.charge(n, metrics.TxnEngine, t2)
+						if c.measuring {
+							if passes > 1 {
+								n.counters.MultiPass++
+							} else {
+								n.counters.SinglePass++
+							}
+						}
+						// The multicast commit handlers of remote
+						// participants may still be in flight at this
+						// point, so distributed warm attempts are not
+						// recycled.
+						if len(remotes) == 0 {
+							c.releaseAttempt(at)
+						}
+						k(nil)
+					})
+				})
+			})
+		})
 	})
-	if !ok {
-		// Cannot happen: participants are already prepared (locks held,
-		// constraints checked) and always vote yes.
-		panic("engine: prepared warm transaction failed to commit")
-	}
-	c.charge(n, metrics.SwitchTxn, t1)
-
-	t2 := p.Now()
-	p.Sleep(c.Costs.LogAppend)
-	n.log.AppendCold(at.ts, at.writes)
-	n.locks.ReleaseAll(at.lockTxn(n.id))
-	c.charge(n, metrics.TxnEngine, t2)
-	if c.measuring {
-		if passes > 1 {
-			n.counters.MultiPass++
-		} else {
-			n.counters.SinglePass++
-		}
-	}
-	return nil
 }

@@ -48,7 +48,7 @@ func TestEngineSchemeGridSerialParity(t *testing.T) {
 			rng := sim.NewRNG(7)
 			for k := 0; k < txns; k++ {
 				txn := gen.Next(rng, c.Node(0).ID())
-				if _, err := eng.Execute(ctx, p, c.Node(0), txn); err != nil {
+				if _, err := ctx.ExecuteSync(p, eng, c.Node(0), txn); err != nil {
 					// Serial execution cannot conflict; a single retry
 					// would mask a real strategy bug, so fail instead.
 					driveErr = fmt.Errorf("%s/%s: txn %d aborted: %w", name, scheme, k, err)

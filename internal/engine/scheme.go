@@ -5,7 +5,6 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -59,13 +58,16 @@ type Scheme interface {
 	// keeps no per-node state beyond the shared lock table.
 	NewNodeState() NodeState
 	// ExecCold runs one attempt of an entire transaction on the nodes,
-	// returning nil on commit or an abort error after rolling back.
-	ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error
+	// eventually calling k exactly once with nil on commit or an abort
+	// error after rolling back. Like Engine.Execute, it is a callback
+	// state machine: waits inside the attempt are resumption callbacks,
+	// never parked goroutines.
+	ExecCold(c *Context, n *Node, txn *workload.Txn, k func(error))
 	// ExecWarm runs one attempt of a warm transaction: the cold part
 	// executes under the scheme and, once it can no longer abort, the
 	// switch sub-transaction runs inside the combined Decision&Switch
-	// phase (Figure 10 / Appendix A.4).
-	ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error
+	// phase (Figure 10 / Appendix A.4). k receives the attempt outcome.
+	ExecWarm(c *Context, n *Node, txn *workload.Txn, k func(error))
 }
 
 // SchemeForcer is implemented by engines that hardwire their CC scheme
@@ -155,10 +157,10 @@ func (twoPLScheme) Label() string           { return "2PL" }
 func (twoPLScheme) Init(*Context)           {}
 func (twoPLScheme) NewNodeState() NodeState { return nil }
 
-func (twoPLScheme) ExecCold(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
-	return c.execCold(p, n, txn)
+func (twoPLScheme) ExecCold(c *Context, n *Node, txn *workload.Txn, k func(error)) {
+	c.execColdK(n, txn, k)
 }
 
-func (twoPLScheme) ExecWarm(c *Context, p *sim.Proc, n *Node, txn *workload.Txn) error {
-	return c.execWarm(p, n, txn)
+func (twoPLScheme) ExecWarm(c *Context, n *Node, txn *workload.Txn, k func(error)) {
+	c.execWarmK(n, txn, k)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pisa"
 	"repro/internal/sim"
 	"repro/internal/txnwire"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -58,51 +59,119 @@ func switchLocksFor(cfg pisa.Config, instrs []txnwire.Instr) (left, right bool) 
 	return left, right
 }
 
-// sendToSwitch logs the intent, round-trips the packet through the wire
-// codec and the switch, and back-fills the WAL record. Switch transactions
-// cannot abort; they count as committed once logged (Section 6.1).
-func (c *Context) sendToSwitch(p *sim.Proc, n *Node, pkt *txnwire.Packet) *txnwire.Response {
-	p.Sleep(c.Costs.LogAppend)
-	rec := n.log.AppendSwitchIntent(pkt.Header.TxnID, pkt.Instrs)
-	buf, err := txnwire.Encode(pkt)
+// hotFrame is the pooled state machine behind ExecHotK: compile the hot
+// operations into one switch packet, log the intent, round-trip through
+// the wire codec and the switch, and back-fill the WAL record. Switch
+// transactions cannot abort; they count as committed once logged
+// (Section 6.1). Continuations are method values cached at construction.
+type hotFrame struct {
+	c      *Context
+	n      *Node
+	txn    *workload.Txn
+	at     *attempt
+	pkt    *txnwire.Packet
+	onWire *txnwire.Packet
+	resp   *txnwire.Response
+	rec    *wal.SwitchRecord
+	passes int
+	t0, t1 sim.Time
+	k      func()
+
+	sdone func() // in-flight switch reply continuation
+
+	compiledFn   func()
+	intentFn     func()
+	switchBodyFn func(func())
+	onRespFn     func(*txnwire.Response, error)
+	switchDoneFn func()
+}
+
+func (c *Context) getHotFrame() *hotFrame {
+	if n := len(c.freeHotFrames); n > 0 {
+		f := c.freeHotFrames[n-1]
+		c.freeHotFrames = c.freeHotFrames[:n-1]
+		return f
+	}
+	f := &hotFrame{c: c}
+	f.compiledFn = f.compiled
+	f.intentFn = f.intent
+	f.switchBodyFn = f.switchBody
+	f.onRespFn = f.onResp
+	f.switchDoneFn = f.switchDone
+	return f
+}
+
+func (c *Context) putHotFrame(f *hotFrame) {
+	f.n, f.txn, f.at, f.k = nil, nil, nil, nil
+	f.pkt, f.onWire, f.resp, f.rec, f.sdone = nil, nil, nil, nil, nil
+	c.freeHotFrames = append(c.freeHotFrames, f)
+}
+
+// ExecHotK executes a hot transaction entirely on the switch
+// (Section 6.1) and invokes k when the response has landed. It is shared
+// switch machinery (the P4DB engine's hot path and the recovery drivers
+// use it) rather than a per-strategy body.
+func (c *Context) ExecHotK(n *Node, txn *workload.Txn, k func()) {
+	f := c.getHotFrame()
+	f.n, f.txn, f.k = n, txn, k
+	f.at = c.newAttempt()
+	f.t0 = c.Env.Now()
+	c.Env.After(c.Costs.TxnOverhead, f.compiledFn)
+}
+
+func (f *hotFrame) compiled() {
+	f.pkt, f.passes = f.c.compileHot(f.txn.Ops, f.at.ts)
+	f.c.charge(f.n, metrics.TxnEngine, f.t0)
+	f.t1 = f.c.Env.Now()
+	f.c.Env.After(f.c.Costs.LogAppend, f.intentFn)
+}
+
+func (f *hotFrame) intent() {
+	f.rec = f.n.log.AppendSwitchIntent(f.pkt.Header.TxnID, f.pkt.Instrs)
+	buf, err := txnwire.Encode(f.pkt)
 	if err != nil {
 		panic(fmt.Sprintf("engine: packet encode: %v", err))
 	}
-	onWire, err := txnwire.Decode(buf)
+	f.onWire, err = txnwire.Decode(buf)
 	if err != nil {
 		panic(fmt.Sprintf("engine: packet decode: %v", err))
 	}
-	var resp *txnwire.Response
-	c.Net.RPCToSwitch(p, n.id, func() {
-		var xerr error
-		resp, xerr = c.Sw.Exec(p, onWire)
-		if xerr != nil {
-			panic(fmt.Sprintf("engine: switch rejected packet: %v", xerr))
-		}
-	})
-	rec.Complete(resp)
-	return resp
+	f.c.Net.RPCToSwitchK(f.n.id, f.switchBodyFn, f.switchDoneFn)
 }
 
-// ExecHot executes a hot transaction entirely on the switch (Section 6.1).
-// It is shared switch machinery (the P4DB engine's hot path and the
-// recovery drivers use it) rather than a per-strategy body.
-func (c *Context) ExecHot(p *sim.Proc, n *Node, txn *workload.Txn) {
-	at := c.newAttempt()
-	t0 := p.Now()
-	p.Sleep(c.Costs.TxnOverhead)
-	pkt, passes := c.compileHot(txn.Ops, at.ts)
-	c.charge(n, metrics.TxnEngine, t0)
-	t1 := p.Now()
-	c.sendToSwitch(p, n, pkt)
-	c.charge(n, metrics.SwitchTxn, t1)
-	if c.measuring {
-		if passes > 1 {
-			n.counters.MultiPass++
+func (f *hotFrame) switchBody(done func()) {
+	f.sdone = done
+	f.c.Sw.ExecK(f.onWire, f.onRespFn)
+}
+
+func (f *hotFrame) onResp(resp *txnwire.Response, xerr error) {
+	if xerr != nil {
+		panic(fmt.Sprintf("engine: switch rejected packet: %v", xerr))
+	}
+	f.resp = resp
+	f.sdone()
+}
+
+func (f *hotFrame) switchDone() {
+	f.rec.Complete(f.resp)
+	f.c.charge(f.n, metrics.SwitchTxn, f.t1)
+	if f.c.measuring {
+		if f.passes > 1 {
+			f.n.counters.MultiPass++
 		} else {
-			n.counters.SinglePass++
+			f.n.counters.SinglePass++
 		}
 	}
+	f.c.releaseAttempt(f.at) // hot attempts hold no locks
+	k := f.k
+	f.c.putHotFrame(f)
+	k()
+}
+
+// ExecHot is the process-form face of ExecHotK (tests and recovery
+// drivers).
+func (c *Context) ExecHot(p *sim.Proc, n *Node, txn *workload.Txn) {
+	runK(p, func(fin func()) { c.ExecHotK(n, txn, fin) })
 }
 
 // crossTemperatureDeps reports whether any operation depends on an

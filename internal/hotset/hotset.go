@@ -14,7 +14,8 @@
 package hotset
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/layout"
 	"repro/internal/store"
@@ -57,21 +58,30 @@ func Detect(samples [][]Access, topK int) *HotSet {
 // detectTop is Detect with the frequency tally already computed (DetectAuto
 // needs the tally itself to find the hot/cold gap; recounting the whole
 // sample for the selection pass would double the detection cost).
-func detectTop(freq map[store.GlobalKey]int64, samples [][]Access, topK int) *HotSet {
-	type kf struct {
-		k store.GlobalKey
-		f int64
+// kf pairs a tuple with its sampled frequency for the detection sorts.
+// kfCompare orders by descending frequency, ascending key on ties — the
+// exact total order the detectors have always used.
+type kf struct {
+	k store.GlobalKey
+	f int64
+}
+
+func kfCompare(a, b kf) int {
+	if a.f != b.f {
+		if a.f > b.f {
+			return -1
+		}
+		return 1
 	}
+	return cmp.Compare(a.k, b.k)
+}
+
+func detectTop(freq map[store.GlobalKey]int64, samples [][]Access, topK int) *HotSet {
 	order := make([]kf, 0, len(freq))
 	for k, f := range freq {
 		order = append(order, kf{k, f})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].f != order[j].f {
-			return order[i].f > order[j].f
-		}
-		return order[i].k < order[j].k
-	})
+	slices.SortFunc(order, kfCompare)
 	if topK > len(order) {
 		topK = len(order)
 	}
@@ -137,22 +147,13 @@ func restrictInto(hot map[store.GlobalKey]struct{}, txn []Access, kept []layout.
 // (Figure 17's spill path).
 func DetectAuto(samples [][]Access, maxK int) *HotSet {
 	freq := countFreq(samples)
-	type kf struct {
-		k store.GlobalKey
-		f int64
-	}
 	kept := make([]kf, 0, len(freq))
 	for k, f := range freq {
 		if f >= 3 {
 			kept = append(kept, kf{k, f})
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].f != kept[j].f {
-			return kept[i].f > kept[j].f
-		}
-		return kept[i].k < kept[j].k
-	})
+	slices.SortFunc(kept, kfCompare)
 	k := len(kept)
 	for i := len(kept) - 1; i > 0; i-- {
 		if kept[i-1].f >= 4*kept[i].f {
@@ -172,15 +173,17 @@ func DetectAuto(samples [][]Access, maxK int) *HotSet {
 // sample so the layout algorithm has co-access information.
 func FromKeys(keys []store.GlobalKey, samples [][]Access, maxK int) *HotSet {
 	freq := countFreq(samples)
-	sorted := append([]store.GlobalKey(nil), keys...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if freq[sorted[i]] != freq[sorted[j]] {
-			return freq[sorted[i]] > freq[sorted[j]]
-		}
-		return sorted[i] < sorted[j]
-	})
-	if maxK < len(sorted) {
-		sorted = sorted[:maxK]
+	decorated := make([]kf, len(keys))
+	for i, k := range keys {
+		decorated[i] = kf{k, freq[k]}
+	}
+	slices.SortFunc(decorated, kfCompare)
+	if maxK < len(decorated) {
+		decorated = decorated[:maxK]
+	}
+	sorted := make([]store.GlobalKey, len(decorated))
+	for i, e := range decorated {
+		sorted[i] = e.k
 	}
 	h := &HotSet{
 		keys:  make(map[store.GlobalKey]struct{}, len(sorted)),
@@ -217,7 +220,7 @@ func (h *HotSet) Keys() []store.GlobalKey {
 	for k := range h.keys {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -92,11 +92,12 @@ func Optimal(g *Graph, spec Spec) *Layout {
 	for i := range dep {
 		dep[i] = make([]int64, k)
 	}
-	for key, e := range g.edges {
+	for i, key := range g.ekeys {
 		pu, pv := part[key.u], part[key.v]
 		if pu == pv {
 			continue
 		}
+		e := &g.epool[i]
 		dep[pu][pv] += e.fwd
 		dep[pv][pu] += e.rev
 	}

@@ -19,7 +19,7 @@ package layout
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // TupleID identifies a hot tuple globally (table-qualified key).
@@ -42,15 +42,42 @@ type edgeInfo struct {
 	rev    int64 // weight of ordered dependencies v -> u
 }
 
-// Graph is the transaction-access graph of Section 4.2.
+// Graph is the transaction-access graph of Section 4.2. Edge records live
+// in one growable pool indexed by the edges map: folding a sample into the
+// graph is allocation-free per edge and the solver's adjacency pass walks
+// contiguous slices instead of chasing per-edge heap pointers. Tuples get
+// dense 32-bit ids on first touch, so the pair map hashes one machine word
+// (two dense ids packed) instead of a 16-byte tuple-id struct — the pair
+// hashing dominated graph construction for TPC-C-sized samples.
 type Graph struct {
-	freq  map[TupleID]int64
-	edges map[edgeKey]*edgeInfo
+	freq    map[TupleID]int64
+	did     map[TupleID]int32 // tuple -> dense id (assigned on first edge use)
+	dtuples []TupleID         // dense id -> tuple
+	edges   map[uint64]int32  // packed dense pair (canonical u < v by tuple id) -> epool index
+	epool   []edgeInfo
+	ekeys   []edgeKey // epool index -> canonical tuple-id pair (for iteration)
+	edense  []uint64  // epool index -> packed dense pair (solver adjacency)
+	scratch []int32   // per-AddTxn dense-id buffer
 }
 
 // NewGraph returns an empty access graph.
 func NewGraph() *Graph {
-	return &Graph{freq: make(map[TupleID]int64), edges: make(map[edgeKey]*edgeInfo)}
+	return &Graph{
+		freq:  make(map[TupleID]int64),
+		did:   make(map[TupleID]int32),
+		edges: make(map[uint64]int32),
+	}
+}
+
+// denseID returns (assigning on first use) the tuple's dense id.
+func (g *Graph) denseID(t TupleID) int32 {
+	if d, ok := g.did[t]; ok {
+		return d
+	}
+	d := int32(len(g.dtuples))
+	g.did[t] = d
+	g.dtuples = append(g.dtuples, t)
+	return d
 }
 
 // AddTuple registers a tuple even if no transaction touches it (it still
@@ -65,20 +92,26 @@ func (g *Graph) AddTuple(t TupleID) {
 // distinct tuples gains co-access weight, and declared dependencies add
 // directed weight.
 func (g *Graph) AddTxn(accesses []Access) {
+	if cap(g.scratch) < len(accesses) {
+		g.scratch = make([]int32, len(accesses))
+	}
+	ids := g.scratch[:len(accesses)]
 	for i, a := range accesses {
 		g.freq[a.Tuple]++
+		ids[i] = g.denseID(a.Tuple)
+	}
+	for i, a := range accesses {
 		for j := i + 1; j < len(accesses); j++ {
 			b := accesses[j]
 			if a.Tuple == b.Tuple {
 				continue
 			}
-			e := g.edge(a.Tuple, b.Tuple)
-			e.weight++
+			g.edgeAt(a.Tuple, ids[i], b.Tuple, ids[j]).weight++
 		}
 		if a.DependsOn >= 0 && a.DependsOn < i {
 			dep := accesses[a.DependsOn]
 			if dep.Tuple != a.Tuple {
-				e := g.edge(dep.Tuple, a.Tuple)
+				e := g.edgeAt(dep.Tuple, ids[a.DependsOn], a.Tuple, ids[i])
 				if dep.Tuple < a.Tuple {
 					e.fwd++
 				} else {
@@ -89,17 +122,25 @@ func (g *Graph) AddTxn(accesses []Access) {
 	}
 }
 
+// edgeAt returns the edge record for a pair whose dense ids are already
+// known, canonicalized to ascending tuple id exactly like before.
+func (g *Graph) edgeAt(at TupleID, ad int32, bt TupleID, bd int32) *edgeInfo {
+	if at > bt {
+		at, ad, bt, bd = bt, bd, at, ad
+	}
+	packed := uint64(uint32(ad))<<32 | uint64(uint32(bd))
+	if i, ok := g.edges[packed]; ok {
+		return &g.epool[i]
+	}
+	g.edges[packed] = int32(len(g.epool))
+	g.epool = append(g.epool, edgeInfo{})
+	g.ekeys = append(g.ekeys, edgeKey{at, bt})
+	g.edense = append(g.edense, packed)
+	return &g.epool[len(g.epool)-1]
+}
+
 func (g *Graph) edge(a, b TupleID) *edgeInfo {
-	k := edgeKey{a, b}
-	if a > b {
-		k = edgeKey{b, a}
-	}
-	e, ok := g.edges[k]
-	if !ok {
-		e = &edgeInfo{}
-		g.edges[k] = e
-	}
-	return e
+	return g.edgeAt(a, g.denseID(a), b, g.denseID(b))
 }
 
 // Tuples returns all registered tuples in deterministic (sorted) order.
@@ -108,7 +149,7 @@ func (g *Graph) Tuples() []TupleID {
 	for t := range g.freq {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -118,8 +159,8 @@ func (g *Graph) NumTuples() int { return len(g.freq) }
 // TotalEdgeWeight returns the sum of all co-access weights.
 func (g *Graph) TotalEdgeWeight() int64 {
 	var sum int64
-	for _, e := range g.edges {
-		sum += e.weight
+	for i := range g.epool {
+		sum += g.epool[i].weight
 	}
 	return sum
 }
@@ -128,9 +169,9 @@ func (g *Graph) TotalEdgeWeight() int64 {
 // different partitions under the given assignment.
 func (g *Graph) CutWeight(part map[TupleID]int) int64 {
 	var cut int64
-	for k, e := range g.edges {
+	for i, k := range g.ekeys {
 		if part[k.u] != part[k.v] {
-			cut += e.weight
+			cut += g.epool[i].weight
 		}
 	}
 	return cut
@@ -161,26 +202,33 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 	}
 
 	n := len(tuples)
-	idx := make(map[TupleID]int32, n)
+	// rank maps a dense id to the tuple's position in sorted-tuple order —
+	// the same index the retired idx map produced, computed without
+	// hashing. Tuples that never gained an edge have no dense id and no
+	// adjacency, so the lookup misses below cannot occur.
+	rank := make([]int32, len(g.dtuples))
 	for i, t := range tuples {
-		idx[t] = int32(i)
+		if d, ok := g.did[t]; ok {
+			rank[d] = int32(i)
+		}
 	}
 
-	// Dense adjacency for fast gain computation. The append order depends
-	// on map iteration, but every consumer below either sums a whole list
+	// Dense adjacency for fast gain computation. The append order follows
+	// edge-pool order, but every consumer below either sums a whole list
 	// or looks up a unique pair weight, so results do not depend on it.
 	type neighbor struct {
 		other int32
 		w     int64
 	}
 	adj := make([][]neighbor, n)
-	for key, e := range g.edges {
-		if e.weight == 0 {
+	for i, packed := range g.edense {
+		w := g.epool[i].weight
+		if w == 0 {
 			continue
 		}
-		u, v := idx[key.u], idx[key.v]
-		adj[u] = append(adj[u], neighbor{v, e.weight})
-		adj[v] = append(adj[v], neighbor{u, e.weight})
+		u, v := rank[packed>>32], rank[uint32(packed)]
+		adj[u] = append(adj[u], neighbor{v, w})
+		adj[v] = append(adj[v], neighbor{u, w})
 	}
 
 	// Order nodes by total incident weight, heaviest first, so that the
@@ -197,11 +245,14 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if incident[order[i]] != incident[order[j]] {
-			return incident[order[i]] > incident[order[j]]
+	slices.SortFunc(order, func(a, b int32) int {
+		if incident[a] != incident[b] {
+			if incident[a] > incident[b] {
+				return -1
+			}
+			return 1
 		}
-		return order[i] < order[j]
+		return int(a - b)
 	})
 
 	part := make([]int32, n)
@@ -210,14 +261,30 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 	}
 	size := make([]int, k)
 
+	// inW[t*k+p] is the total edge weight from t into partition p,
+	// maintained incrementally as nodes are placed and moved. Reading it is
+	// O(1) where the scan-based internalWeight was O(deg) — the scans (and
+	// the linear edge-weight lookups below) dominated the offline
+	// preparation step for TPC-C-sized graphs. The maintained values equal
+	// the scan results exactly, so every placement, move and swap decision
+	// is unchanged.
+	inW := make([]int64, n*k)
 	internalWeight := func(t int32, p int32) int64 {
-		var w int64
+		return inW[int(t)*k+int(p)]
+	}
+	// enter adds t's incident weights to its neighbors' partition-p
+	// columns; shift moves them between columns when t migrates.
+	enter := func(t int32, p int32) {
 		for _, nb := range adj[t] {
-			if part[nb.other] == p {
-				w += nb.w
-			}
+			inW[int(nb.other)*k+int(p)] += nb.w
 		}
-		return w
+	}
+	shift := func(t int32, from, to int32) {
+		for _, nb := range adj[t] {
+			row := int(nb.other) * k
+			inW[row+int(from)] -= nb.w
+			inW[row+int(to)] += nb.w
+		}
 	}
 
 	for _, t := range order {
@@ -238,17 +305,35 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 		}
 		part[t] = best
 		size[best]++
+		enter(t, best)
 	}
 
 	// Local search: single-node moves plus pairwise swaps. Moves alone
 	// cannot improve capacity-tight instances (all partitions full), so a
 	// swap pass exchanges a conflicted node with a node from a better
 	// partition when that lowers total internal weight.
+	// Adjacency lists sorted by neighbor index turn the pair-weight lookup
+	// into a binary search (the append order above is meaningless, so
+	// sorting loses nothing). Only the lists of conflicted nodes are ever
+	// probed, so each list is sorted lazily on its first lookup.
+	adjSorted := make([]bool, n)
 	edgeW := func(a, b int32) int64 {
-		for _, nb := range adj[a] {
-			if nb.other == b {
-				return nb.w
+		if !adjSorted[a] {
+			adjSorted[a] = true
+			slices.SortFunc(adj[a], func(x, y neighbor) int { return int(x.other - y.other) })
+		}
+		ns := adj[a]
+		lo, hi := 0, len(ns)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ns[mid].other < b {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
+		}
+		if lo < len(ns) && ns[lo].other == b {
+			return ns[lo].w
 		}
 		return 0
 	}
@@ -265,6 +350,7 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 					part[t] = p
 					size[cur]--
 					size[p]++
+					shift(t, cur, p)
 					curW = internalWeight(t, p)
 					cur = p
 					improved = true
@@ -286,6 +372,8 @@ func (g *Graph) maxCut(k int, capacity int) map[TupleID]int {
 				nw := internalWeight(t, pu) - w + internalWeight(u, cur) - w
 				if nw < old {
 					part[t], part[u] = pu, cur
+					shift(t, cur, pu)
+					shift(u, pu, cur)
 					cur = pu
 					curW = internalWeight(t, cur)
 					improved = true

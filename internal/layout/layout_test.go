@@ -27,15 +27,15 @@ func TestGraphDirectedEdges(t *testing.T) {
 	g := NewGraph()
 	// op1 on tuple 2 depends on op0 on tuple 1 => direction 1 -> 2
 	g.AddTxn([]Access{{Tuple: 1}, {Tuple: 2, DependsOn: 0}})
-	e := g.edges[edgeKey{1, 2}]
-	if e == nil || e.fwd != 1 || e.rev != 0 {
+	e := g.edge(1, 2)
+	if e.fwd != 1 || e.rev != 0 {
 		t.Fatalf("edge = %+v, want fwd=1", e)
 	}
 	// reversed tuple ids: op on tuple 1 depends on op on tuple 2
 	g2 := NewGraph()
 	g2.AddTxn([]Access{{Tuple: 2}, {Tuple: 1, DependsOn: 0}})
-	e2 := g2.edges[edgeKey{1, 2}]
-	if e2 == nil || e2.rev != 1 || e2.fwd != 0 {
+	e2 := g2.edge(1, 2)
+	if e2.rev != 1 || e2.fwd != 0 {
 		t.Fatalf("edge = %+v, want rev=1", e2)
 	}
 }

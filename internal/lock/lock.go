@@ -87,6 +87,14 @@ func NewTxn(ts uint64) *Txn {
 	return &Txn{TS: ts, held: make(map[Key]Mode, 8)}
 }
 
+// Reset re-arms a lock context for reuse under a new timestamp, keeping the
+// held map's capacity. The engines pool Txn values per worker so that
+// steady-state execution does not allocate a lock context per attempt.
+func (t *Txn) Reset(ts uint64) {
+	t.TS = ts
+	clear(t.held)
+}
+
 // Holds reports the mode the transaction holds on key (and whether any).
 func (t *Txn) Holds(key Key) (Mode, bool) {
 	m, ok := t.held[key]
@@ -96,10 +104,15 @@ func (t *Txn) Holds(key Key) (Mode, bool) {
 // NumHeld returns the number of locks held.
 func (t *Txn) NumHeld() int { return len(t.held) }
 
+// waiter is one queued lock request. Exactly one of sig (process waiter,
+// woken via Signal.Fire) or wake (continuation waiter, scheduled as a
+// same-instant callback) is set; both cost one scheduled event per grant, so
+// the two styles produce identical seeded schedules.
 type waiter struct {
 	txn  *Txn
 	mode Mode
 	sig  *sim.Signal
+	wake func()
 }
 
 type entry struct {
@@ -204,6 +217,47 @@ func (tb *Table) Acquire(p *sim.Proc, txn *Txn, key Key, m Mode) error {
 	return nil
 }
 
+// AcquireK is the continuation form of Acquire: instead of blocking a
+// process, it invokes k with the grant result — inline when the request is
+// decided immediately (grant or abort error), or as a same-instant callback
+// scheduled by the releasing transaction when the request waits. The wake-up
+// event sits exactly where a process waiter's Signal.Fire wake-up would, so
+// seeded schedules are identical across the two forms.
+func (tb *Table) AcquireK(txn *Txn, key Key, m Mode, k func(error)) {
+	if held, ok := txn.held[key]; ok && (held == Exclusive || m == Shared) {
+		k(nil) // already sufficient
+		return
+	}
+	e := tb.entries[key]
+	if e == nil {
+		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		tb.entries[key] = e
+	}
+	if compatible(e, txn, m) {
+		e.owners[txn] = m
+		txn.held[key] = m
+		tb.Stats.Acquired++
+		k(nil)
+		return
+	}
+	tb.Stats.Conflicts++
+	if tb.policy == NoWait {
+		tb.Stats.Aborts++
+		k(ErrConflict)
+		return
+	}
+	// WAIT_DIE: wait only on younger owners.
+	if !olderThanAllConflicting(e, txn, m) {
+		tb.Stats.Aborts++
+		k(ErrDie)
+		return
+	}
+	tb.Stats.Waits++
+	w := &waiter{txn: txn, mode: m}
+	w.wake = func() { k(nil) } // the releaser installs us as owner before waking
+	e.waiters = append(e.waiters, w)
+}
+
 // AcquireWait requests key in mode m for txn and always waits — FIFO,
 // behind the current owners and every queued waiter — regardless of the
 // table's deadlock-prevention policy. It never returns an abort: it is the
@@ -247,6 +301,38 @@ func (tb *Table) AcquireWait(p *sim.Proc, txn *Txn, key Key, m Mode) {
 	p.Await(w.sig)
 }
 
+// AcquireWaitK is the continuation form of AcquireWait: k runs inline on an
+// immediate grant, or as the releaser's same-instant wake-up callback after
+// the FIFO queue reaches this request. See AcquireWait for the ordered
+// deterministic-locking contract.
+func (tb *Table) AcquireWaitK(txn *Txn, key Key, m Mode, k func()) {
+	if held, ok := txn.held[key]; ok {
+		if held == Exclusive || m == Shared {
+			k() // already sufficient
+			return
+		}
+		panic("lock: AcquireWait upgrade would deadlock; request the strongest mode first")
+	}
+	e := tb.entries[key]
+	if e == nil {
+		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		tb.entries[key] = e
+	}
+	// Join the FIFO queue even when compatible with the owners if anyone
+	// is already waiting (see AcquireWait).
+	if len(e.waiters) == 0 && compatible(e, txn, m) {
+		e.owners[txn] = m
+		txn.held[key] = m
+		tb.Stats.Acquired++
+		k()
+		return
+	}
+	tb.Stats.Conflicts++
+	tb.Stats.Waits++
+	w := &waiter{txn: txn, mode: m, wake: k}
+	e.waiters = append(e.waiters, w)
+}
+
 // ReleaseAll releases every lock txn holds and grants eligible waiters.
 // It is called at commit and at abort; grants happen at the current
 // virtual time.
@@ -254,7 +340,7 @@ func (tb *Table) ReleaseAll(txn *Txn) {
 	for key := range txn.held {
 		tb.releaseOne(txn, key)
 	}
-	txn.held = make(map[Key]Mode, 8)
+	clear(txn.held)
 }
 
 // ReleaseAllOrdered releases every lock txn holds in ascending key order.
@@ -274,7 +360,7 @@ func (tb *Table) ReleaseAllOrdered(txn *Txn) {
 	for _, key := range keys {
 		tb.releaseOne(txn, key)
 	}
-	txn.held = make(map[Key]Mode, 8)
+	clear(txn.held)
 }
 
 // releaseOne drops txn's hold on key and grants eligible waiters. The
@@ -308,7 +394,11 @@ func (tb *Table) grantWaiters(key Key, e *entry) {
 		e.owners[w.txn] = w.mode
 		w.txn.held[key] = w.mode
 		tb.Stats.Acquired++
-		w.sig.Fire(nil)
+		if w.sig != nil {
+			w.sig.Fire(nil)
+		} else {
+			tb.env.After(0, w.wake)
+		}
 	}
 }
 

@@ -45,8 +45,20 @@ type Network struct {
 	numNodes int
 	lat      Latency
 
-	// MsgsSent counts one-way messages for diagnostics.
+	// MsgsSent counts one-way messages for diagnostics. Every logical
+	// message is counted whether or not its delivery was coalesced.
 	MsgsSent int64
+	// Coalesced counts one-way deliveries that shared a scheduled event
+	// with an earlier same-instant message to the same destination.
+	Coalesced int64
+
+	// coalesce enables batched delivery: one-way messages to the same
+	// destination arriving at the same instant drain through a single
+	// scheduled event (sim.Batcher). Execution order is provably identical
+	// either way; only the raw executed-event count differs.
+	coalesce bool
+	nodeB    []*sim.Batcher // one per destination node
+	swB      *sim.Batcher   // the switch control point
 }
 
 // New creates a network of numNodes nodes attached to one switch.
@@ -54,11 +66,25 @@ func New(env *sim.Env, numNodes int, lat Latency) *Network {
 	if numNodes <= 0 {
 		panic("netsim: numNodes must be positive")
 	}
-	return &Network{env: env, numNodes: numNodes, lat: lat}
+	n := &Network{env: env, numNodes: numNodes, lat: lat, coalesce: true}
+	n.nodeB = make([]*sim.Batcher, numNodes)
+	for i := range n.nodeB {
+		n.nodeB[i] = sim.NewBatcher(env)
+	}
+	n.swB = sim.NewBatcher(env)
+	return n
 }
+
+// SetCoalescing toggles batched one-way delivery (on by default). The
+// determinism tests run seeded workloads both ways and assert identical
+// results.
+func (n *Network) SetCoalescing(on bool) { n.coalesce = on }
 
 // NumNodes returns the number of database nodes.
 func (n *Network) NumNodes() int { return n.numNodes }
+
+// Env returns the simulation environment the network schedules on.
+func (n *Network) Env() *sim.Env { return n.env }
 
 // Latency returns the fabric's latency parameters.
 func (n *Network) Latency() Latency { return n.lat }
@@ -193,11 +219,18 @@ func (n *Network) RPCToSwitch(p *sim.Proc, from NodeID, handler func()) {
 }
 
 // Send delivers a one-way message: fn runs at the destination after the
-// fabric latency. The sender does not wait.
+// fabric latency. The sender does not wait. Same-instant sends to one
+// destination coalesce into a single delivery event when batching is on.
 func (n *Network) Send(from, to NodeID, fn func()) {
 	n.check(from)
 	n.check(to)
 	n.MsgsSent++
+	if n.coalesce {
+		if n.nodeB[to].Do(n.oneWay(from, to), fn) {
+			n.Coalesced++
+		}
+		return
+	}
 	n.env.After(n.oneWay(from, to), fn)
 }
 
@@ -207,6 +240,12 @@ func (n *Network) Send(from, to NodeID, fn func()) {
 func (n *Network) SendToSwitch(from NodeID, fn func()) {
 	n.check(from)
 	n.MsgsSent++
+	if n.coalesce {
+		if n.swB.Do(n.lat.NodeToSwitch, fn) {
+			n.Coalesced++
+		}
+		return
+	}
 	n.env.After(n.lat.NodeToSwitch, fn)
 }
 
@@ -219,6 +258,12 @@ func (n *Network) SwitchMulticast(fn func(NodeID)) {
 	for i := 0; i < n.numNodes; i++ {
 		id := NodeID(i)
 		n.MsgsSent++
+		if n.coalesce {
+			if n.nodeB[id].Do(n.lat.NodeToSwitch, func() { fn(id) }) {
+				n.Coalesced++
+			}
+			continue
+		}
 		n.env.After(n.lat.NodeToSwitch, func() { fn(id) })
 	}
 }
@@ -240,4 +285,104 @@ func (n *Network) Fanout(p *sim.Proc, from NodeID, targets []NodeID, handler fun
 			func(sub *sim.Proc) { handler(sub, to) }, wg.Done)
 	}
 	p.Wait(wg)
+}
+
+// Continuation (CPS) forms of the round-trip primitives. Each *K method
+// schedules the exact same sequence of events, at the same points of the
+// run, as the process-based primitive it mirrors, so a flow converted from
+// one style to the other reproduces a seeded schedule bit-for-bit. The
+// handler receives a done callback it must invoke (possibly after further
+// waits) when the remote work completes; k runs back at the caller once the
+// reply has landed.
+
+// RPCK is the continuation form of RPC: handler runs "at" the destination
+// after the request latency and may complete asynchronously via done; k runs
+// at the caller after the response latency. Same-node calls run handler —
+// and then k — inline.
+func (n *Network) RPCK(from, to NodeID, handler func(done func()), k func()) {
+	n.check(from)
+	n.check(to)
+	d := n.oneWay(from, to)
+	if d == 0 {
+		handler(k)
+		return
+	}
+	n.MsgsSent += 2
+	env := n.env
+	env.After(d, func() {
+		handler(func() { env.After(d, k) })
+	})
+}
+
+// RPCEventK is the continuation form of RPCEvent: a round trip whose handler
+// is non-blocking, so no done callback is needed. Same-node calls run the
+// handler and k inline.
+func (n *Network) RPCEventK(from, to NodeID, handler func(), k func()) {
+	n.check(from)
+	n.check(to)
+	d := n.oneWay(from, to)
+	if d == 0 {
+		handler()
+		k()
+		return
+	}
+	n.MsgsSent += 2
+	env := n.env
+	env.After(d, func() {
+		handler()
+		env.After(d, k)
+	})
+}
+
+// AsyncRPCK is the continuation form of AsyncRPC: the caller is never
+// blocked, handler runs at the destination after the request latency (it may
+// complete asynchronously via its done argument), and done runs back at the
+// caller one response latency after the handler completes. The zero-delay
+// egress hop on the remote path mirrors SpawnAfter's two-hop scheduling so
+// event-sequence draws line up with the process form.
+func (n *Network) AsyncRPCK(from, to NodeID, handler func(done func()), done func()) {
+	n.check(from)
+	n.check(to)
+	d := n.oneWay(from, to)
+	env := n.env
+	if d == 0 {
+		env.After(0, func() { handler(done) })
+		return
+	}
+	n.MsgsSent += 2
+	env.After(0, func() {
+		env.After(d, func() {
+			handler(func() { env.After(d, done) })
+		})
+	})
+}
+
+// RPCToSwitchK is the continuation form of RPCToSwitch: half the
+// node-to-node one-way cost in each direction, with the switch-side handler
+// completing via done (switch execution itself is a callback chain).
+func (n *Network) RPCToSwitchK(from NodeID, handler func(done func()), k func()) {
+	n.check(from)
+	n.MsgsSent += 2
+	s := n.lat.NodeToSwitch
+	env := n.env
+	env.After(s, func() {
+		handler(func() { env.After(s, k) })
+	})
+}
+
+// FanoutK is the continuation form of Fanout: handler(to, done) is
+// dispatched to every target (see AsyncRPCK) and k runs at the caller once
+// every handler's reply has landed. With no targets k runs inline.
+func (n *Network) FanoutK(from NodeID, targets []NodeID, handler func(to NodeID, done func()), k func()) {
+	n.check(from)
+	if len(targets) == 0 {
+		k()
+		return
+	}
+	wg := n.env.NewWaitGroup(len(targets))
+	for _, to := range targets {
+		to := to
+		n.AsyncRPCK(from, to, func(done func()) { handler(to, done) }, wg.Done)
+	}
+	wg.Subscribe(k)
 }

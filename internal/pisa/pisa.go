@@ -296,6 +296,95 @@ func (sw *Switch) Exec(p *sim.Proc, pkt *txnwire.Packet) (*txnwire.Response, err
 	}, nil
 }
 
+// ExecK is the continuation form of Exec: the admission loop, recirculation
+// waits and pipeline passes run as scheduled callbacks instead of process
+// sleeps, and k receives the response (or validation error) when the final
+// pass leaves the pipeline. Every wait maps one-for-one onto a sleep of the
+// process form — same delays, same event-sequence draws — so seeded
+// schedules are identical whichever form executes a packet.
+func (sw *Switch) ExecK(pkt *txnwire.Packet, k func(*txnwire.Response, error)) {
+	passes := SplitPasses(pkt.Instrs)
+	multipass := len(passes) > 1
+	if multipass && !pkt.Header.IsMultipass {
+		k(nil, fmt.Errorf("pisa: packet needs %d passes but is not marked multipass", len(passes)))
+		return
+	}
+	needL, needR := sw.locksFor(pkt.Instrs)
+
+	recircs := int(pkt.Header.NbRecircs)
+	env := sw.env
+	var admit func()
+	admit = func() {
+		// Admission spacing: several packets can wake at the same instant;
+		// only one claims the slot, the rest re-queue behind the updated
+		// horizon (mirrors admission's loop, one event per re-queue).
+		if env.Now() < sw.busyUntil {
+			env.After(sw.busyUntil-env.Now(), admit)
+			return
+		}
+		sw.busyUntil = env.Now() + sw.cfg.AdmissionGap
+		ok := false
+		if multipass {
+			ok = sw.lock.TryLock(needL, needR)
+		} else {
+			ok = sw.lock.Free(needL, needR)
+		}
+		if !ok {
+			recircs++
+			sw.Stats.Recircs++
+			d := sw.cfg.RecircWait
+			if recircs > 64 {
+				d = sw.cfg.RecircWait / 4
+			}
+			env.After(d, admit)
+			return
+		}
+
+		gid := sw.nextGID
+		sw.nextGID++
+		sw.Stats.Txns++
+		if multipass {
+			sw.Stats.MultiPass++
+		} else {
+			sw.Stats.SinglePass++
+		}
+
+		results := make([]txnwire.Result, 0, len(pkt.Instrs))
+		ctx := newPktCtx()
+		i := 0
+		var pass func()
+		pass = func() {
+			if multipass && i == len(passes)-1 {
+				// Unlock when the final pass is admitted (Figure 7).
+				sw.lock.Unlock(needL, needR)
+			}
+			for _, in := range passes[i] {
+				results = append(results, sw.apply(in, &ctx))
+			}
+			i++
+			if i < len(passes) {
+				d := sw.cfg.RecircWait
+				if sw.cfg.FastRecirc {
+					d = sw.cfg.RecircFast
+				}
+				sw.Stats.HolderPasses++
+				env.After(d, pass)
+				return
+			}
+			env.After(sw.cfg.PipelineLatency, func() {
+				k(&txnwire.Response{
+					TxnID:   pkt.Header.TxnID,
+					GID:     gid,
+					Recircs: clampU8(recircs),
+					Results: results,
+				}, nil)
+			})
+		}
+		pass()
+	}
+	admit()
+}
+
 // pktCtx is the per-packet metadata a transaction carries through the
 // pipeline (and across recirculations): the accumulator that chains
 // read-dependent writes and the ok-flag that chains constrained writes.

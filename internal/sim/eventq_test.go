@@ -328,3 +328,42 @@ func BenchmarkSpawnChurn(b *testing.B) {
 		b.Fatalf("ran %d, want %d", done, b.N)
 	}
 }
+
+// BenchmarkContinuationPingPong is the continuation counterpart of
+// BenchmarkProcessPingPong: the same rearm-every-10ns shape, expressed as
+// a callback event instead of a parked process. The gap between the two is
+// exactly the goroutine hand-off cost the coroutine-free scheduler core
+// removed from the transaction hot path.
+func BenchmarkContinuationPingPong(b *testing.B) {
+	e := NewEnv(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		if n < b.N {
+			n++
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Run()
+}
+
+// TestContinuationCycleZeroAlloc pins the steady-state callback cycle —
+// one timed event scheduled, popped and executed — at zero heap
+// allocations, the invariant the worker state machines rely on.
+func TestContinuationCycleZeroAlloc(t *testing.T) {
+	e := NewEnv(1)
+	var tick func()
+	tick = func() {}
+	// Warm the event ring and heap so growth is amortized out.
+	for i := 0; i < 1024; i++ {
+		e.After(Time(i%7), tick)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.After(3, tick)
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("continuation cycle allocates %.2f objects/op, want 0", avg)
+	}
+}

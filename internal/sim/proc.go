@@ -8,6 +8,14 @@ var errStopped = new(int)
 // at a time. All blocking primitives (Sleep, Await, queue waits built on
 // them) suspend the goroutine and return control to the scheduler.
 //
+// COMPATIBILITY SHIM: the transaction engines and the network layer run
+// entirely as callback state machines now (see the package comment), so no
+// Proc is live on the benchmark hot path. The process API is kept because it
+// is the natural style for tests, examples and the recovery tooling, and
+// because process-based and callback-based formulations of the same flow
+// draw identical event sequence numbers — which is exactly what the engine
+// parity tests exploit to drive CPS engines from a straight-line test body.
+//
 // Proc values (and their goroutines) are pooled: when a process finishes,
 // its goroutine parks on the environment's free list and a later Spawn
 // reuses it. The gen counter distinguishes incarnations so that a stale

@@ -2,17 +2,29 @@ package sim
 
 import "fmt"
 
-// Signal is a one-shot event that processes can wait on. Firing a signal
-// wakes every waiter at the current virtual time and records a value that
-// Await returns. Signals are the building block for lock grants, RPC
-// replies and 2PC votes throughout the reproduction: a waiter parks on its
-// own signal and whoever resolves the wait (lock release, wound/die abort,
-// message arrival) fires it with an outcome.
+// signalWaiter is one subscriber to a signal: either a parked process or a
+// continuation callback. Exactly one of proc/fn is set. Keeping both kinds in
+// a single ordered list guarantees that a mixed population of process waiters
+// and callback waiters wakes in exact subscription order, so converting one
+// waiter at a time from the process API to the callback API cannot perturb a
+// seeded schedule.
+type signalWaiter struct {
+	proc *Proc
+	fn   func()
+}
+
+// Signal is a one-shot event that processes or continuations can wait on.
+// Firing a signal wakes every waiter at the current virtual time and records
+// a value that Await (or Value, for callback waiters) returns. Signals are
+// the building block for lock grants, RPC replies and 2PC votes throughout
+// the reproduction: a waiter parks on its own signal — or subscribes a
+// resumption callback — and whoever resolves the wait (lock release,
+// wound/die abort, message arrival) fires it with an outcome.
 type Signal struct {
 	env     *Env
 	fired   bool
 	val     interface{}
-	waiters []*Proc
+	waiters []signalWaiter
 }
 
 // NewSignal creates an unfired signal bound to the environment.
@@ -25,16 +37,17 @@ func (s *Signal) Fired() bool { return s.fired }
 func (s *Signal) Value() interface{} { return s.val }
 
 // Fire marks the signal fired with val and wakes all waiters at the current
-// virtual time. Firing an already-fired signal is a no-op; the first value
-// wins. Fire must be called from simulation context.
+// virtual time, in subscription order, one scheduled event per waiter.
+// Firing an already-fired signal is a no-op; the first value wins. Fire must
+// be called from simulation context.
 func (s *Signal) Fire(val interface{}) {
 	if s.fired {
 		return
 	}
 	s.fired = true
 	s.val = val
-	for _, p := range s.waiters {
-		s.env.schedule(0, p, nil)
+	for _, w := range s.waiters {
+		s.env.schedule(0, w.proc, w.fn)
 	}
 	s.waiters = nil
 }
@@ -44,13 +57,26 @@ func (s *Signal) FireAfter(delay Time, val interface{}) {
 	s.env.After(delay, func() { s.Fire(val) })
 }
 
+// Subscribe registers k to run when the signal fires. If the signal has
+// already fired, k runs inline (zero scheduled events — the continuation
+// analogue of Await returning immediately); otherwise k is scheduled as its
+// own same-instant event when Fire runs, exactly where a process waiter's
+// wake-up would be. Read the outcome with Value from inside k.
+func (s *Signal) Subscribe(k func()) {
+	if s.fired {
+		k()
+		return
+	}
+	s.waiters = append(s.waiters, signalWaiter{fn: k})
+}
+
 // Await blocks the process until the signal fires and returns the fired
 // value. If the signal already fired, Await returns immediately.
 func (p *Proc) Await(s *Signal) interface{} {
 	if s.fired {
 		return s.val
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, signalWaiter{proc: p})
 	p.block()
 	return s.val
 }
@@ -96,3 +122,7 @@ func (w *WaitGroup) Done() {
 
 // Wait blocks the process until all completions have been recorded.
 func (p *Proc) Wait(w *WaitGroup) { p.Await(w.sig) }
+
+// Subscribe runs k once all completions have been recorded (inline if they
+// already have). It is the continuation counterpart of Wait.
+func (w *WaitGroup) Subscribe(k func()) { w.sig.Subscribe(k) }

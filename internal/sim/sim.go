@@ -4,17 +4,25 @@
 // The simulator is the substrate on which the whole P4DB reproduction runs:
 // database worker threads, network message delays, switch pipeline latencies
 // and lock waits are all modelled as events on a single virtual timeline.
-// Processes are ordinary goroutines, but the scheduler runs exactly one of
-// them at a time and hands control back and forth through channels, so the
-// simulation is single-threaded in effect and fully deterministic for a
-// given seed: contention, abort patterns and throughput numbers are exactly
-// reproducible across runs and machines.
+// Everything on the hot path is a callback event: a continuation scheduled
+// with After (or woken through Signal.Subscribe) that runs inline in the
+// scheduler goroutine — blocking waits are expressed as explicit state
+// machines that re-enter themselves, so steady-state execution never parks a
+// goroutine or pays a channel round trip. The simulation is single-threaded
+// and fully deterministic for a given seed: contention, abort patterns and
+// throughput numbers are exactly reproducible across runs and machines.
 //
 // The event pipeline is built for throughput: events are inline values in a
 // hand-rolled 4-ary heap (timed) and a FIFO ring (same-instant fast path),
-// finished process goroutines park on a free list for reuse, and callback
-// events run inline in the scheduler goroutine without any context switch.
-// See eventq.go for the queue, proc.go for the process lifecycle.
+// same-destination deliveries coalesce into batched drain events (batch.go),
+// and callback events run without any context switch. See eventq.go for the
+// queue.
+//
+// A process API (Proc: goroutines the scheduler resumes one at a time via
+// channel handoff) remains as a compatibility shim for tests, examples and
+// recovery tooling; see proc.go. Both APIs draw event sequence numbers
+// identically, so a flow produces bit-identical schedules whichever style it
+// is written in.
 package sim
 
 import (

@@ -23,6 +23,12 @@ type Participant struct {
 	// Prepare validates and persists the participant's sub-transaction;
 	// it returns the participant's vote. It may block.
 	Prepare func(p *sim.Proc) bool
+	// PrepareK is the continuation form of Prepare: it must eventually call
+	// done with the vote (possibly after scheduled waits such as a log
+	// flush). The coordinator's continuation-form methods use PrepareK; the
+	// process-form methods use Prepare. Builders set both so either driver
+	// works.
+	PrepareK func(done func(bool))
 	// Commit applies and releases the sub-transaction. It must not block.
 	Commit func()
 	// Abort rolls the sub-transaction back and releases it. It must not
@@ -200,6 +206,152 @@ func (c *Coordinator) fanout(p *sim.Proc, parts []Participant, handler func(*sim
 			func(sub *sim.Proc) { handler(sub, part) }, wg.Done)
 	}
 	p.Wait(wg)
+}
+
+// Continuation (CPS) forms of the coordinator entry points. They schedule
+// the exact same events, at the same points of a run, as their process-form
+// counterparts (the fan-out/finish rounds mirror fanout and finish case by
+// case), so seeded schedules are identical whichever style drives a commit.
+
+// CommitK is the continuation form of Commit: classic 2PC, with k receiving
+// whether the transaction committed.
+func (c *Coordinator) CommitK(parts []Participant, k func(bool)) {
+	c.voteK(parts, func(votes bool) {
+		c.finishK(parts, votes, func() {
+			if votes {
+				c.Stats.Commits++
+			} else {
+				c.Stats.Aborts++
+			}
+			k(votes)
+		})
+	})
+}
+
+// CommitWithSwitchK is the continuation form of CommitWithSwitch. switchTxn
+// runs "at" the switch and must call its done callback when the in-switch
+// execution completes; k receives the commit outcome.
+func (c *Coordinator) CommitWithSwitchK(parts []Participant, switchTxn func(done func()), k func(bool)) {
+	remote := remoteParts(parts, c.self)
+	if len(remote) > 0 {
+		c.voteK(remote, func(votes bool) {
+			if !votes {
+				c.finishK(parts, false, func() {
+					c.Stats.Aborts++
+					k(false)
+				})
+				return
+			}
+			c.SwitchPhaseK(parts, switchTxn, func() { k(true) })
+		})
+		return
+	}
+	c.SwitchPhaseK(parts, switchTxn, func() { k(true) })
+}
+
+// SwitchPhaseK is the continuation form of SwitchPhase: travel to the
+// switch, run the hot sub-transaction there (switchTxn completes via done),
+// multicast the decision, and run k when the coordinator's own multicast
+// copy arrives.
+func (c *Coordinator) SwitchPhaseK(parts []Participant, switchTxn func(done func()), k func()) {
+	env := c.net.Env()
+	s := c.net.Latency().NodeToSwitch
+	env.After(s, func() {
+		switchTxn(func() {
+			byNode := make(map[netsim.NodeID][]Participant, len(parts))
+			for _, part := range parts {
+				byNode[part.Node] = append(byNode[part.Node], part)
+			}
+			c.net.SwitchMulticast(func(id netsim.NodeID) {
+				for _, part := range byNode[id] {
+					env.After(0, part.Commit)
+				}
+			})
+			env.After(s, func() {
+				c.Stats.Commits++
+				k()
+			})
+		})
+	})
+}
+
+// PrepareK is the continuation form of Prepare: it runs only the voting
+// round and hands k whether every participant voted yes.
+func (c *Coordinator) PrepareK(parts []Participant, k func(bool)) {
+	c.voteK(parts, k)
+}
+
+// FinishK is the continuation form of Finish: it runs only the decision
+// round.
+func (c *Coordinator) FinishK(parts []Participant, commit bool, k func()) {
+	c.finishK(parts, commit, func() {
+		if commit {
+			c.Stats.Commits++
+		} else {
+			c.Stats.Aborts++
+		}
+		k()
+	})
+}
+
+// voteK runs the prepare round over all participants in parallel, mirroring
+// fanout's single-participant RPC / multi-participant async fan-out split.
+func (c *Coordinator) voteK(parts []Participant, k func(bool)) {
+	if len(parts) == 0 {
+		k(true)
+		return
+	}
+	ok := true
+	if len(parts) == 1 {
+		part := parts[0]
+		c.net.RPCK(c.self, part.Node, func(done func()) {
+			part.PrepareK(func(vote bool) {
+				if !vote {
+					ok = false
+				}
+				done()
+			})
+		}, func() { k(ok) })
+		return
+	}
+	env := c.net.Env()
+	wg := env.NewWaitGroup(len(parts))
+	for _, part := range parts {
+		part := part
+		c.net.AsyncRPCK(c.self, part.Node, func(done func()) {
+			part.PrepareK(func(vote bool) {
+				if !vote {
+					ok = false
+				}
+				done()
+			})
+		}, wg.Done)
+	}
+	wg.Subscribe(func() { k(ok) })
+}
+
+// finishK runs the decision round as callback events, mirroring finish.
+func (c *Coordinator) finishK(parts []Participant, commit bool, k func()) {
+	act := func(part Participant) func() {
+		if commit {
+			return part.Commit
+		}
+		return part.Abort
+	}
+	if len(parts) == 0 {
+		k()
+		return
+	}
+	if len(parts) == 1 {
+		c.net.RPCEventK(c.self, parts[0].Node, act(parts[0]), k)
+		return
+	}
+	env := c.net.Env()
+	wg := env.NewWaitGroup(len(parts))
+	for _, part := range parts {
+		c.net.AsyncRPCEvent(c.self, part.Node, act(part), wg.Done)
+	}
+	wg.Subscribe(k)
 }
 
 // remoteParts filters out participants co-located with the coordinator.
