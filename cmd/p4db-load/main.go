@@ -1,0 +1,191 @@
+// Command p4db-load is the open-loop load generator for p4db-serve. It
+// opens pipelined txnwire connections, submits a registered workload at
+// a target rate (or closed-loop), and reports wall-clock commits/s with
+// latency percentiles from a mergeable fixed-bucket histogram.
+//
+// Two modes:
+//
+//   - Direct: -addr points at running server(s); one report prints.
+//   - Scaling: -scale "1,2,4" spawns that many p4db-serve processes per
+//     point (independent shared-nothing shards), drives them together,
+//     and prints a scaling table. Requires -serve-bin.
+//
+// -json emits the report(s) as JSON for benchmark baselines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/workload"
+)
+
+func main() {
+	addrs := flag.String("addr", "127.0.0.1:7400", "comma-separated server addresses")
+	workloadName := flag.String("workload", "smallbank", fmt.Sprintf("workload %v", workload.Names()))
+	nodes := flag.Int("nodes", 4, "node count of each target server")
+	conns := flag.Int("conns", 4, "total client connections")
+	rate := flag.Float64("rate", 0, "total target rate in txn/s (0 = closed loop)")
+	window := flag.Int("window", 256, "max outstanding transactions per connection")
+	duration := flag.Duration("duration", 2*time.Second, "load duration")
+	seed := flag.Uint64("seed", 42, "workload stream seed")
+	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	scale := flag.String("scale", "", "comma-separated server counts to sweep (spawns p4db-serve per point)")
+	serveBin := flag.String("serve-bin", "", "path to the p4db-serve binary (scaling mode)")
+	serveArgs := flag.String("serve-args", "", "extra args for spawned servers, space-separated (e.g. \"-engine p4db -slots 256\")")
+	basePort := flag.Int("base-port", 7410, "first port for spawned servers")
+	flag.Parse()
+
+	if *scale != "" {
+		runScale(*scale, *serveBin, *serveArgs, *basePort, *workloadName, *nodes, *conns, *rate, *window, *duration, *seed, *asJSON)
+		return
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Addrs:    strings.Split(*addrs, ","),
+		Workload: *workloadName,
+		Nodes:    *nodes,
+		Conns:    *conns,
+		Rate:     *rate,
+		Window:   *window,
+		Duration: *duration,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	emit([]*loadgen.Report{rep}, *asJSON)
+}
+
+// runScale sweeps server counts: per point it spawns that many
+// p4db-serve processes, waits for their listeners, drives them together,
+// and tears them down.
+func runScale(scale, serveBin, serveArgs string, basePort int, workloadName string, nodes, conns int, rate float64, window int, duration time.Duration, seed uint64, asJSON bool) {
+	if serveBin == "" {
+		fatal(fmt.Errorf("scaling mode needs -serve-bin"))
+	}
+	var counts []int
+	for _, s := range strings.Split(scale, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -scale entry %q", s))
+		}
+		counts = append(counts, n)
+	}
+	var extra []string
+	if serveArgs != "" {
+		extra = strings.Fields(serveArgs)
+	}
+
+	var reports []*loadgen.Report
+	port := basePort
+	for _, n := range counts {
+		addrs := make([]string, n)
+		procs := make([]*exec.Cmd, n)
+		for i := 0; i < n; i++ {
+			addrs[i] = fmt.Sprintf("127.0.0.1:%d", port)
+			port++
+			args := append([]string{
+				"-addr", addrs[i],
+				"-workload", workloadName,
+				"-nodes", strconv.Itoa(nodes),
+				"-seed", strconv.FormatUint(seed+uint64(i), 10),
+			}, extra...)
+			cmd := exec.Command(serveBin, args...)
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				fatal(err)
+			}
+			procs[i] = cmd
+		}
+		for _, a := range addrs {
+			if err := waitReady(a, 30*time.Second); err != nil {
+				killAll(procs)
+				fatal(err)
+			}
+		}
+
+		c := conns
+		if c < n {
+			c = n // at least one connection per server
+		}
+		rep, err := loadgen.Run(loadgen.Config{
+			Addrs:    addrs,
+			Workload: workloadName,
+			Nodes:    nodes,
+			Conns:    c,
+			Rate:     rate,
+			Window:   window,
+			Duration: duration,
+			Seed:     seed,
+		})
+		killAll(procs)
+		if err != nil {
+			fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	emit(reports, asJSON)
+}
+
+// waitReady polls until the server accepts a connection.
+func waitReady(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// killAll interrupts the spawned servers and waits for them; they drain
+// and print their own stats to stderr.
+func killAll(procs []*exec.Cmd) {
+	for _, p := range procs {
+		if p.Process != nil {
+			p.Process.Signal(os.Interrupt)
+		}
+	}
+	for _, p := range procs {
+		p.Wait()
+	}
+}
+
+// emit prints the reports: a scaling table (plus per-point lines) as
+// text, or a JSON array.
+func emit(reports []*loadgen.Report, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%-10s %8s %12s %10s %10s %10s %10s\n",
+		"workload", "servers", "commits/s", "p50(µs)", "p95(µs)", "p99(µs)", "max(µs)")
+	for _, r := range reports {
+		fmt.Printf("%-10s %8d %12.0f %10.0f %10.0f %10.0f %10.0f\n",
+			r.Workload, r.Servers, r.Throughput, r.P50LatUs, r.P95LatUs, r.P99LatUs, r.MaxLatUs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p4db-load:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command p4db-serve hosts a simulated P4DB cluster behind a real TCP
+// listener speaking the txnwire framing. Every engine and scheme from
+// the registries is servable; transactions arrive as length-prefixed
+// TxnRequest frames (see internal/txnwire), execute through the same
+// code the simulator runs, and are answered with framed TxnReplys.
+// cmd/p4db-load is the matching load generator.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
+// transactions commit, replies flush, then the counters print.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lock"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7400", "TCP listen address")
+	engineName := flag.String("engine", "p4db", fmt.Sprintf("execution engine %v", engine.Names()))
+	scheme := flag.String("scheme", "", fmt.Sprintf("host CC scheme %v (empty = 2pl)", engine.SchemeNames()))
+	workloadName := flag.String("workload", "smallbank", fmt.Sprintf("workload schema/partitioning %v", workload.Names()))
+	nodes := flag.Int("nodes", 4, "database nodes in the cluster")
+	policy := flag.String("policy", "NO_WAIT", "2PL deadlock policy: NO_WAIT or WAIT_DIE")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	samples := flag.Int("samples", 12000, "workload samples for hot-set detection")
+	slots := flag.Int("slots", 256, "switch register slots per array")
+	flag.Parse()
+
+	pol, err := lock.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Engine = *engineName
+	cfg.Scheme = *scheme
+	cfg.Nodes = *nodes
+	cfg.WorkersPerNode = 1
+	cfg.Policy = pol
+	cfg.Seed = *seed
+	cfg.SampleTxns = *samples
+	cfg.Switch.SlotsPerArray = *slots
+
+	s, err := server.New(server.Config{Core: cfg, Workload: *workloadName})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("p4db-serve: %s/%s serving %s on %s (%d nodes)\n",
+		*engineName, s.Cluster().EngineContext().Scheme.Name(), *workloadName, ln.Addr(), *nodes)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("p4db-serve: %v, draining\n", sig)
+		s.Shutdown()
+		if err := <-serveErr; err != nil {
+			fatal(err)
+		}
+	case err := <-serveErr:
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	st := s.Stats()
+	res := s.Result()
+	fmt.Printf("p4db-serve: %d conns, %d requests, %d commits, %d rejected, %d retries\n",
+		st.Conns, st.Requests, st.Commits, st.Rejected, st.Retries)
+	if res.Latency.Count() > 0 {
+		fmt.Printf("p4db-serve: virtual latency µs p50=%.1f p99=%.1f mean=%.1f\n",
+			float64(res.Latency.Percentile(50))/1e3,
+			float64(res.Latency.Percentile(99))/1e3,
+			float64(res.Latency.Mean())/1e3)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p4db-serve:", err)
+	os.Exit(1)
+}

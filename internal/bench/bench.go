@@ -150,6 +150,14 @@ type Row struct {
 	MeanLatUs  float64
 	Value      float64 // figure-specific metric (e.g. breakdown µs/txn)
 
+	// P50LatUs/P99LatUs are bucketed latency percentiles from the
+	// fixed-bucket histogram (upper bucket edges, ~3% resolution). Like
+	// EventsPerSec they are excluded from Digest: the golden trace pins
+	// exact values only, and percentile bucket edges are a display
+	// resolution choice, not a simulated result.
+	P50LatUs float64
+	P99LatUs float64
+
 	// EventsPerSec is the harness's wall-clock event throughput for the
 	// run behind this point. Unlike every other field it is not
 	// deterministic (it measures the host, not the simulation), so Digest
@@ -166,6 +174,8 @@ func fill(r Row, res *core.Result) Row {
 		r.HotFrac = float64(res.Counters.CommittedHot) / float64(c)
 	}
 	r.MeanLatUs = float64(res.Latency.Mean()) / float64(sim.Microsecond)
+	r.P50LatUs = float64(res.Latency.Percentile(50)) / float64(sim.Microsecond)
+	r.P99LatUs = float64(res.Latency.Percentile(99)) / float64(sim.Microsecond)
 	r.EventsPerSec = res.EventsPerSec()
 	return r
 }
@@ -196,8 +206,8 @@ func Print(w io.Writer, rows []Row) {
 		if r.Figure != fig {
 			fig = r.Figure
 			fmt.Fprintf(w, "\n== %s ==\n", fig)
-			fmt.Fprintf(w, "%-10s %-28s %-6s %-14s %12s %9s %8s %8s %9s %8s\n",
-				"workload", "series", "cc", "x", "txn/s", "speedup", "abort%", "hot%", "lat(µs)", "Mev/s")
+			fmt.Fprintf(w, "%-10s %-28s %-6s %-14s %12s %9s %8s %8s %9s %9s %9s %8s\n",
+				"workload", "series", "cc", "x", "txn/s", "speedup", "abort%", "hot%", "lat(µs)", "p50(µs)", "p99(µs)", "Mev/s")
 		}
 		speed := "-"
 		if r.Speedup > 0 {
@@ -211,9 +221,9 @@ func Print(w io.Writer, rows []Row) {
 		if scheme == "" {
 			scheme = "-"
 		}
-		fmt.Fprintf(w, "%-10s %-28s %-6s %-14s %12.0f %9s %7.1f%% %7.1f%% %9.1f %8s\n",
+		fmt.Fprintf(w, "%-10s %-28s %-6s %-14s %12.0f %9s %7.1f%% %7.1f%% %9.1f %9.1f %9.1f %8s\n",
 			r.Workload, r.Series, scheme, r.X, r.Throughput, speed,
-			100*r.AbortRate, 100*r.HotFrac, r.MeanLatUs, evps)
+			100*r.AbortRate, 100*r.HotFrac, r.MeanLatUs, r.P50LatUs, r.P99LatUs, evps)
 	}
 }
 

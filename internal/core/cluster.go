@@ -220,7 +220,7 @@ type Result struct {
 	Duration    sim.Time
 	Counters    metrics.Counters
 	Breakdown   metrics.Breakdown
-	Latency     metrics.Histogram
+	Latency     metrics.LatencyHist
 	SwitchTxns  int64
 	Recircs     int64
 

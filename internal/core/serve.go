@@ -1,0 +1,132 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Driver executes externally submitted transactions on a cluster — the
+// serving-mode bridge between wall-clock arrivals (TCP requests) and the
+// virtual-time engines. Instead of closed-loop workers drawing their own
+// transactions (Run), the caller injects transactions with Submit and the
+// driver steps the event loop until every injected transaction has
+// committed. The same Engine/Scheme registries execute in both modes, so
+// the sim predicts what the server serves; the parity test in
+// internal/server holds them to identical final database state.
+//
+// A Driver owns the cluster's simulated clock. All methods must be called
+// from one goroutine (the server's engine loop), mirroring the sim's
+// single-owner rule.
+type Driver struct {
+	c   *Cluster
+	rng *sim.RNG
+}
+
+// NewDriver prepares a cluster for externally driven execution. Counters,
+// latency histograms and breakdowns measure from the first submission
+// (there is no warmup window in serving mode).
+func NewDriver(c *Cluster) *Driver {
+	c.ctx.SetMeasuring(true)
+	return &Driver{c: c, rng: c.env.Rand().Fork(0x5EC0ED)}
+}
+
+// Cluster returns the driven cluster.
+func (d *Driver) Cluster() *Cluster { return d.c }
+
+// Inflight returns the number of submitted transactions not yet committed.
+func (d *Driver) Inflight() int { return d.c.ctx.SubmitsInflight() }
+
+// Commits returns the number of transactions committed through Submit.
+func (d *Driver) Commits() int64 { return d.c.ctx.SubmitsDone() }
+
+// Now returns the cluster's virtual clock.
+func (d *Driver) Now() sim.Time { return d.c.env.Now() }
+
+// Submit injects txn as if it arrived at node origin and calls
+// done(class, retries) when it commits. Execution happens inside Drain;
+// the callback fires from there. done is handed to the engine verbatim —
+// server callers pool their callbacks so the per-request path stays
+// allocation-free.
+func (d *Driver) Submit(origin netsim.NodeID, txn *workload.Txn, done func(cls engine.Class, retries int)) {
+	if int(origin) < 0 || int(origin) >= len(d.c.ctx.Nodes) {
+		panic(fmt.Sprintf("core: submit origin %d outside cluster of %d nodes", origin, len(d.c.ctx.Nodes)))
+	}
+	d.c.ctx.Submit(d.c.eng, d.c.ctx.Nodes[origin], txn, d.rng, done)
+}
+
+// Drain steps the event loop until every submitted transaction has
+// committed. It must not be a plain env.Run(): engines with standing
+// timers (calvin's epoch sequencer re-arms every epoch) never let the
+// queue go empty, so the loop watches the in-flight count instead.
+func (d *Driver) Drain() {
+	for d.c.ctx.SubmitsInflight() > 0 {
+		if !d.c.env.Step() {
+			panic(fmt.Sprintf("core: event queue drained with %d transactions in flight", d.c.ctx.SubmitsInflight()))
+		}
+	}
+}
+
+// Result assembles the serving-mode counters accumulated so far. Duration
+// is the virtual time elapsed since the cluster started, so Throughput()
+// is simulated-virtual commits/s, not wall-clock commits/s — the server
+// reports wall-clock rates itself.
+func (d *Driver) Result() *Result {
+	c := d.c
+	res := &Result{
+		Engine:      c.eng.Name(),
+		EngineLabel: c.eng.Label(),
+		Scheme:      c.ctx.Scheme.Name(),
+		Workload:    c.gen.Name(),
+		Duration:    c.env.Now(),
+		Events:      c.env.Events(),
+	}
+	for _, n := range c.ctx.Nodes {
+		res.Counters.Merge(n.Counters())
+		res.Breakdown.Merge(n.Breakdown())
+		res.Latency.Merge(n.Latency())
+	}
+	return res
+}
+
+// StateDigest hashes the cluster's full logical database state: every
+// node's store partition (tables in id order, rows in key order, fields
+// verbatim) plus, when the engine offloaded tuples into the switch, the
+// switch register file. Two clusters that executed the same committed
+// history — through netsim or through real sockets — must digest
+// identically; the sim-vs-server parity test pins exactly that.
+func (c *Cluster) StateDigest() string {
+	h := sha256.New()
+	var scratch [8]byte
+	writeU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	for i, n := range c.ctx.Nodes {
+		fmt.Fprintf(h, "node %d\n", i)
+		st := n.Store()
+		for _, tid := range st.TableIDs() {
+			tbl := st.Table(tid)
+			fmt.Fprintf(h, "table %d %s\n", tid, tbl.Name())
+			for _, k := range tbl.Keys() {
+				writeU64(uint64(k))
+				for _, v := range tbl.GetRow(k) {
+					writeU64(uint64(v))
+				}
+			}
+		}
+	}
+	if c.ctx.UseSwitch {
+		h.Write([]byte("switch\n"))
+		for _, v := range c.ctx.Sw.Snapshot() {
+			writeU64(uint64(v))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

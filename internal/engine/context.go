@@ -52,7 +52,7 @@ type Node struct {
 
 	counters  metrics.Counters
 	breakdown metrics.Breakdown
-	latency   metrics.Histogram
+	latency   metrics.LatencyHist
 }
 
 // NewNode builds a node with an empty store, a lock table under the given
@@ -84,7 +84,7 @@ func (n *Node) Counters() *metrics.Counters { return &n.counters }
 func (n *Node) Breakdown() *metrics.Breakdown { return &n.breakdown }
 
 // Latency exposes the node's latency histogram (result merging).
-func (n *Node) Latency() *metrics.Histogram { return &n.latency }
+func (n *Node) Latency() *metrics.LatencyHist { return &n.latency }
 
 // OCCVersionsAdvanced counts rows whose OCC version moved past zero —
 // i.e. rows that received at least one committed optimistic write
@@ -169,6 +169,17 @@ type Context struct {
 	freeOpsFrames  []*opsFrame
 	freeColdFrames []*coldFrame
 	freeHotFrames  []*hotFrame
+	freeSubmits    []*submitSM
+
+	// freeClassAdapters recycles the k(error) -> k(Class, error) bridges
+	// (submit.go) used by engines whose Execute is a straight scheme call.
+	freeClassAdapters []*classAdapter
+
+	// Serving-mode submission accounting (submit.go): kept here rather
+	// than in the caller so Submit's completion path stays allocation-free
+	// (no per-call wrapper closure around the caller's callback).
+	submitsInflight int
+	submitsDone     int64
 
 	// coords caches one 2PC coordinator per node; the per-commit Stats of
 	// the old throwaway coordinators were never read, so sharing is safe.
@@ -316,26 +327,34 @@ func (sm *workerSM) done(cls Class, err error) {
 		c.Env.After(backoff*sim.Time(sm.attempts), sm.retryFn)
 		return
 	}
-	if c.measuring {
-		n.latency.Record(c.Env.Now() - sm.start)
-		n.breakdown.AddTxn()
-		switch cls {
-		case ClassHot:
+	c.accountCommit(n, cls, sm.txn, sm.start)
+	sm.begin()
+}
+
+// accountCommit records one committed transaction: latency, breakdown and
+// the per-class commit counter. Shared by the closed-loop worker and the
+// serving-mode submit path so both report identically.
+func (c *Context) accountCommit(n *Node, cls Class, txn *workload.Txn, start sim.Time) {
+	if !c.measuring {
+		return
+	}
+	n.latency.Record(c.Env.Now() - start)
+	n.breakdown.AddTxn()
+	switch cls {
+	case ClassHot:
+		n.counters.CommittedHot++
+	case ClassWarm:
+		n.counters.CommittedWarm++
+	default:
+		// In the baselines a transaction on hot tuples still
+		// counts as a hot transaction for the Figure 12
+		// breakdown, even though it executes on the nodes.
+		if c.TxnOnHotSet(txn) {
 			n.counters.CommittedHot++
-		case ClassWarm:
-			n.counters.CommittedWarm++
-		default:
-			// In the baselines a transaction on hot tuples still
-			// counts as a hot transaction for the Figure 12
-			// breakdown, even though it executes on the nodes.
-			if c.TxnOnHotSet(sm.txn) {
-				n.counters.CommittedHot++
-			} else {
-				n.counters.CommittedCold++
-			}
+		} else {
+			n.counters.CommittedCold++
 		}
 	}
-	sm.begin()
 }
 
 // runK drives a callback state machine to completion from a process:

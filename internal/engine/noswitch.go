@@ -18,5 +18,5 @@ func (noSwitchEngine) Label() string { return "No-Switch" }
 func (noSwitchEngine) Prepare(ctx *Context) error { return nil }
 
 func (noSwitchEngine) Execute(ctx *Context, n *Node, txn *workload.Txn, k func(Class, error)) {
-	ctx.Scheme.ExecCold(ctx, n, txn, func(err error) { k(ClassCold, err) })
+	ctx.Scheme.ExecCold(ctx, n, txn, ctx.wrapClass(ClassCold, k))
 }

@@ -1,0 +1,121 @@
+// Package loadgen drives a txnwire server: a pipelined client connection
+// plus an open-loop load generator that submits registered workloads at
+// a target rate and reports commit throughput and latency percentiles.
+package loadgen
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/netsim"
+	"repro/internal/txnwire"
+	"repro/internal/workload"
+)
+
+// Client is one txnwire connection. It supports pipelining: Send queues
+// framed requests in the write buffer, Flush pushes them out, Recv reads
+// the next reply. Not safe for concurrent use; the load generator runs
+// one sender and one receiver per connection and splits the halves
+// (Send/Flush on one goroutine, Recv on another) — the underlying
+// FrameWriter and FrameReader never share state.
+type Client struct {
+	nc     net.Conn
+	fw     *txnwire.FrameWriter
+	fr     *txnwire.FrameReader
+	req    txnwire.TxnRequest
+	rep    txnwire.TxnReply
+	nextID uint64
+}
+
+// Dial connects to a txnwire server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		fw: txnwire.NewFrameWriter(nc),
+		fr: txnwire.NewFrameReader(nc),
+	}
+}
+
+// PeekID returns the id the next Send will assign. Callers that index
+// side state by transaction id (the load generator's send-time ring)
+// must install it before Send: an auto-flushing writer can put the frame
+// on the wire inside Send, and the reply races anything done after.
+func (c *Client) PeekID() uint64 { return c.nextID + 1 }
+
+// Send queues txn as a request frame and returns the transaction id the
+// reply will echo. The frame sits in the write buffer until Flush (or
+// the writer's auto-flush threshold, if one was set).
+func (c *Client) Send(txn *workload.Txn, origin netsim.NodeID) (uint64, error) {
+	c.nextID++
+	id := c.nextID
+	if err := workload.TxnToRequest(txn, id, origin, &c.req); err != nil {
+		return 0, err
+	}
+	if err := c.fw.WriteTxnRequest(&c.req); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Flush pushes queued request frames to the socket.
+func (c *Client) Flush() error { return c.fw.Flush() }
+
+// Recv reads the next reply. The returned pointer is reused by the next
+// Recv call.
+func (c *Client) Recv() (*txnwire.TxnReply, error) {
+	ft, payload, err := c.fr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if ft != txnwire.FrameTxnReply {
+		return nil, fmt.Errorf("loadgen: unexpected frame type %d", ft)
+	}
+	if err := txnwire.DecodeTxnReplyInto(&c.rep, payload); err != nil {
+		return nil, err
+	}
+	return &c.rep, nil
+}
+
+// Do submits one transaction and waits for its reply — the serial
+// request-response path the parity harness uses.
+func (c *Client) Do(txn *workload.Txn, origin netsim.NodeID) (*txnwire.TxnReply, error) {
+	id, err := c.Send(txn, origin)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	rep, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Resp.TxnID != id {
+		return nil, fmt.Errorf("loadgen: reply id %d for request %d", rep.Resp.TxnID, id)
+	}
+	return rep, nil
+}
+
+// CloseWrite half-closes the connection: the server finishes everything
+// already submitted, flushes, and closes. Callers then Recv until EOF.
+func (c *Client) CloseWrite() error {
+	if err := c.fw.Flush(); err != nil {
+		return err
+	}
+	if tc, ok := c.nc.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.nc.Close() }

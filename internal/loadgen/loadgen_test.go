@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// startServer brings a registry-configured server up on loopback.
+func startServer(t *testing.T, workloadName string, nodes int) (*server.Server, string, func()) {
+	t.Helper()
+	cc := core.DefaultConfig()
+	cc.Engine = "noswitch"
+	cc.Nodes = nodes
+	cc.WorkersPerNode = 1
+	cc.SampleTxns = 1000
+	cc.Switch.SlotsPerArray = 64
+	s, err := server.New(server.Config{Core: cc, Workload: workloadName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	stop := func() {
+		s.Shutdown()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+	return s, ln.Addr().String(), stop
+}
+
+// TestRunClosedLoop: a short windowed run commits work, every submitted
+// transaction is answered, and the report's tallies agree with the
+// server's.
+func TestRunClosedLoop(t *testing.T) {
+	s, addr, stop := startServer(t, "smallbank", 2)
+	rep, err := Run(Config{
+		Addrs:    []string{addr},
+		Workload: "smallbank",
+		Nodes:    2,
+		Conns:    2,
+		Window:   64,
+		Duration: 300 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if rep.Commits == 0 {
+		t.Fatal("closed-loop run committed nothing")
+	}
+	if rep.Commits+rep.Rejected != rep.Sent {
+		t.Fatalf("sent %d but answered %d+%d: replies lost", rep.Sent, rep.Commits, rep.Rejected)
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("%d generated transactions rejected", rep.Rejected)
+	}
+	if rep.P50LatUs <= 0 || rep.P99LatUs < rep.P50LatUs {
+		t.Fatalf("implausible percentiles: p50=%.1f p99=%.1f", rep.P50LatUs, rep.P99LatUs)
+	}
+	if st := s.Stats(); st.Commits != rep.Commits {
+		t.Fatalf("server committed %d, report says %d", st.Commits, rep.Commits)
+	}
+}
+
+// TestRunOpenLoop: a paced run stays near its target rate (loosely — CI
+// machines stall) and never exceeds it by more than rounding.
+func TestRunOpenLoop(t *testing.T) {
+	_, addr, stop := startServer(t, "ycsb-c", 2)
+	defer stop()
+	rep, err := Run(Config{
+		Addrs:    []string{addr},
+		Workload: "ycsb-c",
+		Nodes:    2,
+		Conns:    1,
+		Rate:     2000,
+		Window:   256,
+		Duration: 500 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commits == 0 {
+		t.Fatal("open-loop run committed nothing")
+	}
+	if rep.Commits+rep.Rejected != rep.Sent {
+		t.Fatalf("sent %d but answered %d+%d", rep.Sent, rep.Commits, rep.Rejected)
+	}
+	// The pacing clock bounds submissions from above: rate * duration
+	// plus one interval of slack.
+	if max := int64(2000*0.5) + 1; rep.Sent > max {
+		t.Fatalf("open loop sent %d transactions, pacing allows at most %d", rep.Sent, max)
+	}
+}

@@ -134,8 +134,24 @@ type Table struct {
 	policy  Policy
 	entries map[Key]*entry
 
+	// free recycles entry structs (and their owner maps) released when a
+	// key's last lock drops: the serving-mode request path acquires and
+	// releases locks on fresh keys every transaction, and re-allocating
+	// an entry per key would dominate its allocation profile.
+	free []*entry
+
 	// Stats is exported for benchmarks.
 	Stats Stats
+}
+
+// getEntry pops a pooled entry or allocates the first time.
+func (tb *Table) getEntry() *entry {
+	if n := len(tb.free); n > 0 {
+		e := tb.free[n-1]
+		tb.free = tb.free[:n-1]
+		return e
+	}
+	return &entry{owners: make(map[*Txn]Mode, 2)}
 }
 
 // NewTable creates an empty lock table with the given policy.
@@ -187,7 +203,7 @@ func (tb *Table) Acquire(p *sim.Proc, txn *Txn, key Key, m Mode) error {
 	}
 	e := tb.entries[key]
 	if e == nil {
-		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		e = tb.getEntry()
 		tb.entries[key] = e
 	}
 	if compatible(e, txn, m) {
@@ -230,7 +246,7 @@ func (tb *Table) AcquireK(txn *Txn, key Key, m Mode, k func(error)) {
 	}
 	e := tb.entries[key]
 	if e == nil {
-		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		e = tb.getEntry()
 		tb.entries[key] = e
 	}
 	if compatible(e, txn, m) {
@@ -281,7 +297,7 @@ func (tb *Table) AcquireWait(p *sim.Proc, txn *Txn, key Key, m Mode) {
 	}
 	e := tb.entries[key]
 	if e == nil {
-		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		e = tb.getEntry()
 		tb.entries[key] = e
 	}
 	// Join the FIFO queue even when compatible with the owners if anyone
@@ -315,7 +331,7 @@ func (tb *Table) AcquireWaitK(txn *Txn, key Key, m Mode, k func()) {
 	}
 	e := tb.entries[key]
 	if e == nil {
-		e = &entry{owners: make(map[*Txn]Mode, 2)}
+		e = tb.getEntry()
 		tb.entries[key] = e
 	}
 	// Join the FIFO queue even when compatible with the owners if anyone
@@ -374,6 +390,8 @@ func (tb *Table) releaseOne(txn *Txn, key Key) {
 	tb.grantWaiters(key, e)
 	if len(e.owners) == 0 && len(e.waiters) == 0 {
 		delete(tb.entries, key)
+		e.waiters = nil // the queue's backing array was consumed head-first
+		tb.free = append(tb.free, e)
 	}
 }
 

@@ -1,0 +1,525 @@
+// Package server hosts a simulated P4DB cluster behind real TCP
+// listeners speaking the txnwire framing. Clients submit transactions as
+// length-prefixed TxnRequest frames; the server validates them against
+// the cluster's schema and partitioning, executes them through the exact
+// engine/scheme registries the simulator uses (via core.Driver), and
+// replies with framed TxnReplys carrying the commit class and a
+// server-assigned global commit sequence.
+//
+// Concurrency shape: one reader goroutine per connection decodes frames
+// into pooled transactions and feeds a single submission channel; one
+// engine-loop goroutine owns the simulated clock — it gathers whatever
+// submissions are waiting, injects them, steps the event loop until all
+// are committed, then signals the per-connection writer goroutines to
+// flush the reply bytes accumulated during the batch. Writes are
+// buffered and flush-coalesced: replies for a whole batch leave in one
+// syscall per connection. The steady-state request path — decode,
+// validate, execute, encode — recycles every buffer and state machine it
+// touches, pinned by an AllocsPerRun test.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/txnwire"
+	"repro/internal/workload"
+)
+
+// Config configures a serving cluster.
+type Config struct {
+	// Core is the simulated cluster's configuration (engine, scheme,
+	// nodes, switch geometry, cost model).
+	Core core.Config
+	// Workload names a registered workload (workload.ByName); it defines
+	// the schema and partitioning requests are validated against. Ignored
+	// when Gen is set.
+	Workload string
+	// Gen overrides the registry lookup with a caller-built generator.
+	Gen workload.Generator
+	// MaxFrame bounds accepted request frames; 0 means
+	// txnwire.DefaultMaxFrame.
+	MaxFrame int
+}
+
+// Stats is a point-in-time snapshot of serving counters.
+type Stats struct {
+	Conns    int64 // connections accepted over the server's lifetime
+	Requests int64 // transactions submitted to the engine
+	Commits  int64 // transactions committed (and replied to)
+	Rejected int64 // requests refused by validation
+	Retries  int64 // aborted attempts absorbed by server-side retry
+}
+
+// sub is one validated submission traveling from a connection reader to
+// the engine loop.
+type sub struct {
+	c      *conn
+	txn    *workload.Txn
+	txnID  uint64
+	origin netsim.NodeID
+}
+
+// Server executes txnwire transactions on a simulated cluster.
+type Server struct {
+	cluster  *core.Cluster
+	drv      *core.Driver
+	gen      workload.Generator
+	nodes    int
+	maxFrame int
+
+	subCh chan sub
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[*conn]struct{}
+	closing bool
+
+	readerWG sync.WaitGroup
+	loopDone chan struct{}
+
+	// Engine-loop-owned state: the completion-callback pool and the
+	// global commit sequence. Only the engine loop touches these.
+	freePend  []*pendingTxn
+	commitSeq uint64
+
+	requests atomic.Int64
+	rejected atomic.Int64
+	retries  atomic.Int64
+	accepted atomic.Int64
+}
+
+// New builds a serving cluster. The heavy lifting — store population,
+// hot-set detection, switch offload — happens here, before any listener
+// is attached.
+func New(cfg Config) (*Server, error) {
+	gen := cfg.Gen
+	if gen == nil {
+		var err error
+		gen, err = workload.ByName(cfg.Workload, cfg.Core.Nodes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if gen.Nodes() != cfg.Core.Nodes {
+		return nil, fmt.Errorf("server: generator partitions %d nodes, cluster has %d", gen.Nodes(), cfg.Core.Nodes)
+	}
+	maxFrame := cfg.MaxFrame
+	if maxFrame == 0 {
+		maxFrame = txnwire.DefaultMaxFrame
+	}
+	c := core.NewCluster(cfg.Core, gen)
+	s := &Server{
+		cluster:  c,
+		drv:      core.NewDriver(c),
+		gen:      gen,
+		nodes:    cfg.Core.Nodes,
+		maxFrame: maxFrame,
+		subCh:    make(chan sub, 1024),
+		conns:    make(map[*conn]struct{}),
+		loopDone: make(chan struct{}),
+	}
+	return s, nil
+}
+
+// Cluster exposes the simulated cluster (state digests, results).
+func (s *Server) Cluster() *core.Cluster { return s.cluster }
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:    s.accepted.Load(),
+		Requests: s.requests.Load(),
+		Commits:  s.drv.Commits(),
+		Rejected: s.rejected.Load(),
+		Retries:  s.retries.Load(),
+	}
+}
+
+// Result assembles the engine-side counters (latency histogram, commit
+// class breakdown) accumulated by served transactions.
+func (s *Server) Result() *core.Result { return s.drv.Result() }
+
+// Serve accepts connections on ln until Shutdown. It blocks; run it in a
+// goroutine. The engine loop starts on the first call.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("server: Serve called twice")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	go s.engineLoop()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		c := newConn(s, nc)
+		s.conns[c] = struct{}{}
+		s.readerWG.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		go s.readLoop(c)
+		go c.writeLoop()
+	}
+}
+
+// Shutdown stops accepting, drains every in-flight transaction, flushes
+// replies, and closes all connections. Safe to call once, after Serve
+// has started. Requests already submitted commit and are answered;
+// frames not yet read off a socket are dropped.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closing = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Kick readers out of blocking reads; already-buffered frames are
+	// abandoned, which is the documented shutdown contract.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.readerWG.Wait()
+	close(s.subCh)
+	if ln != nil {
+		<-s.loopDone // engine loop drains remaining submissions, flushes
+	}
+	for _, c := range conns {
+		c.signalFlush()
+		<-c.closed
+	}
+}
+
+// engineLoop owns the cluster's simulated clock. It batches whatever
+// submissions are queued, drives them to commit, then releases the
+// replies in one flush per connection.
+func (s *Server) engineLoop() {
+	defer close(s.loopDone)
+	for {
+		sb, ok := <-s.subCh
+		if !ok {
+			break
+		}
+		s.inject(sb)
+		for gather := true; gather && ok; {
+			select {
+			case sb2, ok2 := <-s.subCh:
+				if !ok2 {
+					ok = false
+					break
+				}
+				s.inject(sb2)
+			default:
+				gather = false
+			}
+		}
+		s.drv.Drain()
+		s.flushAll()
+		if !ok {
+			return
+		}
+	}
+	// Channel closed with nothing gathered: nothing in flight, but flush
+	// any reject replies appended by readers on their way out.
+	s.drv.Drain()
+	s.flushAll()
+}
+
+// inject hands one submission to the driver with a pooled completion.
+func (s *Server) inject(sb sub) {
+	var pt *pendingTxn
+	if n := len(s.freePend); n > 0 {
+		pt = s.freePend[n-1]
+		s.freePend = s.freePend[:n-1]
+	} else {
+		pt = &pendingTxn{s: s}
+		pt.doneFn = pt.done
+	}
+	pt.c, pt.txn, pt.txnID = sb.c, sb.txn, sb.txnID
+	s.requests.Add(1)
+	s.drv.Submit(sb.origin, sb.txn, pt.doneFn)
+}
+
+// flushAll wakes the writer of every connection holding buffered replies.
+func (s *Server) flushAll() {
+	s.mu.Lock()
+	for c := range s.conns {
+		if c.hasOutput() {
+			c.signalFlush()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// removeConn drops a closed connection from the flush set.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// pendingTxn is the pooled completion callback for one submitted
+// transaction; doneFn is prebound so resubmission never allocates.
+type pendingTxn struct {
+	s      *Server
+	c      *conn
+	txn    *workload.Txn
+	txnID  uint64
+	doneFn func(engine.Class, int)
+}
+
+// done fires when the transaction commits (engine-loop goroutine, inside
+// Drain). It appends the framed reply to the connection's output buffer
+// and recycles the transaction and itself.
+func (pt *pendingTxn) done(cls engine.Class, retries int) {
+	s := pt.s
+	s.commitSeq++
+	if retries > 0 {
+		s.retries.Add(int64(retries))
+	}
+	c, txn, txnID, seq := pt.c, pt.txn, pt.txnID, s.commitSeq
+	pt.c, pt.txn = nil, nil
+	s.freePend = append(s.freePend, pt)
+
+	recircs := retries
+	if recircs > 255 {
+		recircs = 255
+	}
+	rep := txnwire.TxnReply{
+		Status: txnwire.StatusCommitted,
+		Class:  uint8(cls),
+		Resp:   txnwire.Response{TxnID: txnID, GID: seq, Recircs: uint8(recircs)},
+	}
+	c.mu.Lock()
+	c.out = mustAppendReply(c.out, &rep)
+	c.freeTxns = append(c.freeTxns, txn)
+	c.mu.Unlock()
+	c.pending.Add(-1)
+}
+
+// readLoop decodes and validates frames off one connection, feeding the
+// submission channel. It exits on EOF, protocol violation, or shutdown.
+func (s *Server) readLoop(c *conn) {
+	defer func() {
+		c.readerDone.Store(true)
+		c.signalFlush() // let the writer observe readerDone
+		s.readerWG.Done()
+	}()
+	fr := txnwire.NewFrameReader(c.nc)
+	fr.SetLimit(s.maxFrame)
+	var req txnwire.TxnRequest
+	for {
+		ft, payload, err := fr.Next()
+		if err != nil {
+			return
+		}
+		if ft != txnwire.FrameTxnReq {
+			s.rejected.Add(1)
+			c.nc.Close()
+			return
+		}
+		if err := txnwire.DecodeTxnRequestInto(&req, payload); err != nil {
+			s.rejected.Add(1)
+			c.nc.Close()
+			return
+		}
+		txn := c.getTxn()
+		if err := s.buildTxn(&req, txn); err != nil {
+			c.putTxn(txn)
+			s.rejected.Add(1)
+			c.reject(req.Pkt.Header.TxnID)
+			c.signalFlush()
+			continue
+		}
+		c.pending.Add(1)
+		s.subCh <- sub{c: c, txn: txn, txnID: req.Pkt.Header.TxnID, origin: netsim.NodeID(req.Origin)}
+	}
+}
+
+// buildTxn converts a wire request into an executable transaction and
+// validates it against the cluster: origin and claimed homes must name
+// real nodes, tables and fields must exist in the schema, and every
+// operation's claimed home must agree with the workload's partitioning
+// (engines trust Op.Home; a lie would corrupt remote state).
+func (s *Server) buildTxn(req *txnwire.TxnRequest, txn *workload.Txn) error {
+	if int(req.Origin) >= s.nodes {
+		return fmt.Errorf("server: origin %d outside cluster of %d nodes", req.Origin, s.nodes)
+	}
+	if err := workload.TxnFromRequest(req, txn); err != nil {
+		return err
+	}
+	schema := s.cluster.Node(0).Store()
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		tbl := schema.Lookup(op.Table)
+		if tbl == nil {
+			return fmt.Errorf("server: op %d addresses unknown table %d", i, op.Table)
+		}
+		if int(op.Field) >= tbl.Fields() {
+			return fmt.Errorf("server: op %d addresses field %d of %d-field table %s", i, op.Field, tbl.Fields(), tbl.Name())
+		}
+		if int(op.Home) >= s.nodes {
+			return fmt.Errorf("server: op %d claims home %d outside cluster of %d nodes", i, op.Home, s.nodes)
+		}
+		if want := s.gen.Home(op.Table, op.Key); op.Home != want {
+			return fmt.Errorf("server: op %d claims home %d, partitioning says %d", i, op.Home, want)
+		}
+	}
+	return nil
+}
+
+// conn is one client connection: a reader feeding subCh, a writer
+// draining out, and a transaction free list shared between them.
+type conn struct {
+	s  *Server
+	nc net.Conn
+
+	mu       sync.Mutex
+	out      []byte // framed replies awaiting flush
+	spare    []byte // writer's swap buffer
+	freeTxns []*workload.Txn
+
+	flushCh    chan struct{} // cap 1, coalesced wake-ups
+	pending    atomic.Int64  // submitted, not yet replied
+	readerDone atomic.Bool
+	closed     chan struct{} // writer exited
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		s:       s,
+		nc:      nc,
+		flushCh: make(chan struct{}, 1),
+		closed:  make(chan struct{}),
+	}
+}
+
+// getTxn pops a pooled transaction (reader goroutine).
+func (c *conn) getTxn() *workload.Txn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.freeTxns); n > 0 {
+		t := c.freeTxns[n-1]
+		c.freeTxns = c.freeTxns[:n-1]
+		return t
+	}
+	return &workload.Txn{}
+}
+
+// putTxn returns a transaction to the pool.
+func (c *conn) putTxn(t *workload.Txn) {
+	c.mu.Lock()
+	c.freeTxns = append(c.freeTxns, t)
+	c.mu.Unlock()
+}
+
+// reject appends a rejection reply (reader goroutine, validation
+// failures only — the connection survives, framing is still intact).
+func (c *conn) reject(txnID uint64) {
+	rep := txnwire.TxnReply{
+		Status: txnwire.StatusRejected,
+		Resp:   txnwire.Response{TxnID: txnID},
+	}
+	c.mu.Lock()
+	c.out = mustAppendReply(c.out, &rep)
+	c.mu.Unlock()
+}
+
+// mustAppendReply frames a reply the server built itself; encoding can
+// only fail on malformed replies, which would be a server bug.
+func mustAppendReply(dst []byte, rep *txnwire.TxnReply) []byte {
+	out, err := txnwire.AppendTxnReplyFrame(dst, rep)
+	if err != nil {
+		panic(fmt.Sprintf("server: reply encoding failed: %v", err))
+	}
+	return out
+}
+
+func (c *conn) hasOutput() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.out) > 0
+}
+
+// signalFlush wakes the writer; signals coalesce.
+func (c *conn) signalFlush() {
+	select {
+	case c.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop flushes buffered replies when signaled and closes the
+// connection once the reader has exited and every submission is
+// answered and flushed.
+func (c *conn) writeLoop() {
+	defer func() {
+		c.s.removeConn(c)
+		close(c.closed)
+	}()
+	for {
+		<-c.flushCh
+		c.drainOut()
+		if c.readerDone.Load() && c.pending.Load() == 0 {
+			// pending hit zero after its reply was appended; one more
+			// drain publishes anything that raced past the first.
+			c.drainOut()
+			c.nc.Close()
+			return
+		}
+	}
+}
+
+// drainOut swaps the output buffer under the lock and writes it outside,
+// repeating until no bytes remain. On a write error the connection is
+// closed (the reader unblocks with an error) and output is discarded.
+func (c *conn) drainOut() {
+	for {
+		c.mu.Lock()
+		if len(c.out) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		buf := c.out
+		c.out = c.spare[:0]
+		c.spare = buf
+		c.mu.Unlock()
+		if _, err := c.nc.Write(buf); err != nil {
+			c.nc.Close()
+			return
+		}
+	}
+}

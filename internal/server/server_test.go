@@ -1,0 +1,444 @@
+package server
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/txnwire"
+	"repro/internal/workload"
+)
+
+// testConfig mirrors the core driver tests' small-but-contended SmallBank
+// setup so parity failures point at the transport, not the workload.
+func testConfig(engineName string) (Config, workload.SmallBankConfig) {
+	cc := core.DefaultConfig()
+	cc.Engine = engineName
+	cc.Nodes = 2
+	cc.WorkersPerNode = 1
+	cc.SampleTxns = 4000
+	cc.Switch.SlotsPerArray = 64
+	wl := workload.DefaultSmallBank(cc.Nodes, 3)
+	wl.AccountsPerNode = 100
+	wl.DistPct = 50
+	return Config{Core: cc, Gen: workload.NewSmallBank(wl)}, wl
+}
+
+// startServer brings a server up on loopback and returns its address and
+// a stop function.
+func startServer(t *testing.T, cfg Config) (*Server, string, func()) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	stop := func() {
+		s.Shutdown()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+	return s, ln.Addr().String(), stop
+}
+
+// TestServerSmoke: a serial client commits transactions end to end and
+// the counters agree.
+func TestServerSmoke(t *testing.T) {
+	cfg, wl := testConfig("noswitch")
+	s, addr, stop := startServer(t, cfg)
+
+	cl, err := loadgen.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewSmallBank(wl)
+	src := sim.NewRNG(7)
+	const n = 200
+	for i := 0; i < n; i++ {
+		origin := netsim.NodeID(i % cfg.Core.Nodes)
+		rep, err := cl.Do(gen.Next(src, origin), origin)
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+		if rep.Status != txnwire.StatusCommitted {
+			t.Fatalf("txn %d: status %d", i, rep.Status)
+		}
+		if rep.Resp.GID != uint64(i+1) {
+			t.Fatalf("txn %d: gid %d, want %d (serial client must see a dense commit sequence)", i, rep.Resp.GID, i+1)
+		}
+	}
+	cl.Close()
+	stop()
+
+	st := s.Stats()
+	if st.Conns != 1 || st.Requests != n || st.Commits != n || st.Rejected != 0 {
+		t.Fatalf("stats %+v, want 1 conn / %d requests / %d commits / 0 rejected", st, n, n)
+	}
+	if got := s.Result().Counters.Committed(); got != n {
+		t.Fatalf("engine counters report %d commits, want %d", got, n)
+	}
+}
+
+// TestSimServerParity: the same seeded transaction stream produces an
+// identical final database state whether it executes through the
+// in-process core.Driver or over real sockets — one engine per family
+// (no switch, switch-offloaded, deterministic).
+func TestSimServerParity(t *testing.T) {
+	const n = 300
+	for _, engineName := range []string{"noswitch", "p4db", "calvin"} {
+		cfg, wl := testConfig(engineName)
+
+		// Path 1: in-process driver.
+		drvGen := workload.NewSmallBank(wl)
+		drv := core.NewDriver(core.NewCluster(cfg.Core, workload.NewSmallBank(wl)))
+		src := sim.NewRNG(7)
+		for i := 0; i < n; i++ {
+			origin := netsim.NodeID(i % cfg.Core.Nodes)
+			drv.Submit(origin, drvGen.Next(src, origin), func(engine.Class, int) {})
+			drv.Drain()
+		}
+		simDigest := drv.Cluster().StateDigest()
+
+		// Path 2: the same stream over loopback TCP.
+		s, addr, stop := startServer(t, cfg)
+		cl, err := loadgen.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netGen := workload.NewSmallBank(wl)
+		src = sim.NewRNG(7)
+		for i := 0; i < n; i++ {
+			origin := netsim.NodeID(i % cfg.Core.Nodes)
+			rep, err := cl.Do(netGen.Next(src, origin), origin)
+			if err != nil {
+				t.Fatalf("%s txn %d: %v", engineName, i, err)
+			}
+			if rep.Status != txnwire.StatusCommitted {
+				t.Fatalf("%s txn %d: status %d", engineName, i, rep.Status)
+			}
+		}
+		cl.Close()
+		stop()
+		netDigest := s.Cluster().StateDigest()
+
+		if simDigest != netDigest {
+			t.Fatalf("%s: server state diverged from sim:\n sim: %s\n net: %s", engineName, simDigest, netDigest)
+		}
+	}
+}
+
+// TestServerPipelinedCloseWrite: a pipelined client half-closes and the
+// server drains everything already submitted — every request is answered
+// before EOF.
+func TestServerPipelinedCloseWrite(t *testing.T) {
+	cfg, wl := testConfig("noswitch")
+	_, addr, stop := startServer(t, cfg)
+	defer stop()
+
+	cl, err := loadgen.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewSmallBank(wl)
+	src := sim.NewRNG(11)
+	const n = 500
+	sent := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		origin := netsim.NodeID(i % cfg.Core.Nodes)
+		id, err := cl.Send(gen.Next(src, origin), origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent[id] = true
+	}
+	if err := cl.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		rep, err := cl.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("after %d replies: %v", got, err)
+		}
+		if rep.Status != txnwire.StatusCommitted {
+			t.Fatalf("reply %d: status %d", got, rep.Status)
+		}
+		if !sent[rep.Resp.TxnID] {
+			t.Fatalf("reply for unknown or duplicate id %d", rep.Resp.TxnID)
+		}
+		delete(sent, rep.Resp.TxnID)
+		got++
+	}
+	cl.Close()
+	if got != n {
+		t.Fatalf("drained %d replies before EOF, want %d", got, n)
+	}
+}
+
+// TestServerShutdownDrain: Shutdown answers and flushes every
+// transaction already submitted before closing connections.
+func TestServerShutdownDrain(t *testing.T) {
+	cfg, wl := testConfig("noswitch")
+	s, addr, stop := startServer(t, cfg)
+
+	cl, err := loadgen.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewSmallBank(wl)
+	src := sim.NewRNG(13)
+	const n = 100
+	for i := 0; i < n; i++ {
+		origin := netsim.NodeID(i % cfg.Core.Nodes)
+		if _, err := cl.Send(gen.Next(src, origin), origin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the server has pulled every frame off the socket, so
+	// all n transactions are in flight when Shutdown fires.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.requests.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server submitted %d/%d requests", s.requests.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+
+	got := 0
+	for {
+		rep, err := cl.Recv()
+		if err != nil {
+			break // EOF or reset: the server has closed
+		}
+		if rep.Status != txnwire.StatusCommitted {
+			t.Fatalf("reply %d: status %d", got, rep.Status)
+		}
+		got++
+	}
+	cl.Close()
+	if got != n {
+		t.Fatalf("client received %d replies across shutdown, want %d", got, n)
+	}
+	if st := s.Stats(); st.Commits != n {
+		t.Fatalf("server committed %d, want %d", st.Commits, n)
+	}
+}
+
+// TestServerRejectsInvalid: semantically invalid requests get a
+// rejection reply and the connection survives; later valid requests
+// still commit.
+func TestServerRejectsInvalid(t *testing.T) {
+	cfg, wl := testConfig("noswitch")
+	s, addr, stop := startServer(t, cfg)
+	defer stop()
+
+	cl, err := loadgen.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	gen := workload.NewSmallBank(wl)
+	src := sim.NewRNG(17)
+
+	// A lying home: op claims node 0 for a key partitioned to node 1.
+	bad := &workload.Txn{Label: "bad", Ops: []workload.Op{{
+		Kind: workload.Read, Table: workload.SBChecking,
+		Key: 150, Home: 0, DependsOn: -1,
+	}}}
+	rep, err := cl.Do(bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != txnwire.StatusRejected {
+		t.Fatalf("lying home accepted: status %d", rep.Status)
+	}
+
+	// An unknown table.
+	badTable := &workload.Txn{Label: "bad", Ops: []workload.Op{{
+		Kind: workload.Read, Table: 99, Key: 1, Home: 0, DependsOn: -1,
+	}}}
+	rep, err = cl.Do(badTable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != txnwire.StatusRejected {
+		t.Fatalf("unknown table accepted: status %d", rep.Status)
+	}
+
+	// The connection still serves valid work.
+	repOK, err := cl.Do(gen.Next(src, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repOK.Status != txnwire.StatusCommitted {
+		t.Fatalf("valid txn after rejects: status %d", repOK.Status)
+	}
+	if st := s.Stats(); st.Rejected != 2 || st.Commits != 1 {
+		t.Fatalf("stats %+v, want 2 rejected / 1 commit", st)
+	}
+}
+
+// TestServerOversizedFrame: a frame above the limit kills the connection
+// without buffering it; the server stays up for other clients.
+func TestServerOversizedFrame(t *testing.T) {
+	cfg, wl := testConfig("noswitch")
+	_, addr, stop := startServer(t, cfg)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A header declaring a frame far beyond DefaultMaxFrame.
+	if _, err := nc.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept a connection alive after an oversized frame")
+	}
+	nc.Close()
+
+	// A fresh connection still works.
+	cl, err := loadgen.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	gen := workload.NewSmallBank(wl)
+	rep, err := cl.Do(gen.Next(sim.NewRNG(19), 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != txnwire.StatusCommitted {
+		t.Fatalf("status %d after oversize rejection on another conn", rep.Status)
+	}
+}
+
+// TestServeRequestPathZeroAlloc pins the steady-state per-request server
+// path — frame decode, validation, engine execution, reply encode — at
+// zero allocations. Scope: the read-only path (YCSB-C, all-local ops,
+// one node). Write commits hand their write-set to the WAL by design and
+// so allocate one redo record; the read path has no such transfer and
+// must stay allocation-free.
+func TestServeRequestPathZeroAlloc(t *testing.T) {
+	cc := core.DefaultConfig()
+	cc.Engine = "noswitch"
+	cc.Nodes = 1
+	cc.WorkersPerNode = 1
+	cc.SampleTxns = 256
+	cc.Switch.SlotsPerArray = 64
+	ycfg := workload.YCSBWorkloadC(cc.Nodes)
+	ycfg.DistPct = 0
+	ycfg.RowsPerNode = 1 << 16
+	gen := workload.NewYCSB(ycfg)
+	s, err := New(Config{Core: cc, Gen: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(s, nil) // no socket: the reply lands in c.out
+
+	// One canned request, framed the way a client would.
+	txn := gen.Next(sim.NewRNG(23), 0)
+	var req txnwire.TxnRequest
+	if err := workload.TxnToRequest(txn, 1, 0, &req); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := txnwire.AppendTxnRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded txnwire.TxnRequest
+	serve := func() {
+		if err := txnwire.DecodeTxnRequestInto(&decoded, payload); err != nil {
+			t.Fatal(err)
+		}
+		wtxn := c.getTxn()
+		if err := s.buildTxn(&decoded, wtxn); err != nil {
+			t.Fatal(err)
+		}
+		c.pending.Add(1)
+		s.inject(sub{c: c, txn: wtxn, txnID: decoded.Pkt.Header.TxnID, origin: 0})
+		s.drv.Drain()
+		c.mu.Lock()
+		if len(c.out) == 0 {
+			c.mu.Unlock()
+			t.Fatal("no reply framed")
+		}
+		c.out = c.out[:0]
+		c.mu.Unlock()
+	}
+	for i := 0; i < 8; i++ { // prime pools and buffer growth
+		serve()
+	}
+	if n := testing.AllocsPerRun(500, serve); n != 0 {
+		t.Fatalf("read-only request path allocates %v times per request, want 0", n)
+	}
+}
+
+// BenchmarkServeRequest measures the in-process per-request path (no
+// socket): decode, validate, execute read-only, encode reply.
+func BenchmarkServeRequest(b *testing.B) {
+	cc := core.DefaultConfig()
+	cc.Engine = "noswitch"
+	cc.Nodes = 1
+	cc.WorkersPerNode = 1
+	cc.SampleTxns = 256
+	cc.Switch.SlotsPerArray = 64
+	ycfg := workload.YCSBWorkloadC(cc.Nodes)
+	ycfg.DistPct = 0
+	ycfg.RowsPerNode = 1 << 16
+	gen := workload.NewYCSB(ycfg)
+	s, err := New(Config{Core: cc, Gen: gen})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := newConn(s, nil)
+	txn := gen.Next(sim.NewRNG(23), 0)
+	var req txnwire.TxnRequest
+	if err := workload.TxnToRequest(txn, 1, 0, &req); err != nil {
+		b.Fatal(err)
+	}
+	payload, err := txnwire.AppendTxnRequest(nil, &req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var decoded txnwire.TxnRequest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := txnwire.DecodeTxnRequestInto(&decoded, payload); err != nil {
+			b.Fatal(err)
+		}
+		wtxn := c.getTxn()
+		if err := s.buildTxn(&decoded, wtxn); err != nil {
+			b.Fatal(err)
+		}
+		c.pending.Add(1)
+		s.inject(sub{c: c, txn: wtxn, txnID: decoded.Pkt.Header.TxnID, origin: 0})
+		s.drv.Drain()
+		c.mu.Lock()
+		c.out = c.out[:0]
+		c.mu.Unlock()
+	}
+}

@@ -164,6 +164,24 @@ func (s *Store) CreateTable(id TableID, name string, fields int) *Table {
 	return t
 }
 
+// Lookup returns the partition for id, or nil when no such table was
+// created. The serving path uses it to validate wire-supplied table ids
+// without tripping Table's schema-mismatch panic.
+func (s *Store) Lookup(id TableID) *Table {
+	return s.tables[id]
+}
+
+// TableIDs returns the ids of every created table in ascending order —
+// the deterministic iteration a state digest needs.
+func (s *Store) TableIDs() []TableID {
+	ids := make([]TableID, 0, len(s.tables))
+	for id := range s.tables {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Table returns the partition for id; it panics if the table was never
 // created (a schema mismatch, not a runtime condition).
 func (s *Store) Table(id TableID) *Table {

@@ -1,0 +1,121 @@
+package txnwire
+
+import "encoding/binary"
+
+// Append/DecodeInto variants of the Packet and Response codecs. These are
+// the serving-path forms: they write into caller-owned buffers and reuse
+// caller-owned instruction/result slices, so steady-state encode/decode is
+// allocation-free (pinned by alloc_test.go). Encode/Decode delegate here.
+
+// AppendPacket appends the encoded packet to dst and returns the extended
+// slice. On error dst is returned unchanged.
+func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
+	if len(p.Instrs) > maxInstrs {
+		return dst, ErrTooManyInstrs
+	}
+	start := len(dst)
+	var flags byte
+	if p.Header.IsMultipass {
+		flags |= flagMulti
+	}
+	if p.Header.LockLeft {
+		flags |= flagLockL
+	}
+	if p.Header.LockRight {
+		flags |= flagLockR
+	}
+	dst = append(dst, flags, p.Header.NbRecircs)
+	dst = binary.BigEndian.AppendUint64(dst, p.Header.TxnID)
+	dst = append(dst, uint8(len(p.Instrs)))
+	for _, in := range p.Instrs {
+		if !in.Op.Valid() {
+			return dst[:start], ErrBadOpcode
+		}
+		dst = append(dst, byte(in.Op), in.Stage, in.Array)
+		dst = binary.BigEndian.AppendUint32(dst, in.Index)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(in.Operand))
+	}
+	return dst, nil
+}
+
+// DecodePacketInto parses a packet from the front of buf into p, reusing
+// p.Instrs capacity, and returns the unconsumed remainder of buf.
+func DecodePacketInto(p *Packet, buf []byte) (rest []byte, err error) {
+	if len(buf) < headerSize {
+		return buf, ErrShortPacket
+	}
+	flags := buf[0]
+	p.Header = Header{
+		IsMultipass: flags&flagMulti != 0,
+		LockLeft:    flags&flagLockL != 0,
+		LockRight:   flags&flagLockR != 0,
+		NbRecircs:   buf[1],
+		TxnID:       binary.BigEndian.Uint64(buf[2:]),
+	}
+	n := int(buf[10])
+	if len(buf) < headerSize+n*instrSize {
+		return buf, ErrShortPacket
+	}
+	p.Instrs = p.Instrs[:0]
+	off := headerSize
+	for i := 0; i < n; i++ {
+		op := Op(buf[off])
+		if !op.Valid() {
+			return buf, ErrBadOpcode
+		}
+		p.Instrs = append(p.Instrs, Instr{
+			Op:      op,
+			Stage:   buf[off+1],
+			Array:   buf[off+2],
+			Index:   binary.BigEndian.Uint32(buf[off+3:]),
+			Operand: int64(binary.BigEndian.Uint64(buf[off+7:])),
+		})
+		off += instrSize
+	}
+	return buf[off:], nil
+}
+
+// AppendResponse appends the encoded response to dst and returns the
+// extended slice. On error dst is returned unchanged.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	if len(r.Results) > maxInstrs {
+		return dst, ErrTooManyInstrs
+	}
+	dst = binary.BigEndian.AppendUint64(dst, r.TxnID)
+	dst = binary.BigEndian.AppendUint64(dst, r.GID)
+	dst = append(dst, r.Recircs, uint8(len(r.Results)))
+	for _, res := range r.Results {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(res.Value))
+		var ok byte
+		if res.OK {
+			ok = flagResultOK
+		}
+		dst = append(dst, ok)
+	}
+	return dst, nil
+}
+
+// DecodeResponseInto parses a response from the front of buf into r,
+// reusing r.Results capacity, and returns the unconsumed remainder.
+func DecodeResponseInto(r *Response, buf []byte) (rest []byte, err error) {
+	if len(buf) < respHdrSize {
+		return buf, ErrShortPacket
+	}
+	r.TxnID = binary.BigEndian.Uint64(buf[0:])
+	r.GID = binary.BigEndian.Uint64(buf[8:])
+	r.Recircs = buf[16]
+	n := int(buf[17])
+	if len(buf) < respHdrSize+n*resultSize {
+		return buf, ErrShortPacket
+	}
+	r.Results = r.Results[:0]
+	off := respHdrSize
+	for i := 0; i < n; i++ {
+		r.Results = append(r.Results, Result{
+			Value: int64(binary.BigEndian.Uint64(buf[off:])),
+			OK:    buf[off+8]&flagResultOK != 0,
+		})
+		off += resultSize
+	}
+	return buf[off:], nil
+}

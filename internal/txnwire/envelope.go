@@ -1,0 +1,152 @@
+package txnwire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Request/reply envelopes for serving whole workload transactions over the
+// wire. The paper's Packet addresses switch register slots (Stage, Array,
+// Index u32); a workload operation addresses (table, 52-bit global key,
+// field, home node). The envelope keeps the Packet codec as its core —
+// Stage carries the table id, Array the field, Index the key's low 32 bits
+// — and adds one fixed-width extension per operation for the bits the
+// switch format has no room for:
+//
+//	TxnRequest  = [u8 origin][u8 flags][Packet][len(Instrs) × OpExt]
+//	OpExt       = [u32 keyHi][u8 home][u8 dependsOn]   (0xFF = none)
+//	TxnReply    = [u8 status][u8 class][Response]
+//
+// Both decoders are strict about total length: a payload with missing or
+// trailing bytes is rejected, so a corrupted stream fails at the frame it
+// corrupts instead of desynchronizing silently.
+
+// Envelope sizes and sentinels.
+const (
+	reqHdrSize   = 2 // origin, flags
+	opExtSize    = 6 // keyHi u32, home u8, dependsOn u8
+	replyHdrSize = 2 // status, class
+
+	// DepNone marks an operation with no read dependency.
+	DepNone = 0xFF
+)
+
+// Reply status codes.
+const (
+	StatusCommitted = 0
+	StatusAborted   = 1
+	StatusRejected  = 2 // request failed validation; txn never executed
+)
+
+// Envelope errors.
+var (
+	ErrExtMismatch = errors.New("txnwire: op extension count does not match instruction count")
+	ErrTrailing    = errors.New("txnwire: trailing bytes after envelope")
+)
+
+// OpExt is the per-operation extension carrying what Instr cannot: the
+// key's high 32 bits, the home node, and the intra-transaction read
+// dependency index.
+type OpExt struct {
+	KeyHi uint32
+	Home  uint8
+	Dep   uint8
+}
+
+// TxnRequest asks a server to execute one workload transaction through
+// its engine. Ext must have exactly one entry per Pkt instruction.
+type TxnRequest struct {
+	Origin uint8 // node whose worker context executes the transaction
+	Flags  uint8 // reserved, encoded as-is
+	Pkt    Packet
+	Ext    []OpExt
+}
+
+// TxnReply reports the transaction outcome. Resp.TxnID echoes the request
+// id, Resp.GID is the server-assigned commit sequence number, and
+// Resp.Recircs carries the abort/retry count (saturating at 255).
+type TxnReply struct {
+	Status uint8
+	Class  uint8 // engine.Class the commit took (hot/cold/warm)
+	Resp   Response
+}
+
+// AppendTxnRequest appends the encoded request envelope to dst. On error
+// dst is returned unchanged.
+func AppendTxnRequest(dst []byte, q *TxnRequest) ([]byte, error) {
+	if len(q.Ext) != len(q.Pkt.Instrs) {
+		return dst, ErrExtMismatch
+	}
+	start := len(dst)
+	dst = append(dst, q.Origin, q.Flags)
+	out, err := AppendPacket(dst, &q.Pkt)
+	if err != nil {
+		return out[:start], err
+	}
+	for _, e := range q.Ext {
+		out = binary.BigEndian.AppendUint32(out, e.KeyHi)
+		out = append(out, e.Home, e.Dep)
+	}
+	return out, nil
+}
+
+// DecodeTxnRequestInto parses a request envelope into q, reusing the
+// instruction and extension slices. The whole payload must be consumed.
+func DecodeTxnRequestInto(q *TxnRequest, payload []byte) error {
+	if len(payload) < reqHdrSize {
+		return ErrShortPacket
+	}
+	q.Origin = payload[0]
+	q.Flags = payload[1]
+	rest, err := DecodePacketInto(&q.Pkt, payload[reqHdrSize:])
+	if err != nil {
+		return err
+	}
+	n := len(q.Pkt.Instrs)
+	if len(rest) < n*opExtSize {
+		return ErrShortPacket
+	}
+	if len(rest) > n*opExtSize {
+		return ErrTrailing
+	}
+	q.Ext = q.Ext[:0]
+	for i := 0; i < n; i++ {
+		off := i * opExtSize
+		q.Ext = append(q.Ext, OpExt{
+			KeyHi: binary.BigEndian.Uint32(rest[off:]),
+			Home:  rest[off+4],
+			Dep:   rest[off+5],
+		})
+	}
+	return nil
+}
+
+// AppendTxnReply appends the encoded reply envelope to dst. On error dst
+// is returned unchanged.
+func AppendTxnReply(dst []byte, r *TxnReply) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, r.Status, r.Class)
+	out, err := AppendResponse(dst, &r.Resp)
+	if err != nil {
+		return out[:start], err
+	}
+	return out, nil
+}
+
+// DecodeTxnReplyInto parses a reply envelope into r, reusing the result
+// slice. The whole payload must be consumed.
+func DecodeTxnReplyInto(r *TxnReply, payload []byte) error {
+	if len(payload) < replyHdrSize {
+		return ErrShortPacket
+	}
+	r.Status = payload[0]
+	r.Class = payload[1]
+	rest, err := DecodeResponseInto(&r.Resp, payload[replyHdrSize:])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}

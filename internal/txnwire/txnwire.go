@@ -11,7 +11,6 @@
 package txnwire
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -152,126 +151,41 @@ var (
 	ErrBadOpcode     = errors.New("txnwire: invalid opcode")
 )
 
-// Encode serializes the packet.
+// Encode serializes the packet into a fresh buffer. The serving path uses
+// AppendPacket (codec.go) to reuse buffers instead.
 func Encode(p *Packet) ([]byte, error) {
-	if len(p.Instrs) > maxInstrs {
-		return nil, ErrTooManyInstrs
-	}
-	buf := make([]byte, headerSize+instrSize*len(p.Instrs))
-	var flags byte
-	if p.Header.IsMultipass {
-		flags |= flagMulti
-	}
-	if p.Header.LockLeft {
-		flags |= flagLockL
-	}
-	if p.Header.LockRight {
-		flags |= flagLockR
-	}
-	buf[0] = flags
-	buf[1] = p.Header.NbRecircs
-	binary.BigEndian.PutUint64(buf[2:], p.Header.TxnID)
-	buf[10] = uint8(len(p.Instrs))
-	off := headerSize
-	for _, in := range p.Instrs {
-		if !in.Op.Valid() {
-			return nil, ErrBadOpcode
-		}
-		buf[off] = byte(in.Op)
-		buf[off+1] = in.Stage
-		buf[off+2] = in.Array
-		binary.BigEndian.PutUint32(buf[off+3:], in.Index)
-		binary.BigEndian.PutUint64(buf[off+7:], uint64(in.Operand))
-		off += instrSize
+	buf, err := AppendPacket(make([]byte, 0, headerSize+instrSize*len(p.Instrs)), p)
+	if err != nil {
+		return nil, err
 	}
 	return buf, nil
 }
 
-// Decode parses a packet previously produced by Encode.
+// Decode parses a packet previously produced by Encode. Trailing bytes
+// after the declared instruction count are ignored; the framed serving
+// path uses DecodePacketInto, which reports the remainder to its caller.
 func Decode(buf []byte) (*Packet, error) {
-	if len(buf) < headerSize {
-		return nil, ErrShortPacket
-	}
-	flags := buf[0]
-	p := &Packet{Header: Header{
-		IsMultipass: flags&flagMulti != 0,
-		LockLeft:    flags&flagLockL != 0,
-		LockRight:   flags&flagLockR != 0,
-		NbRecircs:   buf[1],
-		TxnID:       binary.BigEndian.Uint64(buf[2:]),
-	}}
-	n := int(buf[10])
-	if len(buf) < headerSize+n*instrSize {
-		return nil, ErrShortPacket
-	}
-	if n == 0 {
-		return p, nil
-	}
-	p.Instrs = make([]Instr, n)
-	off := headerSize
-	for i := 0; i < n; i++ {
-		op := Op(buf[off])
-		if !op.Valid() {
-			return nil, ErrBadOpcode
-		}
-		p.Instrs[i] = Instr{
-			Op:      op,
-			Stage:   buf[off+1],
-			Array:   buf[off+2],
-			Index:   binary.BigEndian.Uint32(buf[off+3:]),
-			Operand: int64(binary.BigEndian.Uint64(buf[off+7:])),
-		}
-		off += instrSize
+	p := new(Packet)
+	if _, err := DecodePacketInto(p, buf); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
 
-// EncodeResponse serializes a response packet.
+// EncodeResponse serializes a response packet into a fresh buffer.
 func EncodeResponse(r *Response) ([]byte, error) {
-	if len(r.Results) > maxInstrs {
-		return nil, ErrTooManyInstrs
-	}
-	buf := make([]byte, respHdrSize+resultSize*len(r.Results))
-	binary.BigEndian.PutUint64(buf[0:], r.TxnID)
-	binary.BigEndian.PutUint64(buf[8:], r.GID)
-	buf[16] = r.Recircs
-	buf[17] = uint8(len(r.Results))
-	off := respHdrSize
-	for _, res := range r.Results {
-		binary.BigEndian.PutUint64(buf[off:], uint64(res.Value))
-		if res.OK {
-			buf[off+8] = flagResultOK
-		}
-		off += resultSize
+	buf, err := AppendResponse(make([]byte, 0, respHdrSize+resultSize*len(r.Results)), r)
+	if err != nil {
+		return nil, err
 	}
 	return buf, nil
 }
 
-// DecodeResponse parses a response packet.
+// DecodeResponse parses a response packet. Trailing bytes are ignored.
 func DecodeResponse(buf []byte) (*Response, error) {
-	if len(buf) < respHdrSize {
-		return nil, ErrShortPacket
-	}
-	r := &Response{
-		TxnID:   binary.BigEndian.Uint64(buf[0:]),
-		GID:     binary.BigEndian.Uint64(buf[8:]),
-		Recircs: buf[16],
-	}
-	n := int(buf[17])
-	if len(buf) < respHdrSize+n*resultSize {
-		return nil, ErrShortPacket
-	}
-	if n == 0 {
-		return r, nil
-	}
-	r.Results = make([]Result, n)
-	off := respHdrSize
-	for i := 0; i < n; i++ {
-		r.Results[i] = Result{
-			Value: int64(binary.BigEndian.Uint64(buf[off:])),
-			OK:    buf[off+8]&flagResultOK != 0,
-		}
-		off += resultSize
+	r := new(Response)
+	if _, err := DecodeResponseInto(r, buf); err != nil {
+		return nil, err
 	}
 	return r, nil
 }

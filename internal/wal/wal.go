@@ -81,8 +81,13 @@ func (r *SwitchRecord) Complete(resp *txnwire.Response) {
 	r.Results = append([]txnwire.Result(nil), resp.Results...)
 }
 
-// AppendCold logs a cold commit record.
+// AppendCold logs a cold commit record. Read-only commits (no writes)
+// leave no record: there is nothing to redo, and skipping them keeps the
+// serving-mode read path allocation-free.
 func (l *Log) AppendCold(txnID uint64, writes []ColdWrite) {
+	if len(writes) == 0 {
+		return
+	}
 	l.coldRecs = append(l.coldRecs, &ColdRecord{TxnID: txnID, Writes: writes, Committed: true})
 }
 

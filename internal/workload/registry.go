@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Name-keyed generator construction for the serving stack: cmd/p4db-serve
+// and cmd/p4db-load must build byte-identical generators from a flag
+// string so the server populates the exact store the client generates
+// keys for. The parameters mirror the bench matrix's standard axis
+// (internal/bench/matrix.go): YCSB at 20% distributed / 75% hot-txn,
+// SmallBank with 5 hot accounts per node, TPC-C with one warehouse per
+// node at 20% distributed.
+var generatorsByName = map[string]func(nodes int) Generator{
+	"ycsb-a": func(nodes int) Generator { return NewYCSB(ycsbStd(YCSBWorkloadA(nodes))) },
+	"ycsb-b": func(nodes int) Generator { return NewYCSB(ycsbStd(YCSBWorkloadB(nodes))) },
+	"ycsb-c": func(nodes int) Generator { return NewYCSB(ycsbStd(YCSBWorkloadC(nodes))) },
+	"smallbank": func(nodes int) Generator {
+		cfg := DefaultSmallBank(nodes, 5)
+		cfg.DistPct = 20
+		return NewSmallBank(cfg)
+	},
+	"tpcc": func(nodes int) Generator {
+		cfg := DefaultTPCC(nodes, nodes)
+		cfg.DistPct = 20
+		return NewTPCC(cfg)
+	},
+}
+
+// ycsbStd applies the matrix-standard skew knobs to a YCSB base config.
+func ycsbStd(cfg YCSBConfig) YCSBConfig {
+	cfg.DistPct = 20
+	cfg.HotTxnPct = 75
+	return cfg
+}
+
+// ByName constructs the named workload generator for a cluster of the
+// given node count. Unknown names error with the registered list.
+func ByName(name string, nodes int) (Generator, error) {
+	mk, ok := generatorsByName[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (registered: %v)", name, Names())
+	}
+	return mk(nodes), nil
+}
+
+// Names lists the registered workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(generatorsByName))
+	for n := range generatorsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

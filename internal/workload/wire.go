@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/store"
+	"repro/internal/txnwire"
+)
+
+// Wire conversion between workload transactions and txnwire envelopes.
+// The switch Packet carries (Stage, Array, Index u32); a workload Op
+// addresses (table, 52-bit key, field, home). The mapping:
+//
+//	Instr.Op      = Kind.WireOp()        (1:1, KindOf reverses it)
+//	Instr.Stage   = Table
+//	Instr.Array   = Field
+//	Instr.Index   = low 32 bits of Key
+//	Instr.Operand = Value
+//	OpExt.KeyHi   = high bits of Key     (keys are <= 52 bits)
+//	OpExt.Home    = partition owner
+//	OpExt.Dep     = DependsOn            (txnwire.DepNone for -1)
+//
+// Txn.Label is deliberately not carried: it is cosmetic (no engine reads
+// it) and a variable-length string has no place in a fixed-width format.
+// Both directions reuse the destination's slice capacity, so a pooled
+// request/transaction pair converts with zero steady-state allocations.
+
+// maxWireKey is the largest encodable key: GlobalField keeps keys to 52
+// bits, and the wire's 32+20 split covers exactly that.
+const maxWireKey = store.Key(1)<<52 - 1
+
+// Wire conversion errors.
+var (
+	ErrWireTooManyOps = errors.New("workload: transaction exceeds 255 operations")
+	ErrWireBadOrigin  = errors.New("workload: origin node not encodable in one byte")
+	ErrWireBadHome    = errors.New("workload: home node not encodable in one byte")
+	ErrWireBadKey     = errors.New("workload: key exceeds 52 bits")
+	ErrWireBadField   = errors.New("workload: field not in 0..15")
+	ErrWireBadDep     = errors.New("workload: dependency must name an earlier op")
+	ErrWireBadKind    = errors.New("workload: opcode has no operation kind")
+)
+
+// KindOf maps a switch opcode back to the operation kind; it is the
+// inverse of OpKind.WireOp. OpMax has no workload counterpart.
+func KindOf(op txnwire.Op) (OpKind, bool) {
+	switch op {
+	case txnwire.OpRead:
+		return Read, true
+	case txnwire.OpWrite:
+		return Write, true
+	case txnwire.OpAdd:
+		return Add, true
+	case txnwire.OpCondAddGE0:
+		return CondAddGE0, true
+	case txnwire.OpReadClear:
+		return ReadClear, true
+	case txnwire.OpAddAcc:
+		return AddAcc, true
+	case txnwire.OpAddIfOK:
+		return AddIfOK, true
+	default:
+		return 0, false
+	}
+}
+
+// TxnToRequest encodes txn as a wire request with the given id, reusing
+// req's instruction and extension capacity.
+func TxnToRequest(txn *Txn, txnID uint64, origin netsim.NodeID, req *txnwire.TxnRequest) error {
+	if len(txn.Ops) > 255 {
+		return ErrWireTooManyOps
+	}
+	if origin < 0 || origin > 255 {
+		return ErrWireBadOrigin
+	}
+	*req = txnwire.TxnRequest{
+		Origin: uint8(origin),
+		Pkt:    txnwire.Packet{Header: txnwire.Header{TxnID: txnID}, Instrs: req.Pkt.Instrs[:0]},
+		Ext:    req.Ext[:0],
+	}
+	for i, op := range txn.Ops {
+		if op.Key > maxWireKey {
+			return fmt.Errorf("%w: op %d key %d", ErrWireBadKey, i, op.Key)
+		}
+		if op.Field < 0 || op.Field > 15 {
+			return fmt.Errorf("%w: op %d field %d", ErrWireBadField, i, op.Field)
+		}
+		if op.Home < 0 || op.Home > 255 {
+			return fmt.Errorf("%w: op %d home %d", ErrWireBadHome, i, op.Home)
+		}
+		dep := uint8(txnwire.DepNone)
+		if op.DependsOn >= 0 {
+			if op.DependsOn >= i {
+				return fmt.Errorf("%w: op %d depends on %d", ErrWireBadDep, i, op.DependsOn)
+			}
+			dep = uint8(op.DependsOn)
+		}
+		req.Pkt.Instrs = append(req.Pkt.Instrs, txnwire.Instr{
+			Op:      op.Kind.WireOp(),
+			Stage:   uint8(op.Table),
+			Array:   uint8(op.Field),
+			Index:   uint32(op.Key),
+			Operand: op.Value,
+		})
+		req.Ext = append(req.Ext, txnwire.OpExt{
+			KeyHi: uint32(op.Key >> 32),
+			Home:  uint8(op.Home),
+			Dep:   dep,
+		})
+	}
+	return nil
+}
+
+// TxnFromRequest decodes a wire request into txn, reusing txn's operation
+// capacity, and validates every field the wire cannot make unrepresentable:
+// opcode kind, key width, field nibble, dependency ordering. Node-count
+// and schema validation (home/origin in range, table exists, home matches
+// the partitioning) stays with the server, which knows the cluster.
+func TxnFromRequest(req *txnwire.TxnRequest, txn *Txn) error {
+	if len(req.Ext) != len(req.Pkt.Instrs) {
+		return txnwire.ErrExtMismatch
+	}
+	txn.Label = "wire"
+	txn.Ops = txn.Ops[:0]
+	for i, in := range req.Pkt.Instrs {
+		kind, ok := KindOf(in.Op)
+		if !ok {
+			return fmt.Errorf("%w: op %d opcode %v", ErrWireBadKind, i, in.Op)
+		}
+		ext := req.Ext[i]
+		key := store.Key(ext.KeyHi)<<32 | store.Key(in.Index)
+		if key > maxWireKey {
+			return fmt.Errorf("%w: op %d key %d", ErrWireBadKey, i, key)
+		}
+		if in.Array > 15 {
+			return fmt.Errorf("%w: op %d field %d", ErrWireBadField, i, in.Array)
+		}
+		dep := -1
+		if ext.Dep != txnwire.DepNone {
+			if int(ext.Dep) >= i {
+				return fmt.Errorf("%w: op %d depends on %d", ErrWireBadDep, i, ext.Dep)
+			}
+			dep = int(ext.Dep)
+		}
+		txn.Ops = append(txn.Ops, Op{
+			Table:     store.TableID(in.Stage),
+			Key:       key,
+			Field:     int(in.Array),
+			Home:      netsim.NodeID(ext.Home),
+			Kind:      kind,
+			Value:     in.Operand,
+			DependsOn: dep,
+		})
+	}
+	return nil
+}

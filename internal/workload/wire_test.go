@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/txnwire"
+)
+
+// TestTxnWireRoundTrip: every registered workload's generated transactions
+// survive the wire conversion with every execution-relevant field intact
+// (Label is deliberately dropped).
+func TestTxnWireRoundTrip(t *testing.T) {
+	const nodes = 4
+	for _, name := range Names() {
+		gen, err := ByName(name, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(99)
+		var req txnwire.TxnRequest
+		var back Txn
+		for i := 0; i < 200; i++ {
+			origin := i % nodes
+			txn := gen.Next(rng, netsim.NodeID(origin))
+			if err := TxnToRequest(txn, uint64(i), netsim.NodeID(origin), &req); err != nil {
+				t.Fatalf("%s txn %d: %v", name, i, err)
+			}
+			if req.Origin != uint8(origin) || req.Pkt.Header.TxnID != uint64(i) {
+				t.Fatalf("%s txn %d: envelope header mismatch", name, i)
+			}
+			if err := TxnFromRequest(&req, &back); err != nil {
+				t.Fatalf("%s txn %d decode: %v", name, i, err)
+			}
+			want := *txn
+			want.Label = "wire"
+			if !reflect.DeepEqual(&want, &back) {
+				t.Fatalf("%s txn %d round trip mismatch:\n in: %+v\nout: %+v", name, i, txn, &back)
+			}
+		}
+	}
+}
+
+// TestTxnWireRoundTripZeroAlloc: converting through pooled structs must
+// not allocate at steady state.
+func TestTxnWireRoundTripZeroAlloc(t *testing.T) {
+	gen, err := ByName("smallbank", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(5)
+	txn := gen.Next(rng, 0)
+	var req txnwire.TxnRequest
+	var back Txn
+	for i := 0; i < 4; i++ { // prime slice growth
+		if err := TxnToRequest(txn, 1, 0, &req); err != nil {
+			t.Fatal(err)
+		}
+		if err := TxnFromRequest(&req, &back); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := TxnToRequest(txn, 1, 0, &req); err != nil {
+			t.Fatal(err)
+		}
+		if err := TxnFromRequest(&req, &back); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("wire conversion allocates %v times per round trip, want 0", n)
+	}
+}
+
+// TestTxnWireValidation: out-of-range fields are rejected in both
+// directions instead of corrupting addresses.
+func TestTxnWireValidation(t *testing.T) {
+	var req txnwire.TxnRequest
+	base := &Txn{Ops: []Op{{Kind: Read, Key: 1, DependsOn: -1}}}
+	if err := TxnToRequest(base, 1, 300, &req); !errors.Is(err, ErrWireBadOrigin) {
+		t.Fatalf("origin 300: %v", err)
+	}
+	big := &Txn{Ops: []Op{{Kind: Read, Key: maxWireKey + 1, DependsOn: -1}}}
+	if err := TxnToRequest(big, 1, 0, &req); !errors.Is(err, ErrWireBadKey) {
+		t.Fatalf("53-bit key: %v", err)
+	}
+	field := &Txn{Ops: []Op{{Kind: Read, Field: 16, DependsOn: -1}}}
+	if err := TxnToRequest(field, 1, 0, &req); !errors.Is(err, ErrWireBadField) {
+		t.Fatalf("field 16: %v", err)
+	}
+	fwd := &Txn{Ops: []Op{{Kind: Read, DependsOn: 0}}}
+	if err := TxnToRequest(fwd, 1, 0, &req); !errors.Is(err, ErrWireBadDep) {
+		t.Fatalf("self-dependency: %v", err)
+	}
+
+	// Decode side: a forward dependency crafted on the wire is rejected.
+	ok := &Txn{Ops: []Op{{Kind: Read, Key: 1, DependsOn: -1}, {Kind: Add, Key: 2, DependsOn: 0}}}
+	if err := TxnToRequest(ok, 1, 0, &req); err != nil {
+		t.Fatal(err)
+	}
+	var back Txn
+	req.Ext[0].Dep = 5
+	if err := TxnFromRequest(&req, &back); !errors.Is(err, ErrWireBadDep) {
+		t.Fatalf("forward dep: %v", err)
+	}
+	req.Ext[0].Dep = txnwire.DepNone
+	req.Pkt.Instrs[0].Op = txnwire.OpMax
+	if err := TxnFromRequest(&req, &back); !errors.Is(err, ErrWireBadKind) {
+		t.Fatalf("OpMax: %v", err)
+	}
+}
+
+// TestWorkloadRegistry: names resolve, configs match the matrix axis, and
+// unknown names fail with the registered list.
+func TestWorkloadRegistry(t *testing.T) {
+	want := []string{"smallbank", "tpcc", "ycsb-a", "ycsb-b", "ycsb-c"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		gen, err := ByName(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen.Nodes() != 4 {
+			t.Fatalf("%s: nodes = %d", name, gen.Nodes())
+		}
+	}
+	if _, err := ByName("nope", 4); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
