@@ -158,6 +158,31 @@ func BenchmarkFig18b_ExistingOptimizations(b *testing.B) { benchFigure(b, bench.
 // benchmark step runs every benchmark once).
 func BenchmarkFigCalvin_Deterministic(b *testing.B) { benchFigure(b, bench.FigCalvin) }
 
+// BenchmarkScaleN128 is one large-cluster cell of the "scale" figure run
+// standalone: 128 nodes under Zipf(0.9) YCSB-A on the P4DB engine. Its
+// Mev/s metric is the large-N regression guard's measurement (see
+// events_per_sec_floor_n128 in BENCH_sim.json): a reintroduced
+// O(N)-per-event loop — say, a switch commit delivering at every idle
+// node again — tanks this number long before it shows in the N=4 figures.
+func BenchmarkScaleN128(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 128
+	cfg.WorkersPerNode = 4
+	cfg.SampleTxns = 4000
+	w := workload.YCSBWorkloadA(cfg.Nodes)
+	w.DistPct = 20
+	w.Zipfian = true
+	w.Theta = 0.9
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		c := core.NewCluster(cfg, workload.NewYCSB(w))
+		res = c.Run(100*sim.Microsecond, 400*sim.Microsecond)
+	}
+	b.ReportMetric(res.Throughput(), "txn/s")
+	b.ReportMetric(res.EventsPerSec()/1e6, "Mev/s")
+	b.ReportMetric(100*res.Counters.AbortRate(), "abort-%")
+}
+
 // BenchmarkAblation_WarmCommit quantifies the combined Decision&Switch
 // phase (Figure 10) against running classic 2PC and a separate switch
 // round trip, an ablation DESIGN.md calls out: it compares TPC-C under

@@ -56,6 +56,10 @@
 // registry name (2pl, occ, mvcc) for every run of the sweep; engines that
 // hardwire their scheme (lmswitch, chiller, occ, calvin) are unaffected, and the
 // per-row cc column reports what actually ran.
+//
+// -theta switches every YCSB generator to Zipfian key selection at that
+// skew exponent instead of the paper's two-level hot/cold split. The
+// "scale" figure sweeps its own θ axis and ignores the flag.
 package main
 
 import (
@@ -86,6 +90,7 @@ func main() {
 	measureMs := flag.Float64("measure", 0, "override measurement window in virtual ms")
 	samples := flag.Int("samples", 0, "override detection sample size")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 8,14,20")
+	theta := flag.Float64("theta", 0, "Zipf skew exponent for the YCSB figures (0 = paper's hot/cold split)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
@@ -135,6 +140,11 @@ func main() {
 		}
 		opts.Scheme = *scheme
 	}
+	if *theta < 0 {
+		fmt.Fprintf(os.Stderr, "bad -theta value %g (must be >= 0)\n", *theta)
+		os.Exit(2)
+	}
+	opts.Theta = *theta
 	opts.Seed = *seed
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "bad -parallel value %d\n", *parallel)
@@ -153,12 +163,12 @@ func main() {
 		conflict := *fig != "all" || *matrix
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "system", "scheme", "seed":
+			case "system", "scheme", "seed", "theta":
 				conflict = true
 			}
 		})
 		if conflict {
-			fmt.Fprintln(os.Stderr, "-golden runs the pinned sweep; it is mutually exclusive with -fig, -matrix, -system, -scheme and -seed")
+			fmt.Fprintln(os.Stderr, "-golden runs the pinned sweep; it is mutually exclusive with -fig, -matrix, -system, -scheme, -seed and -theta")
 			os.Exit(2)
 		}
 		runGoldenGate()

@@ -32,6 +32,7 @@ func main() {
 	addrs := flag.String("addr", "127.0.0.1:7400", "comma-separated server addresses")
 	workloadName := flag.String("workload", "smallbank", fmt.Sprintf("workload %v", workload.Names()))
 	nodes := flag.Int("nodes", 4, "node count of each target server")
+	theta := flag.Float64("theta", 0, "Zipf skew exponent for YCSB workloads (0 = hot/cold split; must match the servers)")
 	conns := flag.Int("conns", 4, "total client connections")
 	rate := flag.Float64("rate", 0, "total target rate in txn/s (0 = closed loop)")
 	window := flag.Int("window", 256, "max outstanding transactions per connection")
@@ -45,7 +46,7 @@ func main() {
 	flag.Parse()
 
 	if *scale != "" {
-		runScale(*scale, *serveBin, *serveArgs, *basePort, *workloadName, *nodes, *conns, *rate, *window, *duration, *seed, *asJSON)
+		runScale(*scale, *serveBin, *serveArgs, *basePort, *workloadName, *nodes, *theta, *conns, *rate, *window, *duration, *seed, *asJSON)
 		return
 	}
 
@@ -53,6 +54,7 @@ func main() {
 		Addrs:    strings.Split(*addrs, ","),
 		Workload: *workloadName,
 		Nodes:    *nodes,
+		Theta:    *theta,
 		Conns:    *conns,
 		Rate:     *rate,
 		Window:   *window,
@@ -68,7 +70,7 @@ func main() {
 // runScale sweeps server counts: per point it spawns that many
 // p4db-serve processes, waits for their listeners, drives them together,
 // and tears them down.
-func runScale(scale, serveBin, serveArgs string, basePort int, workloadName string, nodes, conns int, rate float64, window int, duration time.Duration, seed uint64, asJSON bool) {
+func runScale(scale, serveBin, serveArgs string, basePort int, workloadName string, nodes int, theta float64, conns int, rate float64, window int, duration time.Duration, seed uint64, asJSON bool) {
 	if serveBin == "" {
 		fatal(fmt.Errorf("scaling mode needs -serve-bin"))
 	}
@@ -97,6 +99,7 @@ func runScale(scale, serveBin, serveArgs string, basePort int, workloadName stri
 				"-addr", addrs[i],
 				"-workload", workloadName,
 				"-nodes", strconv.Itoa(nodes),
+				"-theta", strconv.FormatFloat(theta, 'g', -1, 64),
 				"-seed", strconv.FormatUint(seed+uint64(i), 10),
 			}, extra...)
 			cmd := exec.Command(serveBin, args...)
@@ -122,6 +125,7 @@ func runScale(scale, serveBin, serveArgs string, basePort int, workloadName stri
 			Addrs:    addrs,
 			Workload: workloadName,
 			Nodes:    nodes,
+			Theta:    theta,
 			Conns:    c,
 			Rate:     rate,
 			Window:   window,

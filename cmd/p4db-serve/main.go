@@ -30,6 +30,7 @@ func main() {
 	scheme := flag.String("scheme", "", fmt.Sprintf("host CC scheme %v (empty = 2pl)", engine.SchemeNames()))
 	workloadName := flag.String("workload", "smallbank", fmt.Sprintf("workload schema/partitioning %v", workload.Names()))
 	nodes := flag.Int("nodes", 4, "database nodes in the cluster")
+	theta := flag.Float64("theta", 0, "Zipf skew exponent for YCSB workloads (0 = hot/cold split; clients must match)")
 	policy := flag.String("policy", "NO_WAIT", "2PL deadlock policy: NO_WAIT or WAIT_DIE")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	samples := flag.Int("samples", 12000, "workload samples for hot-set detection")
@@ -50,7 +51,7 @@ func main() {
 	cfg.SampleTxns = *samples
 	cfg.Switch.SlotsPerArray = *slots
 
-	s, err := server.New(server.Config{Core: cfg, Workload: *workloadName})
+	s, err := server.New(server.Config{Core: cfg, Workload: *workloadName, Theta: *theta})
 	if err != nil {
 		fatal(err)
 	}

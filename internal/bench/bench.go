@@ -43,7 +43,11 @@ type Options struct {
 	// their scheme (lmswitch, chiller, occ, calvin) are unaffected — the per-row
 	// scheme column reports what actually ran.
 	Scheme string
-	Seed   uint64
+	// Theta, when non-zero, switches every YCSB generator the figures
+	// build to Zipfian key selection at that exponent (-theta). The
+	// scale figure ignores it — its plan sweeps its own θ axis.
+	Theta float64
+	Seed  uint64
 	// Parallel bounds the worker pool the point runner executes sweep
 	// points on: 0 means GOMAXPROCS, 1 is the serial path. Rows (and the
 	// digest) are bit-identical at any setting — every point is an
@@ -121,6 +125,10 @@ func (o Options) ycsb(writePct, distPct, hotTxnPct int) *workload.YCSB {
 	cfg.WritePct = writePct
 	cfg.DistPct = distPct
 	cfg.HotTxnPct = hotTxnPct
+	if o.Theta > 0 {
+		cfg.Zipfian = true
+		cfg.Theta = o.Theta
+	}
 	return workload.NewYCSB(cfg)
 }
 

@@ -93,6 +93,30 @@ func TestCalvinSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestScaleSweepDeterministic asserts the contention-scaling figure's
+// contract: the reduced scale sweep — both Zipf exponents, small and large
+// N, all three engines, through the targeted multicast and the pinned
+// per-point windows — produces bit-identical digests serially and on a
+// parallel pool, and both equal the committed testdata/scale.digest pin.
+func TestScaleSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N sweeps; skipped with -short")
+	}
+	pinned := ScaleDigest()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(pinned) {
+		t.Fatalf("testdata/scale.digest does not hold a SHA-256 hex digest: %q", pinned)
+	}
+	a := Digest(ScaleSweep(1))
+	b := Digest(ScaleSweep(4))
+	if a != b {
+		t.Fatalf("scale sweep digest depends on parallelism:\n  serial:   %s\n  parallel: %s", a, b)
+	}
+	if a != pinned {
+		t.Fatalf("scale sweep digest moved off the pin:\n  got:    %s\n  pinned: %s\n(deliberate change? update internal/bench/testdata/scale.digest and record why in BENCH_sim.json)", a, pinned)
+	}
+	t.Logf("scale digest: %s (serial == parallel)", a)
+}
+
 // TestBatchedDeliveryDigestInvariant proves delivery batching is a pure
 // event-count optimization: the golden sweep with per-destination
 // coalescing disabled (every one-way message its own scheduled event)

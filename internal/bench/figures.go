@@ -559,6 +559,7 @@ var figurePlans = map[string]func(Options) plan{
 	"18a":    fig18aPlan,
 	"18b":    fig18bPlan,
 	"calvin": figCalvinPlan,
+	"scale":  figScalePlan,
 }
 
 // Figures maps figure ids (as used by cmd/p4db-bench -fig) to runners.

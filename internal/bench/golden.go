@@ -91,3 +91,26 @@ func GoldenSweepUnbatched(parallel int) []Row {
 func goldenPlansRun(o Options) []Row {
 	return o.executeAll([]plan{fig01Plan(o), fig11tPlan(o), fig18bPlan(o), goldenPointsPlan(o)})
 }
+
+// scaleDigestFile pins the scale sweep's digest the same way
+// golden.digest pins the paper figures (see goldenDigestFile). The full
+// `-fig scale` grid is too slow to run twice in a unit test, so the pin
+// covers a corner sub-grid — smallest and largest skew at small and large
+// N — which still crosses every engine, the Zipf sampler at both
+// exponents, and the targeted-multicast path at N=64.
+//
+//go:embed testdata/scale.digest
+var scaleDigestFile string
+
+// ScaleDigest returns the pinned digest of the reduced scale sweep.
+func ScaleDigest() string { return strings.TrimSpace(scaleDigestFile) }
+
+// ScaleSweep runs the reduced scale sweep (nodes {8, 64} × θ {0.0, 1.1} ×
+// three engines) on a pool of the given size and returns its rows. Every
+// per-cell knob is pinned inside scalePlan; only the seed comes from the
+// golden options.
+func ScaleSweep(parallel int) []Row {
+	o := GoldenOptions()
+	o.Parallel = parallel
+	return o.execute(scalePlan(o, []int{8, 64}, []float64{0.0, 1.1}))
+}

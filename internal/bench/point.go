@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,12 @@ type Point struct {
 	// result to any number of rows (the Figure 18a breakdown emits one row
 	// per component).
 	Expand func(res *core.Result) []Row
+	// Warmup/Measure, when non-zero, override the Options-level simulation
+	// windows for this point. The scale figure pins small windows so its
+	// N=256 cells stay tractable — and its digest stable — regardless of
+	// how the CLI sizes the other figures.
+	Warmup  sim.Time
+	Measure sim.Time
 }
 
 // plan is one figure's declared work: its points plus an optional
@@ -95,7 +102,7 @@ func (o Options) runPoints(points []Point) []*core.Result {
 	if workers <= 1 {
 		for i, pt := range points {
 			o.progressf("%s\n", pt.Label)
-			results[i] = o.run(pt.Cfg, pt.Gen())
+			results[i] = o.runPoint(pt)
 		}
 		return results
 	}
@@ -135,13 +142,26 @@ func (o Options) runPoints(points []Point) []*core.Result {
 				if i < 0 {
 					return
 				}
-				results[i] = o.run(points[i].Cfg, points[i].Gen())
+				results[i] = o.runPoint(points[i])
 				finish(i)
 			}
 		}()
 	}
 	wg.Wait()
 	return results
+}
+
+// runPoint runs one point under its effective simulation windows.
+func (o Options) runPoint(pt Point) *core.Result {
+	w, m := o.Warmup, o.Measure
+	if pt.Warmup > 0 {
+		w = pt.Warmup
+	}
+	if pt.Measure > 0 {
+		m = pt.Measure
+	}
+	c := core.NewCluster(pt.Cfg, pt.Gen())
+	return c.Run(w, m)
 }
 
 // assemble turns a plan's results into its rows, in declared order:

@@ -33,6 +33,11 @@ type attempt struct {
 	writes []wal.ColdWrite
 	exec   workload.Executor
 
+	// remotes is the reusable buffer behind remoteNodes; it lives on the
+	// attempt so commit-path participant discovery allocates nothing at
+	// steady state.
+	remotes []netsim.NodeID
+
 	// freeLT recycles lock contexts across incarnations of this attempt.
 	freeLT []*lock.Txn
 }
@@ -104,14 +109,17 @@ func (at *attempt) innerTxn(id netsim.NodeID) *lock.Txn {
 }
 
 // remoteNodes lists the nodes other than self where the attempt holds
-// (outer) locks — the 2PC participants.
+// (outer) locks — the 2PC participants. The returned slice aliases the
+// attempt's reusable buffer: it is valid until the next remoteNodes call
+// on this attempt, which every caller consumes it before.
 func (at *attempt) remoteNodes(self netsim.NodeID) []netsim.NodeID {
-	var out []netsim.NodeID
+	out := at.remotes[:0]
 	for id := range at.locks {
 		if id != self {
 			out = append(out, id)
 		}
 	}
+	at.remotes = out
 	return out
 }
 
@@ -306,29 +314,31 @@ func (f *opsFrame) fail(err error) {
 // otherwise the in-flight messages keep it alive and it is leaked to the
 // garbage collector.
 func (c *Context) abort(n *Node, at *attempt) {
-	byNode := make(map[netsim.NodeID][]undoRec)
-	for _, u := range at.undo {
-		byNode[u.node] = append(byNode[u.node], u)
+	// Per-node rollback walks the undo log in reverse, filtered by node —
+	// the same per-node application order the old node-keyed grouping gave,
+	// without building a map per abort. Undo logs are short (one entry per
+	// write), so the nodes × undo scan is cheaper than grouping.
+	rollback := func(id netsim.NodeID) {
+		for i := len(at.undo) - 1; i >= 0; i-- {
+			if u := at.undo[i]; u.node == id {
+				c.Nodes[id].store.Table(u.table).Set(u.key, u.field, u.old)
+			}
+		}
 	}
 	remoteRefs := false
 	for id, lt := range at.locks {
 		if id == n.id {
-			undos := byNode[id]
-			for i := len(undos) - 1; i >= 0; i-- {
-				u := undos[i]
-				c.Nodes[id].store.Table(u.table).Set(u.key, u.field, u.old)
-			}
+			rollback(id)
 			n.locks.ReleaseAll(lt)
 			continue
 		}
 		remoteRefs = true
 		id, lt := id, lt
+		// The attempt is leaked (never recycled) whenever remote messages
+		// are in flight, so the closure's view of at.undo stays intact
+		// until delivery.
 		c.Net.Send(n.id, id, func() {
-			undos := byNode[id]
-			for i := len(undos) - 1; i >= 0; i-- {
-				u := undos[i]
-				c.Nodes[id].store.Table(u.table).Set(u.key, u.field, u.old)
-			}
+			rollback(id)
 			c.Nodes[id].locks.ReleaseAll(lt)
 		})
 	}

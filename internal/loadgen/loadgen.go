@@ -24,6 +24,9 @@ type Config struct {
 	Addrs []string
 	// Workload names a registered workload (workload.ByName).
 	Workload string
+	// Theta switches a YCSB workload to Zipfian key selection at that
+	// skew exponent (workload.ByNameTheta); must match the server's.
+	Theta float64
 	// Nodes is the node count of each target server; generated
 	// transactions partition across it and pick a random origin in it.
 	Nodes int
@@ -97,7 +100,7 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 2 * time.Second
 	}
-	if _, err := workload.ByName(cfg.Workload, cfg.Nodes); err != nil {
+	if _, err := workload.ByNameTheta(cfg.Workload, cfg.Nodes, cfg.Theta); err != nil {
 		return nil, err
 	}
 
@@ -148,7 +151,7 @@ func Run(cfg Config) (*Report, error) {
 
 // runConn drives one connection for the configured duration.
 func runConn(cfg Config, addr string, connIdx uint64, deadline time.Time, rate float64, st *connStats) error {
-	gen, err := workload.ByName(cfg.Workload, cfg.Nodes)
+	gen, err := workload.ByNameTheta(cfg.Workload, cfg.Nodes, cfg.Theta)
 	if err != nil {
 		return err
 	}

@@ -268,6 +268,30 @@ func (n *Network) SwitchMulticast(fn func(NodeID)) {
 	}
 }
 
+// SwitchMulticastTo is the targeted form of SwitchMulticast: fn(node) is
+// delivered only at the listed nodes — the multicast group programmed for
+// this transaction — after the switch-to-node latency. Replicas still share
+// one virtual arrival instant; nodes outside the group receive nothing, so
+// the cost of a switch commit scales with the transaction's participant
+// count, not the cluster size. The callback takes the node id as a plain
+// int so a caller's pooled method value can travel through the per-node
+// batchers without a per-destination closure allocation. nodes must be
+// valid ids; duplicates would deliver twice.
+func (n *Network) SwitchMulticastTo(nodes []NodeID, fn func(id int)) {
+	for _, id := range nodes {
+		n.check(id)
+		n.MsgsSent++
+		if n.coalesce {
+			if n.nodeB[id].DoIndexed(n.lat.NodeToSwitch, fn, int(id)) {
+				n.Coalesced++
+			}
+			continue
+		}
+		id := id
+		n.env.After(n.lat.NodeToSwitch, func() { fn(int(id)) })
+	}
+}
+
 // Fanout runs handler(i) concurrently "at" each target node and blocks the
 // caller until all have completed, modelling a parallel RPC fan-out such as
 // the 2PC prepare round. Handlers may block (e.g. waiting on locks); the

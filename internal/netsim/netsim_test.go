@@ -193,6 +193,47 @@ func TestBatchedDeliverySteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestTargetedMulticastSteadyStateZeroAlloc pins the targeted multicast
+// — the switch-commit fan-out path — at zero heap allocations on a
+// 256-node network. The target list and the indexed callback are
+// pre-built, mirroring the coordinator's pooled multicast frame: each
+// SwitchMulticastTo must travel through the per-node batchers without
+// per-target closures or event-heap churn.
+//
+// A multi-target group arms one fresh batch per target (arming draws a
+// sequence number, so coalescing a later group into an earlier target's
+// batch would reorder deliveries — see Batcher's order-isomorphism
+// contract); coalescing engages on repeated same-instant multicasts to
+// the same target, the shape many single-participant hot-node commits
+// produce. The test pins both shapes at zero allocations and asserts
+// the second actually coalesces.
+func TestTargetedMulticastSteadyStateZeroAlloc(t *testing.T) {
+	e := sim.NewEnv(1)
+	n := New(e, 256, lat())
+	group := []NodeID{3, 17, 64, 200, 255}
+	hot := []NodeID{128}
+	noop := func(int) {}
+	// Warm the batchers and the event heap past any growth.
+	for i := 0; i < 4096; i++ {
+		n.SwitchMulticastTo(group, noop)
+		n.SwitchMulticastTo(hot, noop)
+	}
+	e.Run()
+	before := n.Coalesced
+	if avg := testing.AllocsPerRun(1000, func() {
+		n.SwitchMulticastTo(group, noop) // arms one batch per target
+		n.SwitchMulticastTo(hot, noop)   // arms node 128's batch
+		n.SwitchMulticastTo(hot, noop)   // coalesced append
+		n.SwitchMulticastTo(hot, noop)
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("targeted multicast allocates %.2f objects/op, want 0", avg)
+	}
+	if n.Coalesced <= before {
+		t.Fatal("no deliveries were coalesced; batching is not engaged")
+	}
+}
+
 // TestBatchingPreservesDeliveryOrder drives a seeded random mix of sends
 // (varying source, destination and same-instant bursts) through the
 // network twice — coalescing on and off — and asserts the messages are

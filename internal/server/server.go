@@ -42,6 +42,10 @@ type Config struct {
 	// the schema and partitioning requests are validated against. Ignored
 	// when Gen is set.
 	Workload string
+	// Theta switches a YCSB Workload to Zipfian key selection at that
+	// skew exponent (workload.ByNameTheta). Server and clients must agree
+	// on it, exactly like Workload and Nodes. Ignored when Gen is set.
+	Theta float64
 	// Gen overrides the registry lookup with a caller-built generator.
 	Gen workload.Generator
 	// MaxFrame bounds accepted request frames; 0 means
@@ -103,7 +107,7 @@ func New(cfg Config) (*Server, error) {
 	gen := cfg.Gen
 	if gen == nil {
 		var err error
-		gen, err = workload.ByName(cfg.Workload, cfg.Core.Nodes)
+		gen, err = workload.ByNameTheta(cfg.Workload, cfg.Core.Nodes, cfg.Theta)
 		if err != nil {
 			return nil, err
 		}

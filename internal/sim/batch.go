@@ -29,13 +29,24 @@ type Batcher struct {
 	free []*batchq
 }
 
+// batchEntry is one queued delivery: either a plain callback or an indexed
+// callback plus its argument. The indexed form exists for multicast-style
+// senders that deliver one shared (pooled) function to many destinations —
+// carrying the argument in the entry instead of a capturing closure keeps
+// the whole fan-out allocation-free.
+type batchEntry struct {
+	fn   func()
+	idFn func(int)
+	id   int
+}
+
 // batchq is one in-flight batch: the callbacks to drain at instant at. The
 // drain closure is cached so re-arming a recycled batch costs zero
 // allocations.
 type batchq struct {
 	at      Time
 	seq     uint64
-	fns     []func()
+	fns     []batchEntry
 	drained bool
 	drainFn func()
 }
@@ -47,17 +58,29 @@ func NewBatcher(e *Env) *Batcher { return &Batcher{env: e} }
 // open batch when that is provably order-preserving (see type comment). It
 // reports whether the delivery was coalesced into an existing event.
 func (b *Batcher) Do(delay Time, fn func()) bool {
+	return b.push(delay, batchEntry{fn: fn})
+}
+
+// DoIndexed is Do for an indexed callback: fn(id) runs at the delivery
+// instant. The id travels in the batch entry, so one pooled fn can serve a
+// whole multicast group without any per-destination closure allocation.
+func (b *Batcher) DoIndexed(delay Time, fn func(int), id int) bool {
+	return b.push(delay, batchEntry{idFn: fn, id: id})
+}
+
+// push appends an entry to the open batch, or schedules a fresh one.
+func (b *Batcher) push(delay Time, e batchEntry) bool {
 	if delay < 0 {
 		delay = 0
 	}
 	at := b.env.now + delay
 	if q := b.cur; q != nil && !q.drained && q.at == at && q.seq == b.env.seq {
-		q.fns = append(q.fns, fn)
+		q.fns = append(q.fns, e)
 		return true
 	}
 	q := b.take()
 	q.at = at
-	q.fns = append(q.fns, fn)
+	q.fns = append(q.fns, e)
 	b.env.schedule(delay, nil, q.drainFn)
 	q.seq = b.env.seq
 	b.cur = q
@@ -85,10 +108,14 @@ func (b *Batcher) take() *batchq {
 func (b *Batcher) drain(q *batchq) {
 	q.drained = true
 	for i := 0; i < len(q.fns); i++ {
-		q.fns[i]()
+		if e := &q.fns[i]; e.idFn != nil {
+			e.idFn(e.id)
+		} else {
+			e.fn()
+		}
 	}
 	for i := range q.fns {
-		q.fns[i] = nil
+		q.fns[i] = batchEntry{}
 	}
 	q.fns = q.fns[:0]
 	b.free = append(b.free, q)

@@ -47,8 +47,102 @@ type Coordinator struct {
 	net  *netsim.Network
 	self netsim.NodeID
 
+	// mcastFree recycles multicast frames so the warm commit path stays
+	// allocation-free at steady state regardless of cluster size.
+	mcastFree []*mcastFrame
+
 	// Stats is exported for benchmarks.
 	Stats Stats
+}
+
+// mcastFrame is the in-flight state of one switch multicast: the
+// participants to commit, the sorted distinct multicast group, and a
+// countdown of pending deliveries. The deliver method value is cached at
+// frame creation so the whole fan-out — group build, scheduling through
+// the per-node batchers, delivery, recycling — allocates nothing once the
+// coordinator's free list is warm.
+type mcastFrame struct {
+	c         *Coordinator
+	parts     []Participant
+	nodes     []netsim.NodeID
+	remaining int
+	deliverFn func(int)
+}
+
+// addNode inserts id into the sorted group, skipping duplicates.
+// Participant lists hold one entry per involved node (a handful at most),
+// so an insertion scan beats sorting machinery and allocates nothing.
+func (f *mcastFrame) addNode(id netsim.NodeID) {
+	i := 0
+	for i < len(f.nodes) && f.nodes[i] < id {
+		i++
+	}
+	if i < len(f.nodes) && f.nodes[i] == id {
+		return
+	}
+	f.nodes = append(f.nodes, 0)
+	copy(f.nodes[i+1:], f.nodes[i:])
+	f.nodes[i] = id
+}
+
+// deliver runs at one multicast target: every participant hosted on that
+// node commits as a callback event, preserving the participants' declared
+// order within the node. The frame recycles itself when the last target
+// has been delivered.
+func (f *mcastFrame) deliver(id int) {
+	env := f.c.net.Env()
+	node := netsim.NodeID(id)
+	for _, part := range f.parts {
+		if part.Node == node {
+			// Commit handlers are non-blocking by contract, so the
+			// multicast arrival delivers them as callback events.
+			env.After(0, part.Commit)
+		}
+	}
+	if f.remaining--; f.remaining == 0 {
+		f.c.putFrame(f)
+	}
+}
+
+// takeFrame returns a reset frame from the free list, or a fresh one with
+// its deliver method value pre-bound.
+func (c *Coordinator) takeFrame() *mcastFrame {
+	if n := len(c.mcastFree); n > 0 {
+		f := c.mcastFree[n-1]
+		c.mcastFree = c.mcastFree[:n-1]
+		return f
+	}
+	f := &mcastFrame{c: c}
+	f.deliverFn = f.deliver
+	return f
+}
+
+// putFrame clears a frame's references and recycles it.
+func (c *Coordinator) putFrame(f *mcastFrame) {
+	for i := range f.parts {
+		f.parts[i] = Participant{}
+	}
+	f.parts = f.parts[:0]
+	f.nodes = f.nodes[:0]
+	c.mcastFree = append(c.mcastFree, f)
+}
+
+// multicastCommit delivers every participant's Commit through the switch's
+// targeted multicast: one delivery per distinct participant node (ascending
+// node order, matching the data-plane replication order), nothing at idle
+// nodes. The frame stays live until its last delivery lands, so multiple
+// multicasts from one coordinator may be in flight concurrently.
+func (c *Coordinator) multicastCommit(parts []Participant) {
+	if len(parts) == 0 {
+		return
+	}
+	f := c.takeFrame()
+	f.parts = append(f.parts, parts...)
+	for _, part := range parts {
+		f.addNode(part.Node)
+	}
+	f.remaining = len(f.nodes)
+	c.net.SwitchMulticastTo(f.nodes, f.deliverFn)
 }
 
 // NewCoordinator creates a coordinator running on node self.
@@ -105,22 +199,11 @@ func (c *Coordinator) SwitchPhase(p *sim.Proc, parts []Participant, switchTxn fu
 	// Travel to the switch and execute the hot sub-transaction there.
 	p.Sleep(c.net.Latency().NodeToSwitch)
 	switchTxn(p)
-	// The switch multicasts results + decision to every node; commit
-	// handlers run on arrival. The coordinator's own copy arrives after
-	// the same switch-to-node latency, at which point all (same-distance)
-	// participants have committed as well.
-	env := p.Env()
-	byNode := make(map[netsim.NodeID][]Participant, len(parts))
-	for _, part := range parts {
-		byNode[part.Node] = append(byNode[part.Node], part)
-	}
-	c.net.SwitchMulticast(func(id netsim.NodeID) {
-		for _, part := range byNode[id] {
-			// Commit handlers are non-blocking by contract, so the
-			// multicast arrival delivers them as callback events.
-			env.After(0, part.Commit)
-		}
-	})
+	// The switch multicasts results + decision to the participant nodes;
+	// commit handlers run on arrival. The coordinator's own copy arrives
+	// after the same switch-to-node latency, at which point all
+	// (same-distance) participants have committed as well.
+	c.multicastCommit(parts)
 	p.Sleep(c.net.Latency().NodeToSwitch)
 	c.Stats.Commits++
 }
@@ -258,15 +341,7 @@ func (c *Coordinator) SwitchPhaseK(parts []Participant, switchTxn func(done func
 	s := c.net.Latency().NodeToSwitch
 	env.After(s, func() {
 		switchTxn(func() {
-			byNode := make(map[netsim.NodeID][]Participant, len(parts))
-			for _, part := range parts {
-				byNode[part.Node] = append(byNode[part.Node], part)
-			}
-			c.net.SwitchMulticast(func(id netsim.NodeID) {
-				for _, part := range byNode[id] {
-					env.After(0, part.Commit)
-				}
-			})
+			c.multicastCommit(parts)
 			env.After(s, func() {
 				c.Stats.Commits++
 				k()

@@ -242,3 +242,39 @@ func TestPrepareThenFinishAbort(t *testing.T) {
 		t.Fatalf("stats = %+v", c.Stats)
 	}
 }
+
+// TestMulticastFrameSteadyStateZeroAlloc pins the pooled multicast frame
+// at zero heap allocations on a 256-node cluster: once the coordinator's
+// free list and the frame's parts/nodes scratch are warm, a switch-commit
+// multicast — group build, per-node batcher scheduling, delivery of every
+// participant's Commit, frame recycling — must not allocate. A capturing
+// literal or a rebuilt per-node map anywhere on the path would fail this.
+func TestMulticastFrameSteadyStateZeroAlloc(t *testing.T) {
+	e := sim.NewEnv(1)
+	net := testNet(e, 256)
+	c := NewCoordinator(net, 0)
+	commits := 0
+	commit := func() { commits++ }
+	parts := make([]Participant, 0, 8)
+	for _, n := range []netsim.NodeID{7, 42, 42, 128, 200, 255} {
+		parts = append(parts, Participant{Node: n, Commit: commit})
+	}
+	// Warm the frame pool, the batchers and the event heap past growth.
+	for i := 0; i < 1024; i++ {
+		c.multicastCommit(parts)
+		e.Run()
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.multicastCommit(parts)
+		c.multicastCommit(parts) // a second in-flight frame from the pool
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("switch multicast allocates %.2f objects/op, want 0", avg)
+	}
+	if commits == 0 {
+		t.Fatal("no commits delivered")
+	}
+	if len(c.mcastFree) == 0 {
+		t.Fatal("frames were not recycled to the free list")
+	}
+}

@@ -38,11 +38,32 @@ func ycsbStd(cfg YCSBConfig) YCSBConfig {
 // ByName constructs the named workload generator for a cluster of the
 // given node count. Unknown names error with the registered list.
 func ByName(name string, nodes int) (Generator, error) {
+	return ByNameTheta(name, nodes, 0)
+}
+
+// ByNameTheta is ByName with a Zipf skew axis: theta > 0 switches the YCSB
+// generators to Zipfian key selection at that exponent. Workloads without
+// a skew knob (smallbank, tpcc) reject a non-zero theta rather than
+// silently ignoring it — server and client must agree on the generator.
+func ByNameTheta(name string, nodes int, theta float64) (Generator, error) {
 	mk, ok := generatorsByName[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q (registered: %v)", name, Names())
 	}
-	return mk(nodes), nil
+	if theta < 0 {
+		return nil, fmt.Errorf("workload: theta must be >= 0 (got %g)", theta)
+	}
+	if theta == 0 {
+		return mk(nodes), nil
+	}
+	y, ok := mk(nodes).(*YCSB)
+	if !ok {
+		return nil, fmt.Errorf("workload: %q has no Zipf skew axis (use -theta 0)", name)
+	}
+	cfg := y.Config()
+	cfg.Zipfian = true
+	cfg.Theta = theta
+	return NewYCSB(cfg), nil
 }
 
 // Names lists the registered workload names, sorted.

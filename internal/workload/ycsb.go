@@ -23,6 +23,14 @@ type YCSBConfig struct {
 	HotTxnPct   int   // fraction of transactions on the hot-set (paper: 75%)
 	DistPct     int   // fraction of distributed transactions
 	OpsPerTxn   int   // operations per transaction (paper: 8)
+
+	// Zipfian switches key selection from the paper's two-level hot/cold
+	// split to a smooth Zipf(Theta) distribution over all rows — the
+	// contention-scaling axis the hardware testbed could not sweep.
+	// HotTxnPct is ignored in this mode (skew is continuous, not binary);
+	// DistPct still selects distributed transactions.
+	Zipfian bool
+	Theta   float64
 }
 
 // YCSBWorkloadA..C return the paper's workload mixes (update-heavy 50/50,
@@ -46,6 +54,11 @@ func ycsbBase(nodes, writePct int) YCSBConfig {
 // YCSB is the Yahoo! Cloud Serving Benchmark generator.
 type YCSB struct {
 	cfg YCSBConfig
+
+	// Zipfian-mode samplers, built once: global ranks for distributed
+	// transactions, per-partition ranks for local ones.
+	zipfGlobal *Zipf
+	zipfLocal  *Zipf
 }
 
 // NewYCSB validates the configuration and returns a generator.
@@ -56,20 +69,31 @@ func NewYCSB(cfg YCSBConfig) *YCSB {
 	if int64(cfg.HotPerNode) > cfg.RowsPerNode {
 		panic("workload: hot set larger than partition")
 	}
-	return &YCSB{cfg: cfg}
+	y := &YCSB{cfg: cfg}
+	if cfg.Zipfian {
+		y.zipfGlobal = NewZipf(cfg.RowsPerNode*int64(cfg.NumNodes), cfg.Theta)
+		y.zipfLocal = NewZipf(cfg.RowsPerNode, cfg.Theta)
+	}
+	return y
 }
 
 // Name implements Generator.
 func (y *YCSB) Name() string {
+	var base string
 	switch y.cfg.WritePct {
 	case 50:
-		return "YCSB-A"
+		base = "YCSB-A"
 	case 5:
-		return "YCSB-B"
+		base = "YCSB-B"
 	case 0:
-		return "YCSB-C"
+		base = "YCSB-C"
+	default:
+		base = fmt.Sprintf("YCSB(w=%d%%)", y.cfg.WritePct)
 	}
-	return fmt.Sprintf("YCSB(w=%d%%)", y.cfg.WritePct)
+	if y.cfg.Zipfian {
+		return fmt.Sprintf("%s-zipf%.2f", base, y.cfg.Theta)
+	}
+	return base
 }
 
 // Nodes implements Generator.
@@ -120,6 +144,9 @@ func (y *YCSB) coldKey(rng *sim.RNG, node netsim.NodeID) store.Key {
 // per class) and the declustering algorithm finds it from the co-access
 // pattern alone.
 func (y *YCSB) Next(rng *sim.RNG, self netsim.NodeID) *Txn {
+	if y.cfg.Zipfian {
+		return y.nextZipf(rng, self)
+	}
 	hot := rng.Bool(y.cfg.HotTxnPct)
 	dist := rng.Bool(y.cfg.DistPct)
 	txn := &Txn{Label: "YCSB", Ops: make([]Op, 0, y.cfg.OpsPerTxn)}
@@ -136,6 +163,47 @@ func (y *YCSB) Next(rng *sim.RNG, self netsim.NodeID) *Txn {
 			key = y.hotKey(node, int64(j+y.cfg.OpsPerTxn*rng.Intn(classSize)))
 		} else {
 			key = y.coldKey(rng, node)
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		kind := Read
+		var val int64
+		if rng.Bool(y.cfg.WritePct) {
+			kind = Write
+			val = int64(rng.Uint32())
+		}
+		txn.Ops = append(txn.Ops, Op{
+			Table: YCSBTable, Key: key, Field: 0, Home: node,
+			Kind: kind, Value: val, DependsOn: -1,
+		})
+	}
+	return txn
+}
+
+// nextZipf is the Zipfian-mode transaction body: every operation's key is
+// drawn from Zipf(Theta). Distributed transactions draw a global rank —
+// rank r lives on node r mod NumNodes at partition offset r div NumNodes,
+// so the globally hottest tuples round-robin across the cluster and land
+// on the low per-node offsets that the two-level mode also uses as its hot
+// region (hot-set detection and HotCandidates need no special case). Local
+// transactions draw a per-partition rank on the originating node, giving
+// every partition the same internal skew.
+func (y *YCSB) nextZipf(rng *sim.RNG, self netsim.NodeID) *Txn {
+	dist := rng.Bool(y.cfg.DistPct)
+	nodes := int64(y.cfg.NumNodes)
+	txn := &Txn{Label: "YCSB", Ops: make([]Op, 0, y.cfg.OpsPerTxn)}
+	seen := make(map[store.Key]struct{}, y.cfg.OpsPerTxn)
+	for len(txn.Ops) < y.cfg.OpsPerTxn {
+		node := self
+		var key store.Key
+		if dist {
+			r := y.zipfGlobal.Next(rng)
+			node = netsim.NodeID(r % nodes)
+			key = store.Key(int64(node)*y.cfg.RowsPerNode + r/nodes)
+		} else {
+			key = store.Key(int64(self)*y.cfg.RowsPerNode + y.zipfLocal.Next(rng))
 		}
 		if _, dup := seen[key]; dup {
 			continue

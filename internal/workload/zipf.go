@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^theta, using the rejection-inversion method of Hörmann &
+// Derflinger ("Rejection-inversion to generate variates from monotone
+// discrete distributions", ACM TOMACS 6(3), 1996). Unlike the classic
+// Gries/YCSB incremental sampler, rejection inversion needs no O(n) setup
+// and no restriction theta > 1; any theta >= 0 works, with theta = 0
+// degenerating to the uniform distribution (the acceptance test then always
+// passes on the first draw).
+//
+// Sampling consumes only rng.Float64() draws, so streams are bit-identical
+// under sim.RNG seeds — the property every seeded figure and determinism
+// test relies on.
+type Zipf struct {
+	n     int64
+	theta float64
+
+	// Precomputed constants of the rejection-inversion scheme: H is the
+	// integral of the hat function h(x) = 1/x^theta, shifted so ranks map
+	// to the interval [0.5, n+0.5].
+	hIntegralX1 float64 // H(1.5) - h(1)
+	hIntegralN  float64 // H(n + 0.5)
+	s           float64 // uniform acceptance shortcut threshold
+}
+
+// NewZipf returns a sampler over n ranks with exponent theta. It panics on
+// n <= 0 or theta < 0.
+func NewZipf(n int64, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs n > 0")
+	}
+	if theta < 0 {
+		panic("workload: Zipf needs theta >= 0")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1.0
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.s = 2.0 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2.0))
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int64 { return z.n }
+
+// Theta returns the skew exponent.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Next draws the next rank in [0, n). Rank 0 is the most probable.
+func (z *Zipf) Next(rng *sim.RNG) int64 {
+	for {
+		u := z.hIntegralN + rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInverse(u)
+		k := int64(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		// Accept k when x is close enough (the uniform bound s covers the
+		// bulk), otherwise run the exact rejection test against the hat.
+		if float64(k)-x <= z.s || u >= z.hIntegral(float64(k)+0.5)-z.h(float64(k)) {
+			return k - 1
+		}
+	}
+}
+
+// hIntegral is H(x) = ∫ 1/t^theta dt, written via expm1 so the theta → 1
+// limit (log x) is numerically seamless.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1.0-z.theta)*logX) * logX
+}
+
+// h is the hat function 1/x^theta.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.theta * math.Log(x))
+}
+
+// hIntegralInverse is H⁻¹.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1.0 - z.theta)
+	if t < -1.0 {
+		// Numerical round-off can push t slightly below the domain edge.
+		t = -1.0
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 is log1p(x)/x with a Taylor expansion near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1.0 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 is expm1(x)/x with a Taylor expansion near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1.0 + x*0.5*(1.0+x*(1.0/3.0)*(1.0+0.25*x))
+}
