@@ -9,10 +9,13 @@
 //	           [-digest] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
-// 18a, 18b, calvin, or "all" (default). The appendix raw-throughput
-// figures 19-21 are the txn/s columns of figures 11/13/14; "calvin" is
-// the deterministic-execution comparison (No-Switch vs Calvin at three
-// sequencer batch sizes vs P4DB).
+// 18a, 18b, calvin, scale, drift, or "all" (default; "scale" and "drift"
+// are extensions, not in "all"). The appendix raw-throughput figures
+// 19-21 are the txn/s columns of figures 11/13/14; "calvin" is the
+// deterministic-execution comparison (No-Switch vs Calvin at three
+// sequencer batch sizes vs P4DB); "drift" compares the static offline
+// layout, the online adaptive layout and a per-phase oracle on
+// hot-set-shifting workloads.
 //
 // -matrix replaces the figure sweeps with the scenario-matrix runner: the
 // full engines × workloads × schemes grid (every registered engine on
@@ -60,6 +63,11 @@
 // -theta switches every YCSB generator to Zipfian key selection at that
 // skew exponent instead of the paper's two-level hot/cold split. The
 // "scale" figure sweeps its own θ axis and ignores the flag.
+//
+// -adaptive turns on the online adaptive layout (sliding-window hot-set
+// re-detection plus live switch↔node tuple migration) in every run;
+// -adapt-interval overrides the re-detection period in virtual µs. The
+// "drift" figure pins adaptivity per series and ignores both.
 package main
 
 import (
@@ -91,6 +99,8 @@ func main() {
 	samples := flag.Int("samples", 0, "override detection sample size")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 8,14,20")
 	theta := flag.Float64("theta", 0, "Zipf skew exponent for the YCSB figures (0 = paper's hot/cold split)")
+	adaptive := flag.Bool("adaptive", false, "turn on the online adaptive layout in every run (the 'drift' figure pins adaptivity per series and ignores this)")
+	adaptIntervalUs := flag.Float64("adapt-interval", 0, "adaptive re-detection period in virtual µs (0 = core default; implies nothing without -adaptive)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
@@ -145,6 +155,12 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Theta = *theta
+	if *adaptIntervalUs < 0 {
+		fmt.Fprintf(os.Stderr, "bad -adapt-interval value %g (must be >= 0)\n", *adaptIntervalUs)
+		os.Exit(2)
+	}
+	opts.Adaptive = *adaptive
+	opts.AdaptInterval = sim.Time(*adaptIntervalUs * float64(sim.Microsecond))
 	opts.Seed = *seed
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "bad -parallel value %d\n", *parallel)
@@ -163,12 +179,12 @@ func main() {
 		conflict := *fig != "all" || *matrix
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "system", "scheme", "seed", "theta":
+			case "system", "scheme", "seed", "theta", "adaptive", "adapt-interval":
 				conflict = true
 			}
 		})
 		if conflict {
-			fmt.Fprintln(os.Stderr, "-golden runs the pinned sweep; it is mutually exclusive with -fig, -matrix, -system, -scheme, -seed and -theta")
+			fmt.Fprintln(os.Stderr, "-golden runs the pinned sweep; it is mutually exclusive with -fig, -matrix, -system, -scheme, -seed, -theta, -adaptive and -adapt-interval")
 			os.Exit(2)
 		}
 		runGoldenGate()

@@ -23,9 +23,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/hotset"
 	"repro/internal/layout"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -57,7 +59,13 @@ func main() {
 	seed := flag.Uint64("seed", 42, "sampling seed")
 	parallel := flag.Int("parallel", 0, "concurrent preparations with -workload all (0 = GOMAXPROCS)")
 	cachestats := flag.Bool("cachestats", false, "print detection-cache hit/miss counters after the reports")
+	window := flag.Int("window", 0, "also replay the first N txns of the recorded stream through the online (sliding-window) selection and report its overlap with the offline hot set")
 	flag.Parse()
+
+	if *window < 0 {
+		fmt.Fprintf(os.Stderr, "bad -window value %d\n", *window)
+		os.Exit(2)
+	}
 
 	eng, err := engine.Lookup(*system)
 	if err != nil {
@@ -96,7 +104,7 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			report(&outputs[i], eng, workloads[i], *nodes, *samples, *random, *seed)
+			report(&outputs[i], eng, workloads[i], *nodes, *samples, *window, *random, *seed)
 		}(i)
 	}
 	wg.Wait()
@@ -114,7 +122,7 @@ func main() {
 
 // report runs the offline pipeline for one workload and writes its
 // summary to w.
-func report(w io.Writer, eng engine.Engine, wl string, nodes, samples int, random bool, seed uint64) {
+func report(w io.Writer, eng engine.Engine, wl string, nodes, samples, window int, random bool, seed uint64) {
 	gen, err := makeGen(wl, nodes)
 	if err != nil {
 		panic(err) // validated in main
@@ -184,5 +192,42 @@ func report(w io.Writer, eng engine.Engine, wl string, nodes, samples int, rando
 	fmt.Fprintln(w, "stage occupancy:")
 	for st := 0; st < spec.Stages; st++ {
 		fmt.Fprintf(w, "  stage %2d: %d tuples\n", st, occ[uint8(st)])
+	}
+
+	// -window: replay the first N transactions of the same recorded stream
+	// through the online controller's selection (rank by window frequency,
+	// no plateau cut, capped at switch capacity) and report how much of
+	// the offline hot set a window that size would rediscover — the
+	// offline/online detector comparison on one sample.
+	if window > 0 {
+		wgen, err := makeGen(wl, nodes)
+		if err != nil {
+			panic(err) // validated in main
+		}
+		wrng := sim.NewRNG(seed)
+		freq := make(map[store.GlobalKey]int64)
+		n := window
+		if n > samples {
+			n = samples
+		}
+		for i := 0; i < n; i++ {
+			txn := wgen.Next(wrng, netsim.NodeID(i%nodes))
+			for _, op := range txn.Ops {
+				freq[op.TupleKey()]++
+			}
+		}
+		selected := hotset.SelectTop(freq, spec.Capacity())
+		overlap := 0
+		for _, k := range selected {
+			if ix.OnSwitch(k) {
+				overlap++
+			}
+		}
+		fmt.Fprintf(w, "window replay:  first %d txns, %d distinct keys\n", n, len(freq))
+		fmt.Fprintf(w, "window select:  %d keys, %d on the offline hot set", len(selected), overlap)
+		if cnt := ix.OnSwitchCount(); cnt > 0 {
+			fmt.Fprintf(w, " (%.1f%% coverage)", 100*float64(overlap)/float64(cnt))
+		}
+		fmt.Fprintln(w)
 	}
 }

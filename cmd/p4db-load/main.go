@@ -43,11 +43,18 @@ func main() {
 	serveBin := flag.String("serve-bin", "", "path to the p4db-serve binary (scaling mode)")
 	serveArgs := flag.String("serve-args", "", "extra args for spawned servers, space-separated (e.g. \"-engine p4db -slots 256\")")
 	basePort := flag.Int("base-port", 7410, "first port for spawned servers")
+	adaptive := flag.Bool("adaptive", false, "scaling mode: spawn servers with the online adaptive layout (-adaptive)")
+	adaptIntervalUs := flag.Float64("adapt-interval", 0, "scaling mode: spawned servers' re-detection period in virtual µs (0 = core default)")
 	flag.Parse()
 
 	if *scale != "" {
-		runScale(*scale, *serveBin, *serveArgs, *basePort, *workloadName, *nodes, *theta, *conns, *rate, *window, *duration, *seed, *asJSON)
+		runScale(*scale, *serveBin, *serveArgs, *basePort, *workloadName, *nodes, *theta, *adaptive, *adaptIntervalUs, *conns, *rate, *window, *duration, *seed, *asJSON)
 		return
+	}
+	if *adaptive || *adaptIntervalUs != 0 {
+		// Direct mode drives servers someone else started: the layout knobs
+		// belong on their p4db-serve command lines, not here.
+		fatal(fmt.Errorf("-adaptive/-adapt-interval only apply in -scale mode (pass them to p4db-serve directly)"))
 	}
 
 	rep, err := loadgen.Run(loadgen.Config{
@@ -70,7 +77,7 @@ func main() {
 // runScale sweeps server counts: per point it spawns that many
 // p4db-serve processes, waits for their listeners, drives them together,
 // and tears them down.
-func runScale(scale, serveBin, serveArgs string, basePort int, workloadName string, nodes int, theta float64, conns int, rate float64, window int, duration time.Duration, seed uint64, asJSON bool) {
+func runScale(scale, serveBin, serveArgs string, basePort int, workloadName string, nodes int, theta float64, adaptive bool, adaptIntervalUs float64, conns int, rate float64, window int, duration time.Duration, seed uint64, asJSON bool) {
 	if serveBin == "" {
 		fatal(fmt.Errorf("scaling mode needs -serve-bin"))
 	}
@@ -83,8 +90,14 @@ func runScale(scale, serveBin, serveArgs string, basePort int, workloadName stri
 		counts = append(counts, n)
 	}
 	var extra []string
+	if adaptive {
+		extra = append(extra, "-adaptive")
+	}
+	if adaptIntervalUs != 0 {
+		extra = append(extra, "-adapt-interval", strconv.FormatFloat(adaptIntervalUs, 'g', -1, 64))
+	}
 	if serveArgs != "" {
-		extra = strings.Fields(serveArgs)
+		extra = append(extra, strings.Fields(serveArgs)...)
 	}
 
 	var reports []*loadgen.Report

@@ -21,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/server"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -35,6 +36,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	samples := flag.Int("samples", 12000, "workload samples for hot-set detection")
 	slots := flag.Int("slots", 256, "switch register slots per array")
+	adaptive := flag.Bool("adaptive", false, "online adaptive layout: sliding-window re-detection + live tuple migration")
+	adaptIntervalUs := flag.Float64("adapt-interval", 0, "adaptive re-detection period in virtual µs (0 = core default)")
 	flag.Parse()
 
 	pol, err := lock.ParsePolicy(*policy)
@@ -50,6 +53,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.SampleTxns = *samples
 	cfg.Switch.SlotsPerArray = *slots
+	if *adaptIntervalUs < 0 {
+		fatal(fmt.Errorf("bad -adapt-interval value %g (must be >= 0)", *adaptIntervalUs))
+	}
+	cfg.Adaptive = *adaptive
+	cfg.AdaptInterval = sim.Time(*adaptIntervalUs * float64(sim.Microsecond))
 
 	s, err := server.New(server.Config{Core: cfg, Workload: *workloadName, Theta: *theta})
 	if err != nil {
@@ -84,6 +92,10 @@ func main() {
 	res := s.Result()
 	fmt.Printf("p4db-serve: %d conns, %d requests, %d commits, %d rejected, %d retries\n",
 		st.Conns, st.Requests, st.Commits, st.Rejected, st.Retries)
+	if res.Migrations > 0 {
+		fmt.Printf("p4db-serve: adaptive layout: %d migrations, %d promoted, %d demoted, %d fence waits\n",
+			res.Migrations, res.Promoted, res.Demoted, res.FenceWaits)
+	}
 	if res.Latency.Count() > 0 {
 		fmt.Printf("p4db-serve: virtual latency µs p50=%.1f p99=%.1f mean=%.1f\n",
 			float64(res.Latency.Percentile(50))/1e3,

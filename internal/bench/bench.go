@@ -47,7 +47,13 @@ type Options struct {
 	// build to Zipfian key selection at that exponent (-theta). The
 	// scale figure ignores it — its plan sweeps its own θ axis.
 	Theta float64
-	Seed  uint64
+	// Adaptive turns on the online adaptive layout (core.Config.Adaptive)
+	// in every cluster the sweep builds; AdaptInterval overrides the
+	// re-detection period (0 keeps core.DefaultAdaptInterval). The drift
+	// figure ignores both — its plan pins adaptivity per series.
+	Adaptive      bool
+	AdaptInterval sim.Time
+	Seed          uint64
 	// Parallel bounds the worker pool the point runner executes sweep
 	// points on: 0 means GOMAXPROCS, 1 is the serial path. Rows (and the
 	// digest) are bit-identical at any setting — every point is an
@@ -109,6 +115,8 @@ func (o Options) config(sys string, pol lock.Policy, workers int) core.Config {
 	cfg.SampleTxns = o.Samples
 	cfg.Seed = o.Seed
 	cfg.NoDeliveryBatching = o.Unbatched
+	cfg.Adaptive = o.Adaptive
+	cfg.AdaptInterval = o.AdaptInterval
 	return cfg
 }
 

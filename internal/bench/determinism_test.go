@@ -117,6 +117,34 @@ func TestScaleSweepDeterministic(t *testing.T) {
 	t.Logf("scale digest: %s (serial == parallel)", a)
 }
 
+// TestDriftSweepDeterministic asserts the adaptive controller's
+// determinism contract: the reduced drift sweep — both drifting
+// generators under the static, adaptive and oracle placements — produces
+// bit-identical digests serially and on a parallel pool, and both equal
+// the committed testdata/drift.digest pin. The adaptive series runs the
+// whole online machinery (sliding-window folding, re-detection ticks,
+// delta fences, live promotion/demotion, the announce multicast), all of
+// it scheduled on the sim clock; any wall-clock or map-order leak in the
+// controller moves a row and fails this test.
+func TestDriftSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six adaptive-window runs; skipped with -short")
+	}
+	pinned := DriftDigest()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(pinned) {
+		t.Fatalf("testdata/drift.digest does not hold a SHA-256 hex digest: %q", pinned)
+	}
+	a := Digest(DriftSweep(1))
+	b := Digest(DriftSweep(4))
+	if a != b {
+		t.Fatalf("drift sweep digest depends on parallelism:\n  serial:   %s\n  parallel: %s", a, b)
+	}
+	if a != pinned {
+		t.Fatalf("drift sweep digest moved off the pin:\n  got:    %s\n  pinned: %s\n(deliberate change? update internal/bench/testdata/drift.digest and record why in BENCH_sim.json)", a, pinned)
+	}
+	t.Logf("drift digest: %s (serial == parallel)", a)
+}
+
 // TestBatchedDeliveryDigestInvariant proves delivery batching is a pure
 // event-count optimization: the golden sweep with per-destination
 // coalescing disabled (every one-way message its own scheduled event)

@@ -560,6 +560,7 @@ var figurePlans = map[string]func(Options) plan{
 	"18b":    fig18bPlan,
 	"calvin": figCalvinPlan,
 	"scale":  figScalePlan,
+	"drift":  figDriftPlan,
 }
 
 // Figures maps figure ids (as used by cmd/p4db-bench -fig) to runners.

@@ -114,3 +114,26 @@ func ScaleSweep(parallel int) []Row {
 	o.Parallel = parallel
 	return o.execute(scalePlan(o, []int{8, 64}, []float64{0.0, 1.1}))
 }
+
+// driftDigestFile pins the drift sweep's digest the same way scale.digest
+// pins the scale figure (see goldenDigestFile). The full `-fig drift`
+// grid runs at N=8; the pin covers the N=4 sub-grid, which still crosses
+// both drifting generators and all three placements — in particular every
+// line of the adaptive controller: window folding, re-detection, delta
+// fences, and live promotion.
+//
+//go:embed testdata/drift.digest
+var driftDigestFile string
+
+// DriftDigest returns the pinned digest of the reduced drift sweep.
+func DriftDigest() string { return strings.TrimSpace(driftDigestFile) }
+
+// DriftSweep runs the reduced drift sweep (both drift modes × the
+// static/adaptive/oracle placements at N=4) on a pool of the given size
+// and returns its rows. Every per-cell knob is pinned inside driftPlan;
+// only the seed comes from the golden options.
+func DriftSweep(parallel int) []Row {
+	o := GoldenOptions()
+	o.Parallel = parallel
+	return o.execute(driftPlan(o, []int{4}))
+}

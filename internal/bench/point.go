@@ -103,6 +103,7 @@ func (o Options) runPoints(points []Point) []*core.Result {
 		for i, pt := range points {
 			o.progressf("%s\n", pt.Label)
 			results[i] = o.runPoint(pt)
+			o.progressMigrations(results[i])
 		}
 		return results
 	}
@@ -130,6 +131,7 @@ func (o Options) runPoints(points []Point) []*core.Result {
 		done[i] = true
 		for emit < len(points) && done[emit] {
 			o.progressf("%s\n", points[emit].Label)
+			o.progressMigrations(results[emit])
 			emit++
 		}
 	}
@@ -149,6 +151,19 @@ func (o Options) runPoints(points []Point) []*core.Result {
 	}
 	wg.Wait()
 	return results
+}
+
+// progressMigrations emits one indented follow-up progress line with the
+// adaptive layout's migration counters after a point that actually
+// migrated. Serial runs emit it right after the run, the parallel pool in
+// the same declared-order drain as the label — the `-v` stream stays
+// byte-identical at any parallelism.
+func (o Options) progressMigrations(res *core.Result) {
+	if res == nil || res.Migrations == 0 {
+		return
+	}
+	o.progressf("  migrations=%d promoted=%d demoted=%d fence_waits=%d\n",
+		res.Migrations, res.Promoted, res.Demoted, res.FenceWaits)
 }
 
 // runPoint runs one point under its effective simulation windows.

@@ -46,6 +46,13 @@ func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	env := sim.NewEnv(cfg.Seed)
+	// Drifting generators derive their phase from the cluster's virtual
+	// clock; inject it before population and detection so the offline
+	// sample is drawn at phase 0 (time zero) — exactly the snapshot a
+	// static layout is tuned to.
+	if cd, ok := gen.(workload.ClockDriven); ok {
+		cd.SetClock(env.Now)
+	}
 	ctx := &engine.Context{
 		Env:       env,
 		Net:       netsim.New(env, cfg.Nodes, cfg.Latency),
@@ -76,6 +83,20 @@ func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 	}
 	if ctx.UseSwitch {
 		c.baseline = ctx.Sw.Snapshot()
+	}
+	// The online adaptive layout only makes sense for engines that
+	// offloaded tuples into the switch; for all others the flag is a
+	// documented no-op.
+	if cfg.Adaptive && ctx.UseSwitch {
+		interval := cfg.AdaptInterval
+		if interval <= 0 {
+			interval = DefaultAdaptInterval
+		}
+		capRows := cfg.Switch.Capacity()
+		if cfg.HotSetCap > 0 && cfg.HotSetCap < capRows {
+			capRows = cfg.HotSetCap
+		}
+		ctx.StartAdaptive(interval, capRows)
 	}
 	return c
 }
@@ -224,6 +245,14 @@ type Result struct {
 	SwitchTxns  int64
 	Recircs     int64
 
+	// Online adaptive layout statistics (zero for static-layout runs):
+	// completed migrations, tuples promoted node→switch, tuples demoted
+	// switch→node, and executions parked at a migration fence.
+	Migrations int64
+	Promoted   int64
+	Demoted    int64
+	FenceWaits int64
+
 	// Events is the number of simulator events the whole run executed
 	// (warmup + measurement) and WallSeconds the wall-clock time it took:
 	// together they measure the harness itself, not the simulated system.
@@ -281,6 +310,7 @@ func (c *Cluster) Run(warmup, measure sim.Time) *Result {
 		Events:      c.env.Events(),
 		WallSeconds: time.Since(wallStart).Seconds(),
 	}
+	res.Migrations, res.Promoted, res.Demoted, res.FenceWaits = c.ctx.AdaptiveCounters()
 	for _, n := range c.ctx.Nodes {
 		res.Counters.Merge(n.Counters())
 		res.Breakdown.Merge(n.Breakdown())

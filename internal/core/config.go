@@ -8,6 +8,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/netsim"
 	"repro/internal/pisa"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -85,9 +86,30 @@ type Config struct {
 	// priori but too large for sampling to resolve individual keys, as in
 	// the Figure 17 capacity experiment.
 	ExplicitHot []store.GlobalKey
+
+	// Adaptive turns the offline layout into a live one: the engine
+	// records per-node sliding-window access statistics, re-runs hot-set
+	// detection every AdaptInterval of virtual time, and migrates tuples
+	// between switch registers and owner nodes under an epoch fence (see
+	// engine.Context.StartAdaptive). Only engines that offload to the
+	// switch (P4DB) adapt; for all others the flag is a no-op. Off by
+	// default — the static path schedules no extra events and its golden
+	// digest is bit-identical.
+	Adaptive bool
+	// AdaptInterval is the virtual-time period between re-detections; 0
+	// selects DefaultAdaptInterval.
+	AdaptInterval sim.Time
+
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	Seed uint64
 }
+
+// DefaultAdaptInterval is the re-detection period when Config.Adaptive is
+// set without an explicit AdaptInterval: long enough for the sliding
+// window to accumulate a resolvable frequency tally (and for the fold's
+// cache footprint to stay amortized into the noise), short enough to
+// react within one figure measurement window.
+const DefaultAdaptInterval = 100 * sim.Microsecond
 
 // costsFor resolves the effective cost model for the resolved engine and
 // scheme pair, most specific override first. Every key is validated

@@ -5,10 +5,12 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -87,6 +89,7 @@ func (d *Driver) Result() *Result {
 		Duration:    c.env.Now(),
 		Events:      c.env.Events(),
 	}
+	res.Migrations, res.Promoted, res.Demoted, res.FenceWaits = c.ctx.AdaptiveCounters()
 	for _, n := range c.ctx.Nodes {
 		res.Counters.Merge(n.Counters())
 		res.Breakdown.Merge(n.Breakdown())
@@ -127,6 +130,89 @@ func (c *Cluster) StateDigest() string {
 		for _, v := range c.ctx.Sw.Snapshot() {
 			writeU64(uint64(v))
 		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// LogicalDigest hashes the cluster's database state independent of tuple
+// placement: every non-zero field value at its logical (table, key,
+// field) coordinates, with tuples currently living in a switch register
+// read from the register file instead of the (stale while offloaded)
+// owner-node store. Zero values and unmaterialized rows are
+// indistinguishable, matching the lazy-materialization convention, so
+// the digest is also independent of which rows a run happened to
+// materialize. Two clusters that executed the same committed history
+// digest equal even if live migration moved their tuples around — this
+// is the correctness oracle of the migration tests, where StateDigest
+// (which pins physical placement) can legitimately differ.
+func (c *Cluster) LogicalDigest() string {
+	type entry struct {
+		t store.TableID
+		k store.Key
+		f int
+		v int64
+	}
+	var entries []entry
+	onSwitch := make(map[store.GlobalKey]int64)
+	if c.ctx.UseSwitch {
+		for _, gk := range c.ctx.HotIdx.Keys() {
+			s, _ := c.ctx.HotIdx.Lookup(gk)
+			onSwitch[gk] = c.ctx.Sw.ReadRegister(s.Stage, s.Array, s.Index)
+		}
+	}
+	for _, n := range c.ctx.Nodes {
+		st := n.Store()
+		for _, tid := range st.TableIDs() {
+			tbl := st.Table(tid)
+			for _, k := range tbl.Keys() {
+				for f, v := range tbl.GetRow(k) {
+					// Offloaded fields read from their register; fields
+					// beyond the GlobalField encoding range can never be
+					// offloaded (operations address fields 0..15).
+					if f <= 15 {
+						gk := store.GlobalField(tid, f, k)
+						if sv, ok := onSwitch[gk]; ok {
+							v = sv
+							delete(onSwitch, gk)
+						}
+					}
+					if v != 0 {
+						entries = append(entries, entry{tid, k, f, v})
+					}
+				}
+			}
+		}
+	}
+	// Switch-resident tuples whose owner-node rows never materialized.
+	for gk, v := range onSwitch {
+		if v != 0 {
+			t, f, k := gk.SplitField()
+			entries = append(entries, entry{t, k, f, v})
+		}
+	}
+	// Runs that took different migration paths emit the entries in a
+	// different walk order; the digest is over the sorted set.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.k != b.k {
+			return a.k < b.k
+		}
+		return a.f < b.f
+	})
+	h := sha256.New()
+	var scratch [8]byte
+	writeU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	for _, e := range entries {
+		writeU64(uint64(e.t))
+		writeU64(uint64(e.k))
+		writeU64(uint64(e.f))
+		writeU64(uint64(e.v))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

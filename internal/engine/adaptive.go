@@ -1,0 +1,648 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/hotset"
+	"repro/internal/layout"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Online adaptive layout (the live half of the paper's offline Figure 3
+// pipeline). When core.Config.Adaptive is set on a switch-offloading
+// engine, the Context carries an adaptiveState that
+//
+//  1. records every generated transaction's accesses into a sliding
+//     window of per-node, epoch-bucketed key counters (zero allocations
+//     on the attempt path — the window is fixed-size open addressing),
+//  2. every AdaptInterval of virtual time folds the window, re-ranks the
+//     keys (hotset.SelectTop) and diffs the selection against the live
+//     placement: tuples above the noise floor that are not yet on the
+//     switch are promoted, resident tuples are demoted only under
+//     capacity pressure (coldest first), and a round that moves nothing
+//     goes back to sleep, and
+//  3. if tuples must move, migrates them under a *delta fence*: the
+//     layout evolves incrementally (layout.Extend — surviving tuples
+//     keep their slots), so only transactions touching a moving tuple
+//     are parked; in-flight attempts on moving tuples drain, a settle
+//     delay lets straggler one-way messages (abort rollbacks,
+//     warm-commit multicasts) land, tuple state moves between switch
+//     registers and owner-node stores, and the new index replica is
+//     announced to every node via the switch multicast — only then does
+//     the fence lift and parked attempts resume. Transactions on
+//     unmoved tuples execute right through the fence.
+//
+// Everything is driven off the virtual clock, so adaptive runs are as
+// deterministic as static ones; with Adaptive off no state is allocated
+// and no event is scheduled, keeping the golden digests bit-identical.
+
+const (
+	// adaptEpochs is the sliding window's depth in re-detection intervals:
+	// each interval gets one bucket, folding sees the last adaptEpochs of
+	// them, so the window spans adaptEpochs*AdaptInterval with
+	// interval-granular expiry. Deeper than one interval because the
+	// online window is sparse — tail keys of a genuine hot set need a few
+	// intervals of accumulation to clear the detection noise floor.
+	adaptEpochs = 4
+	// adaptBucketSlots sizes each node's per-epoch counter table (open
+	// addressing, power of two). Beyond ~3/4 load new keys are dropped
+	// into an overflow count — the window degrades, never allocates.
+	adaptBucketSlots = 1024
+	// adaptProbeLimit bounds linear probing; a longer chain counts as
+	// overflow.
+	adaptProbeLimit = 64
+)
+
+// winBucket is one epoch's key-frequency counter for one node: fixed-size
+// open addressing keyed by GlobalKey. slots[i].count == 0 marks an empty
+// slot (key and count share a cache line, so a probe costs one memory
+// access, not two); used lists the occupied slots so reset touches only
+// them, and multi the slots whose count reached 2 — the only slots a
+// high-volume fold needs to walk.
+type winBucket struct {
+	slots    []winSlot
+	used     []int32
+	multi    []int32
+	overflow int64
+}
+
+// winSlot is one counter table entry.
+type winSlot struct {
+	key   store.GlobalKey
+	count int64
+}
+
+func newWinBucket() winBucket {
+	return winBucket{
+		slots: make([]winSlot, adaptBucketSlots),
+		used:  make([]int32, 0, adaptBucketSlots),
+		multi: make([]int32, 0, adaptBucketSlots),
+	}
+}
+
+// record counts one access. Zero allocations: a full table (or an
+// over-long probe chain) drops the key into the overflow tally.
+func (b *winBucket) record(k store.GlobalKey) {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	i := int32((h >> 32) & (adaptBucketSlots - 1))
+	for probe := 0; probe < adaptProbeLimit; probe++ {
+		s := &b.slots[i]
+		switch {
+		case s.count == 0:
+			if len(b.used) == cap(b.used)*3/4 {
+				b.overflow++
+				return
+			}
+			s.key = k
+			s.count = 1
+			b.used = append(b.used, i)
+			return
+		case s.key == k:
+			s.count++
+			if s.count == 2 {
+				b.multi = append(b.multi, i)
+			}
+			return
+		}
+		i = (i + 1) & (adaptBucketSlots - 1)
+	}
+	b.overflow++
+}
+
+// reset clears the bucket for reuse as the next epoch, touching only the
+// occupied slots.
+func (b *winBucket) reset() {
+	for _, i := range b.used {
+		b.slots[i].count = 0
+	}
+	b.used = b.used[:0]
+	b.multi = b.multi[:0]
+	b.overflow = 0
+}
+
+// foldAcc is the re-detection tick's window-merge accumulator: the same
+// open-addressing-with-a-used-list technique as winBucket, but sized to
+// hold every window slot at once (so it can never fill — the per-bucket
+// 3/4 load cap bounds total distinct keys at 3/4 of its table) and
+// carrying pre-summed counts. A Go map here costs ~4x as much per insert
+// and dominates the moveless steady-state tick.
+type foldAcc struct {
+	slots []winSlot
+	used  []int32
+	mask  int32
+}
+
+func newFoldAcc(slots int) *foldAcc {
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &foldAcc{
+		slots: make([]winSlot, n),
+		used:  make([]int32, 0, n),
+		mask:  int32(n - 1),
+	}
+}
+
+func (a *foldAcc) add(k store.GlobalKey, c int64) {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	i := int32(h>>32) & a.mask
+	for {
+		s := &a.slots[i]
+		switch {
+		case s.count == 0:
+			s.key = k
+			s.count = c
+			a.used = append(a.used, i)
+			return
+		case s.key == k:
+			s.count += c
+			return
+		}
+		i = (i + 1) & a.mask
+	}
+}
+
+func (a *foldAcc) reset() {
+	for _, i := range a.used {
+		a.slots[i].count = 0
+	}
+	a.used = a.used[:0]
+}
+
+// gateWaiter is one execution parked at the migration fence.
+type gateWaiter struct {
+	eng Engine
+	n   *Node
+	txn *workload.Txn
+	k   func(Class, error)
+}
+
+// layoutDelta is a computed incremental re-layout waiting for its fence
+// to drain: the successor placement plus the tuples that move.
+type layoutDelta struct {
+	layout  *layout.Layout
+	idx     *hotset.Index
+	label   map[store.GlobalKey]bool
+	promote []store.GlobalKey
+	demote  []store.GlobalKey
+}
+
+// doneAdapter tags one engine attempt with its slot in the controller's
+// running-attempt registry, so completion can release the slot (and, if
+// the attempt was blocking a fence drain, account for it). Pooled: the
+// attempt path stays allocation-free.
+type doneAdapter struct {
+	ad   *adaptiveState
+	slot int32
+	k    func(Class, error)
+	fn   func(Class, error)
+}
+
+func (a *doneAdapter) call(cls Class, err error) {
+	ad, slot, k := a.ad, a.slot, a.k
+	a.k = nil
+	ad.freeAdapters = append(ad.freeAdapters, a)
+	ad.attemptDone(slot)
+	k(cls, err)
+}
+
+// adaptiveState is the per-cluster adaptive layout controller.
+type adaptiveState struct {
+	c        *Context
+	interval sim.Time
+	epochLen sim.Time
+	settle   sim.Time
+	capRows  int
+
+	// Sliding window: buckets[node][epoch]; curEpoch tracks rotation,
+	// curSlot caches curEpoch%adaptEpochs and epochEnd the sim time at
+	// which the window next rotates.
+	buckets  [][]winBucket
+	curEpoch int64
+	curSlot  int32
+	epochEnd sim.Time
+
+	// Running-attempt registry: running[slot] is the transaction of one
+	// in-flight engine attempt (nil = free slot). blocking marks the
+	// attempts a raised fence must wait out.
+	running      []*workload.Txn
+	blocking     []bool
+	freeSlots    []int32
+	freeAdapters []*doneAdapter
+
+	// Fence state. draining is the window between fence raise and the
+	// settle timer being armed (blocking attempts still completing).
+	fencing    bool
+	draining   bool
+	blockCount int
+	deltaKeys  map[store.GlobalKey]bool
+	waiters    []gateWaiter
+	spare      []gateWaiter
+	delta      *layoutDelta
+
+	allNodes []netsim.NodeID
+
+	// fold is the re-detection tick's scratch accumulator (reused across
+	// ticks, regrown only when the fold volume outgrows it); foldSrc is
+	// the tick's scratch list of per-bucket fold sources, in
+	// buckets[i/adaptEpochs][i%adaptEpochs] order.
+	fold    *foldAcc
+	foldSrc [][]int32
+
+	migrations int64
+	promoted   int64
+	demoted    int64
+	fenceWaits int64
+
+	tickFn  func()
+	applyFn func()
+}
+
+// StartAdaptive arms the online adaptive layout controller: interval is
+// the re-detection period and capRows the hot-set bound (switch capacity,
+// possibly capped by HotSetCap). Call after the engine's Prepare, and
+// only for engines that offloaded to the switch (Context.UseSwitch).
+func (c *Context) StartAdaptive(interval sim.Time, capRows int) {
+	if c.ad != nil {
+		panic("engine: StartAdaptive called twice")
+	}
+	lat := c.Net.Latency()
+	ad := &adaptiveState{
+		c:        c,
+		interval: interval,
+		epochLen: interval,
+		// The settle delay outlasts any one-way message in flight when the
+		// last blocking attempt completed: a node-to-node send (abort
+		// rollbacks) or a node-to-switch leg chained into a switch
+		// multicast (warm-commit lock releases).
+		settle:  lat.NodeToNode + 2*lat.NodeToSwitch,
+		capRows: capRows,
+	}
+	if ad.epochLen <= 0 {
+		ad.epochLen = 1
+	}
+	ad.buckets = make([][]winBucket, len(c.Nodes))
+	for i := range ad.buckets {
+		bs := make([]winBucket, adaptEpochs)
+		for e := range bs {
+			bs[e] = newWinBucket()
+		}
+		ad.buckets[i] = bs
+	}
+	ad.foldSrc = make([][]int32, 0, len(c.Nodes)*adaptEpochs)
+	ad.allNodes = make([]netsim.NodeID, len(c.Nodes))
+	for i := range ad.allNodes {
+		ad.allNodes[i] = netsim.NodeID(i)
+	}
+	ad.tickFn = ad.tick
+	ad.applyFn = ad.apply
+	c.ad = ad
+	c.Env.After(interval, ad.tickFn)
+}
+
+// AdaptiveCounters reports the controller's migration statistics:
+// completed migrations, tuples promoted node→switch, tuples demoted
+// switch→node, and executions parked at a fence. All zero when the
+// cluster runs the static layout.
+func (c *Context) AdaptiveCounters() (migrations, promoted, demoted, fenceWaits int64) {
+	if c.ad == nil {
+		return 0, 0, 0, 0
+	}
+	return c.ad.migrations, c.ad.promoted, c.ad.demoted, c.ad.fenceWaits
+}
+
+// record folds one transaction attempt into the sliding window. Called on
+// the first attempt and again on every retry: an aborted attempt is real
+// traffic at its keys, so contended tuples gain detection weight in
+// proportion to the aborts they cause — the tuples doing the damage are
+// promoted first. Zero allocations.
+func (ad *adaptiveState) record(n *Node, txn *workload.Txn) {
+	if now := ad.c.Env.Now(); now >= ad.epochEnd {
+		ad.rotate(now)
+	}
+	b := &ad.buckets[n.id][ad.curSlot]
+	for i := range txn.Ops {
+		b.record(txn.Ops[i].TupleKey())
+	}
+}
+
+// rotate advances the window to the epoch containing now, resetting the
+// buckets whose epochs expired. Off record's common path, which pays one
+// comparison against the cached epoch boundary instead of a division by
+// the runtime-chosen epoch length.
+func (ad *adaptiveState) rotate(now sim.Time) {
+	e := int64(now / ad.epochLen)
+	if e-ad.curEpoch >= adaptEpochs {
+		// The window slept past itself (an idle cluster); everything
+		// buffered has expired.
+		for _, bs := range ad.buckets {
+			for i := range bs {
+				bs[i].reset()
+			}
+		}
+		ad.curEpoch = e
+	}
+	for ad.curEpoch < e {
+		ad.curEpoch++
+		slot := int(ad.curEpoch % adaptEpochs)
+		for _, bs := range ad.buckets {
+			bs[slot].reset()
+		}
+	}
+	ad.curSlot = int32(ad.curEpoch % adaptEpochs)
+	ad.epochEnd = sim.Time(e+1) * ad.epochLen
+}
+
+// touchesDelta reports whether any of txn's operations addresses a tuple
+// the pending migration moves.
+func (ad *adaptiveState) touchesDelta(txn *workload.Txn) bool {
+	for i := range txn.Ops {
+		if ad.deltaKeys[txn.Ops[i].TupleKey()] {
+			return true
+		}
+	}
+	return false
+}
+
+// exec is the fence gate every adaptive-mode execution passes through:
+// during a migration, attempts touching a moving tuple park; everything
+// else registers in the running-attempt table and executes normally.
+func (ad *adaptiveState) exec(eng Engine, n *Node, txn *workload.Txn, k func(Class, error)) {
+	if ad.fencing && ad.touchesDelta(txn) {
+		ad.fenceWaits++
+		ad.waiters = append(ad.waiters, gateWaiter{eng: eng, n: n, txn: txn, k: k})
+		return
+	}
+	var slot int32
+	if n := len(ad.freeSlots); n > 0 {
+		slot = ad.freeSlots[n-1]
+		ad.freeSlots = ad.freeSlots[:n-1]
+	} else {
+		slot = int32(len(ad.running))
+		ad.running = append(ad.running, nil)
+		ad.blocking = append(ad.blocking, false)
+	}
+	ad.running[slot] = txn
+	var a *doneAdapter
+	if n := len(ad.freeAdapters); n > 0 {
+		a = ad.freeAdapters[n-1]
+		ad.freeAdapters = ad.freeAdapters[:n-1]
+	} else {
+		a = &doneAdapter{ad: ad}
+		a.fn = a.call
+	}
+	a.slot, a.k = slot, k
+	eng.Execute(ad.c, n, txn, a.fn)
+}
+
+// attemptDone releases one attempt's registry slot; once a raised fence
+// has drained its last blocking attempt, the settle timer arms.
+func (ad *adaptiveState) attemptDone(slot int32) {
+	ad.running[slot] = nil
+	ad.freeSlots = append(ad.freeSlots, slot)
+	if ad.blocking[slot] {
+		ad.blocking[slot] = false
+		ad.blockCount--
+		if ad.draining && ad.blockCount == 0 {
+			ad.draining = false
+			ad.c.Env.After(ad.settle, ad.applyFn)
+		}
+	}
+}
+
+// rearm schedules the next re-detection.
+func (ad *adaptiveState) rearm() {
+	ad.c.Env.After(ad.interval, ad.tickFn)
+}
+
+// tick is the periodic re-detection: fold the window, rank, diff against
+// the live placement, and either go back to sleep (nothing moves) or
+// compute the incremental re-layout and raise the delta fence.
+//
+// The placement policy is sticky: detected tuples not yet resident are
+// promoted, but resident tuples are demoted only when the switch runs out
+// of slots (then coldest-first). The online window holds orders of
+// magnitude fewer samples than the offline detection replay, so a tail
+// tuple of a perfectly good hot set often shows zero hits in one window;
+// evicting it eagerly would churn the layout every tick and throw away
+// placements that still pay for themselves. Stickiness makes phase-stable
+// workloads converge to a moveless diff (no migrations at all) while a
+// genuine shift still promotes its new hot set immediately.
+func (ad *adaptiveState) tick() {
+	c := ad.c
+	if ad.fencing {
+		// The previous migration is still fencing (a drain outlasting the
+		// interval); skip this round.
+		ad.rearm()
+		return
+	}
+	// Pick each bucket's fold source first. A bucket with 128+ distinct
+	// keys (or an overflow) recorded a high-volume window: its per-bucket
+	// singletons are the Zipf cold tail — a key seen once per node per
+	// interval tops out at freq adaptEpochs*nodes, noise-floor territory —
+	// and they outnumber the selectable keys by orders of magnitude, so
+	// the fold walks only the multi list (slots that reached count 2),
+	// staying proportional to the keys that could actually rank. A sparse
+	// bucket is a low-volume window where once-seen keys are the only
+	// signal; there, fold every used slot.
+	total := 0
+	for _, bs := range ad.buckets {
+		for i := range bs {
+			b := &bs[i]
+			from := b.multi
+			if b.overflow == 0 && len(b.used) < adaptBucketSlots/8 {
+				from = b.used
+			}
+			ad.foldSrc = append(ad.foldSrc, from)
+			total += len(from)
+		}
+	}
+	// The accumulator is sized to the actual fold volume (grown on demand,
+	// never shrunk): the tick's cache footprint is the dominant adaptive
+	// overhead — every line it touches evicts a line of the simulator's
+	// working set — so a snug table beats a worst-case one.
+	if ad.fold == nil || len(ad.fold.slots)*3/4 < total {
+		ad.fold = newFoldAcc(2 * total)
+	}
+	acc := ad.fold
+	acc.reset()
+	for si, from := range ad.foldSrc {
+		b := &ad.buckets[si/adaptEpochs][si%adaptEpochs]
+		for _, idx := range from {
+			s := &b.slots[idx]
+			acc.add(s.key, s.count)
+		}
+	}
+	ad.foldSrc = ad.foldSrc[:0]
+	// Steady-state fast path: ranking is only worth its cost when
+	// something could actually move. A migration needs an above-floor key
+	// that is not already resident — demotion only ever follows promotion
+	// pressure, since the resident set always fits capRows. One pass over
+	// the accumulator answers that, and on the moveless tick that sticky
+	// placement converges to (the common case by design) it replaces
+	// selection entirely, making the whole tick allocation-free.
+	needMove := false
+	for _, i := range acc.used {
+		if s := &acc.slots[i]; s.count >= hotset.NoiseFloor && !c.HotIdx.OnSwitch(s.key) {
+			needMove = true
+			break
+		}
+	}
+	if !needMove {
+		ad.rearm()
+		return
+	}
+	// This tick migrates: materialize the ranking tally. Only above-floor
+	// keys — rankFreqs drops the rest anyway, and below-floor residents
+	// tally as frequency 0 in the eviction sort, which only widens the
+	// ties its stable Keys() order already breaks.
+	freq := make(map[store.GlobalKey]int64, len(acc.used))
+	for _, i := range acc.used {
+		if s := &acc.slots[i]; s.count >= hotset.NoiseFloor {
+			freq[s.key] = s.count
+		}
+	}
+	detected := hotset.SelectTop(freq, ad.capRows)
+	if len(detected) == 0 {
+		ad.rearm()
+		return
+	}
+	resident := c.HotIdx.Keys()
+	fresh := make(map[store.GlobalKey]bool, len(detected))
+	for _, k := range detected {
+		fresh[k] = true
+	}
+	var promote []store.GlobalKey
+	for _, k := range detected {
+		if !c.HotIdx.OnSwitch(k) {
+			promote = append(promote, k)
+		}
+	}
+	var demote []store.GlobalKey
+	if over := len(resident) + len(promote) - ad.capRows; over > 0 {
+		// Evict the coldest non-detected residents; Keys() order breaks
+		// frequency ties so the cut is deterministic.
+		evictable := make([]store.GlobalKey, 0, len(resident))
+		for _, k := range resident {
+			if !fresh[k] {
+				evictable = append(evictable, k)
+			}
+		}
+		sort.SliceStable(evictable, func(i, j int) bool { return freq[evictable[i]] < freq[evictable[j]] })
+		demote = evictable[:over]
+	}
+	if len(promote) == 0 && len(demote) == 0 {
+		ad.rearm()
+		return
+	}
+
+	// Build the successor placement incrementally: surviving tuples keep
+	// their slots (their transactions run right through the fence), the
+	// promotions spread over the free slots. Re-detection is off the hot
+	// path, so it may allocate.
+	dropIDs := make([]layout.TupleID, len(demote))
+	dk := make(map[store.GlobalKey]bool, len(promote)+len(demote))
+	for i, k := range demote {
+		dropIDs[i] = layout.TupleID(k)
+		dk[k] = true
+	}
+	addIDs := make([]layout.TupleID, len(promote))
+	for i, k := range promote {
+		addIDs[i] = layout.TupleID(k)
+		dk[k] = true
+	}
+	l := c.Layout.Extend(dropIDs, addIDs)
+	union := make([]store.GlobalKey, 0, len(resident)+len(promote)-len(demote))
+	label := make(map[store.GlobalKey]bool, len(resident)+len(promote))
+	for k, v := range c.HotLabel {
+		label[k] = v
+	}
+	for _, k := range resident {
+		if !dk[k] {
+			union = append(union, k)
+		}
+	}
+	for _, k := range demote {
+		delete(label, k)
+	}
+	for _, k := range promote {
+		union = append(union, k)
+		label[k] = true
+	}
+	hs := hotset.FromKeys(union, nil, ad.capRows)
+	ad.delta = &layoutDelta{layout: l, idx: hotset.BuildIndex(hs, l), label: label, promote: promote, demote: demote}
+	ad.deltaKeys = dk
+
+	// Raise the fence: in-flight attempts on moving tuples must drain
+	// before state moves; everything else keeps running.
+	ad.fencing = true
+	ad.blockCount = 0
+	for slot, txn := range ad.running {
+		if txn != nil && ad.touchesDelta(txn) {
+			ad.blocking[slot] = true
+			ad.blockCount++
+		}
+	}
+	ad.draining = true
+	if ad.blockCount == 0 {
+		ad.draining = false
+		c.Env.After(ad.settle, ad.applyFn)
+	}
+}
+
+// apply performs the migration once the fence has drained and settled:
+// demoted tuples return their register value to the owner node's store,
+// promoted tuples carry their store value into their register (exactly
+// the offline offload step), and the updated index replica is announced
+// to every node through the switch multicast; the fence lifts when the
+// last replica has arrived. Unmoved tuples keep slot and value — the
+// registers never stop serving them.
+func (ad *adaptiveState) apply() {
+	c := ad.c
+	d := ad.delta
+	for _, k := range d.demote {
+		s, _ := c.HotIdx.Lookup(k)
+		v := c.Sw.ReadRegister(s.Stage, s.Array, s.Index)
+		table, field, key := k.SplitField()
+		c.Nodes[c.Gen.Home(table, key)].store.Table(table).Set(key, field, v)
+		ad.demoted++
+	}
+	for _, k := range d.promote {
+		s, _ := d.idx.Lookup(k)
+		table, field, key := k.SplitField()
+		v := c.Nodes[c.Gen.Home(table, key)].store.Table(table).Get(key, field)
+		c.Sw.WriteRegister(s.Stage, s.Array, s.Index, v)
+		ad.promoted++
+	}
+	c.Layout, c.HotIdx, c.HotLabel = d.layout, d.idx, d.label
+	ad.delta = nil
+	ad.migrations++
+
+	remaining := len(ad.allNodes)
+	c.Net.SwitchMulticastTo(ad.allNodes, func(int) {
+		remaining--
+		if remaining == 0 {
+			ad.lift()
+		}
+	})
+}
+
+// lift drops the fence, resumes every parked execution and schedules the
+// next re-detection.
+func (ad *adaptiveState) lift() {
+	ad.fencing = false
+	ad.deltaKeys = nil
+	ws := ad.waiters
+	ad.waiters = ad.spare[:0]
+	for i := range ws {
+		w := ws[i]
+		ws[i] = gateWaiter{}
+		ad.exec(w.eng, w.n, w.txn, w.k)
+	}
+	ad.spare = ws[:0]
+	ad.rearm()
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestAdaptiveRecordZeroAlloc pins the sliding-window statistics update —
+// the only adaptive-layout work on the per-attempt hot path — at zero
+// heap allocations: epoch rotation, open-addressed counting, collision
+// probing and table-full overflow all run against preallocated storage.
+// This is what keeps -adaptive's events/sec overhead in the noise (see
+// BenchmarkAdaptiveOverhead).
+func TestAdaptiveRecordZeroAlloc(t *testing.T) {
+	c := &Context{Env: sim.NewEnv(1)}
+	ad := &adaptiveState{c: c, epochLen: 50 * sim.Microsecond}
+	ad.buckets = [][]winBucket{make([]winBucket, adaptEpochs)}
+	for e := range ad.buckets[0] {
+		ad.buckets[0][e] = newWinBucket()
+	}
+	n := &Node{id: 0}
+
+	// Distinct-key and repeat-key transactions cover both record branches
+	// (slot claim and count increment); key 1<<20 collides into probing.
+	txns := make([]*workload.Txn, 8)
+	for i := range txns {
+		txns[i] = &workload.Txn{Ops: []workload.Op{
+			{Table: 1, Key: 0, Kind: workload.Read, DependsOn: -1},
+			{Table: 1, Key: store.Key(1 + (1<<20)*i), Kind: workload.Write, DependsOn: -1},
+			{Table: 1, Key: 7, Kind: workload.Write, DependsOn: -1},
+		}}
+	}
+	j := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		ad.record(n, txns[j%len(txns)])
+		j++
+	}); avg != 0 {
+		t.Fatalf("window record allocates %.2f objects/op, want 0", avg)
+	}
+
+	// Saturate the table: once 3/4 full, fresh keys must drop into the
+	// overflow tally without growing anything.
+	big := &workload.Txn{Ops: make([]workload.Op, 1)}
+	for k := 0; k < 4*adaptBucketSlots; k++ {
+		big.Ops[0] = workload.Op{Table: 2, Key: store.Key(k), Kind: workload.Read, DependsOn: -1}
+		ad.record(n, big)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		big.Ops[0].Key++
+		ad.record(n, big)
+	}); avg != 0 {
+		t.Fatalf("saturated window record allocates %.2f objects/op, want 0", avg)
+	}
+}

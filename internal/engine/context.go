@@ -184,6 +184,12 @@ type Context struct {
 	// coords caches one 2PC coordinator per node; the per-commit Stats of
 	// the old throwaway coordinators were never read, so sharing is safe.
 	coords []*twopc.Coordinator
+
+	// ad is the online adaptive layout controller (adaptive.go), nil for
+	// static-layout clusters. Every hot-path touchpoint is a single nil
+	// check, so the static schedule — and its golden digest — is
+	// untouched.
+	ad *adaptiveState
 }
 
 // coordOf returns the cached 2PC coordinator for node n.
@@ -302,11 +308,24 @@ func (sm *workerSM) begin() {
 	sm.txn = sm.c.Gen.Next(sm.rng, sm.n.id)
 	sm.start = sm.c.Env.Now()
 	sm.attempts = 0
+	if ad := sm.c.ad; ad != nil {
+		ad.record(sm.n, sm.txn)
+		ad.exec(sm.eng, sm.n, sm.txn, sm.doneFn)
+		return
+	}
 	sm.eng.Execute(sm.c, sm.n, sm.txn, sm.doneFn)
 }
 
 // retry re-executes the current transaction after a backoff.
 func (sm *workerSM) retry() {
+	if ad := sm.c.ad; ad != nil {
+		// Retries re-record: the window measures attempted traffic, so a
+		// contended tuple's weight grows with the aborts it causes and
+		// re-detection promotes the tuples doing damage first.
+		ad.record(sm.n, sm.txn)
+		ad.exec(sm.eng, sm.n, sm.txn, sm.doneFn)
+		return
+	}
 	sm.eng.Execute(sm.c, sm.n, sm.txn, sm.doneFn)
 }
 

@@ -50,6 +50,11 @@ func (c *Context) Submit(eng Engine, n *Node, txn *workload.Txn, rng *sim.RNG, k
 	sm.start = c.Env.Now()
 	sm.attempts, sm.retries = 0, 0
 	c.submitsInflight++
+	if ad := c.ad; ad != nil {
+		ad.record(n, txn)
+		ad.exec(eng, n, txn, sm.doneFn)
+		return
+	}
 	eng.Execute(c, n, txn, sm.doneFn)
 }
 
@@ -96,6 +101,13 @@ func (c *Context) SubmitsDone() int64 { return c.submitsDone }
 
 // retry re-executes after a backoff.
 func (sm *submitSM) retry() {
+	if ad := sm.c.ad; ad != nil {
+		// See workerSM.retry: retries re-record so contended tuples gain
+		// detection weight proportional to the aborts they cause.
+		ad.record(sm.n, sm.txn)
+		ad.exec(sm.eng, sm.n, sm.txn, sm.doneFn)
+		return
+	}
 	sm.eng.Execute(sm.c, sm.n, sm.txn, sm.doneFn)
 }
 

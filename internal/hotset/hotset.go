@@ -147,16 +147,32 @@ func restrictInto(hot map[store.GlobalKey]struct{}, txn []Access, kept []layout.
 // (Figure 17's spill path).
 func DetectAuto(samples [][]Access, maxK int) *HotSet {
 	freq := countFreq(samples)
+	return detectTop(freq, samples, autoCut(rankFreqs(freq), maxK))
+}
+
+// NoiseFloor is the minimum sample tally for a key to count as a
+// detection candidate; rarer keys are sampling noise, never hot.
+const NoiseFloor = 3
+
+// rankFreqs filters the noise floor out of a tally and returns the
+// remainder in detection order (descending frequency, ascending key).
+func rankFreqs(freq map[store.GlobalKey]int64) []kf {
 	kept := make([]kf, 0, len(freq))
 	for k, f := range freq {
-		if f >= 3 {
+		if f >= NoiseFloor {
 			kept = append(kept, kf{k, f})
 		}
 	}
 	slices.SortFunc(kept, kfCompare)
-	k := len(kept)
-	for i := len(kept) - 1; i > 0; i-- {
-		if kept[i-1].f >= 4*kept[i].f {
+	return kept
+}
+
+// autoCut applies DetectAuto's plateau heuristic to an already-ranked
+// list: cut at the last >=4x inter-neighbour drop, cap at maxK.
+func autoCut(ranked []kf, maxK int) int {
+	k := len(ranked)
+	for i := len(ranked) - 1; i > 0; i-- {
+		if ranked[i-1].f >= 4*ranked[i].f {
 			k = i
 			break
 		}
@@ -164,7 +180,41 @@ func DetectAuto(samples [][]Access, maxK int) *HotSet {
 	if k > maxK {
 		k = maxK
 	}
-	return detectTop(freq, samples, k)
+	return k
+}
+
+// SelectAuto applies DetectAuto's selection — noise floor, frequency
+// ranking, plateau cut, capacity cap — to an already-folded frequency
+// tally, and returns the selected keys in detection order. It is the
+// online half of detection: the adaptive layout controller folds its
+// sliding window into a tally and selects from it with exactly the
+// offline heuristic, so the two detectors agree on any common sample.
+func SelectAuto(freq map[store.GlobalKey]int64, maxK int) []store.GlobalKey {
+	ranked := rankFreqs(freq)
+	keys := make([]store.GlobalKey, autoCut(ranked, maxK))
+	for i := range keys {
+		keys[i] = ranked[i].k
+	}
+	return keys
+}
+
+// SelectTop is SelectAuto without the plateau cut: every key above the
+// noise floor, frequency-ranked, capped at maxK. Online re-detection uses
+// it because a sliding window holds orders of magnitude fewer samples
+// than the offline replay — a plateau cut calibrated for dense tallies
+// truncates a sparse one to its first handful of keys, while the
+// controller's sticky-resident policy already provides the stability the
+// cut exists to buy.
+func SelectTop(freq map[store.GlobalKey]int64, maxK int) []store.GlobalKey {
+	ranked := rankFreqs(freq)
+	if len(ranked) > maxK {
+		ranked = ranked[:maxK]
+	}
+	keys := make([]store.GlobalKey, len(ranked))
+	for i := range keys {
+		keys[i] = ranked[i].k
+	}
+	return keys
 }
 
 // FromKeys builds a hot-set from an a-priori known tuple list (the
@@ -281,6 +331,17 @@ func (ix *Index) OnSwitch(k store.GlobalKey) bool {
 func (ix *Index) Spilled(k store.GlobalKey) bool {
 	_, ok := ix.spilled[k]
 	return ok
+}
+
+// Keys returns the on-switch keys in deterministic (sorted) order — the
+// iteration the live-migration diff walks the old placement in.
+func (ix *Index) Keys() []store.GlobalKey {
+	out := make([]store.GlobalKey, 0, len(ix.slots))
+	for k := range ix.slots {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // OnSwitchCount returns the number of indexed (on-switch) tuples.

@@ -147,6 +147,64 @@ func Optimal(g *Graph, spec Spec) *Layout {
 	return l
 }
 
+// Extend evolves a layout incrementally: every surviving tuple keeps its
+// slot, removed tuples free theirs, and added tuples fill free slots
+// emptiest-array-first (spreading new hot tuples across the pipeline the
+// way the max-cut spreads the offline set). The online adaptive
+// controller migrates with this instead of re-running Optimal so that
+// unchanged tuples never move — transactions touching only them can keep
+// executing right through a migration fence. It panics if the additions
+// exceed the remaining capacity; callers cap the hot-set first.
+func (l *Layout) Extend(removed, added []TupleID) *Layout {
+	nl := &Layout{slots: make(map[TupleID]Slot, len(l.slots)+len(added)), spec: l.spec}
+	for t, s := range l.slots {
+		nl.slots[t] = s
+	}
+	for _, t := range removed {
+		delete(nl.slots, t)
+	}
+	k := l.spec.NumArrays()
+	occ := make([]int, k)
+	used := make([][]bool, k)
+	for i := range used {
+		used[i] = make([]bool, l.spec.SlotsPerArray)
+	}
+	for _, s := range nl.slots {
+		ai := int(s.Stage)*l.spec.ArraysPerStage + int(s.Array)
+		occ[ai]++
+		used[ai][s.Index] = true
+	}
+	adds := make([]TupleID, 0, len(added))
+	for _, t := range added {
+		if _, dup := nl.slots[t]; !dup {
+			adds = append(adds, t)
+		}
+	}
+	sort.Slice(adds, func(i, j int) bool { return adds[i] < adds[j] })
+	scan := make([]int, k) // per-array lowest possibly-free index
+	for _, t := range adds {
+		best := -1
+		for ai := 0; ai < k; ai++ {
+			if occ[ai] < l.spec.SlotsPerArray && (best < 0 || occ[ai] < occ[best]) {
+				best = ai
+			}
+		}
+		if best < 0 {
+			panic(fmt.Sprintf("layout: Extend overflowed switch capacity %d", l.spec.Capacity()))
+		}
+		idx := scan[best]
+		for used[best][idx] {
+			idx++
+		}
+		used[best][idx] = true
+		scan[best] = idx + 1
+		occ[best]++
+		stage, array := l.spec.arrayAt(best)
+		nl.slots[t] = Slot{Stage: stage, Array: array, Index: uint32(idx)}
+	}
+	return nl
+}
+
 // constraint is a pipeline-ordering requirement between two partitions:
 // from must be placed in an earlier register array than to, with weight w
 // measuring how much access-order traffic the constraint protects.

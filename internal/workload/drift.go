@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Drifting workloads: YCSB variants whose hot set *moves* during the run.
+// They exist to exercise the online adaptive layout — a static offline
+// layout is tuned to the distribution at time zero and decays toward the
+// no-switch baseline once the hot set shifts, while the adaptive
+// controller re-detects and migrates.
+//
+// A drifting generator derives its current phase from the cluster's
+// virtual clock, injected by core.NewCluster through the ClockDriven
+// interface. Before the clock is injected (and during the offline
+// detection replay, which runs at time zero) the generator is in phase 0
+// — exactly the snapshot a static layout is tuned to.
+
+// ClockDriven is implemented by generators whose distribution shifts with
+// virtual time. core.NewCluster injects the environment clock right after
+// building it, before population and offline detection.
+type ClockDriven interface {
+	SetClock(now func() sim.Time)
+}
+
+// DriftMode selects the drift scenario.
+type DriftMode int
+
+const (
+	// DriftRotate is the diurnal hot-set rotation: each phase shifts the
+	// hot region (two-level mode) or the whole Zipf rank→key mapping
+	// (Zipfian mode) by Stride keys within every partition, so yesterday's
+	// hot tuples go cold and a formerly cold range heats up.
+	DriftRotate DriftMode = iota
+	// DriftFlash is the flash crowd: phases >= 1 send FlashPct% of
+	// transactions entirely into a small, formerly cold key range
+	// (FlashBase..FlashBase+HotPerNode per node); the rest of the traffic
+	// keeps the phase-0 distribution.
+	DriftFlash
+)
+
+// DriftConfig parameterizes a drifting YCSB generator. The embedded
+// YCSBConfig supplies the base distribution (two-level hot/cold or
+// Zipf(Theta)), partitioning and the operation mix.
+type DriftConfig struct {
+	YCSBConfig
+
+	Mode DriftMode
+	// PhaseLen is the virtual time per phase; the hot set shifts at every
+	// multiple of it.
+	PhaseLen sim.Time
+	// MaxPhase, when > 0, caps the phase index: the workload shifts that
+	// many times and then holds (the drift figure uses 1 — a single
+	// shift — so the post-shift window is stationary). 0 drifts forever.
+	MaxPhase int
+	// Stride is the per-phase rotation distance in keys (DriftRotate);
+	// 0 defaults to RowsPerNode/2, which alternates between two disjoint
+	// regions — a day/night cycle.
+	Stride int64
+	// FlashBase is the per-partition offset of the flash range
+	// (DriftFlash); 0 defaults to RowsPerNode/2, deep in the cold range.
+	FlashBase int64
+	// FlashPct is the share of transactions the flash crowd captures in
+	// phases >= 1 (DriftFlash); 0 defaults to 75.
+	FlashPct int
+	// OraclePhase, when > 0, pins the generator to that phase regardless
+	// of the clock — the per-phase oracle of the drift figure: offline
+	// detection then sees the post-shift distribution, giving the layout
+	// an adaptive run can at best match.
+	OraclePhase int
+}
+
+// Drift is the drifting YCSB generator.
+type Drift struct {
+	cfg   DriftConfig
+	clock func() sim.Time
+
+	zipfGlobal *Zipf
+	zipfLocal  *Zipf
+}
+
+// NewDrift validates the configuration and returns a generator.
+func NewDrift(cfg DriftConfig) *Drift {
+	if cfg.NumNodes <= 0 || cfg.RowsPerNode <= 0 || cfg.OpsPerTxn <= 0 {
+		panic("workload: invalid drift config")
+	}
+	if cfg.PhaseLen <= 0 {
+		panic("workload: drift config needs PhaseLen > 0")
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = cfg.RowsPerNode / 2
+	}
+	if cfg.FlashBase == 0 {
+		cfg.FlashBase = cfg.RowsPerNode / 2
+	}
+	if cfg.FlashPct == 0 {
+		cfg.FlashPct = 75
+	}
+	if int64(cfg.HotPerNode) > cfg.RowsPerNode {
+		panic("workload: hot set larger than partition")
+	}
+	d := &Drift{cfg: cfg}
+	if cfg.Zipfian {
+		d.zipfGlobal = NewZipf(cfg.RowsPerNode*int64(cfg.NumNodes), cfg.Theta)
+		d.zipfLocal = NewZipf(cfg.RowsPerNode, cfg.Theta)
+	}
+	return d
+}
+
+// SetClock implements ClockDriven.
+func (d *Drift) SetClock(now func() sim.Time) { d.clock = now }
+
+// Config returns the generator's configuration.
+func (d *Drift) Config() DriftConfig { return d.cfg }
+
+// Name implements Generator.
+func (d *Drift) Name() string {
+	mode := "rot"
+	if d.cfg.Mode == DriftFlash {
+		mode = "flash"
+	}
+	name := fmt.Sprintf("YCSB-drift-%s", mode)
+	if d.cfg.Zipfian {
+		name = fmt.Sprintf("%s-zipf%.2f", name, d.cfg.Theta)
+	}
+	if d.cfg.OraclePhase > 0 {
+		name = fmt.Sprintf("%s@p%d", name, d.cfg.OraclePhase)
+	}
+	return name
+}
+
+// Nodes implements Generator.
+func (d *Drift) Nodes() int { return d.cfg.NumNodes }
+
+// DeclaresKeySets implements SetDeclarer (see YCSB.DeclaresKeySets).
+func (d *Drift) DeclaresKeySets() bool { return true }
+
+// Populate implements Generator: the single lazily-materialized YCSB
+// table.
+func (d *Drift) Populate(stores []*store.Store) {
+	for _, st := range stores {
+		st.CreateTable(YCSBTable, "usertable", 1)
+	}
+}
+
+// Home implements Generator: keys are range-partitioned.
+func (d *Drift) Home(t store.TableID, k store.Key) netsim.NodeID {
+	return netsim.NodeID(int64(k) / d.cfg.RowsPerNode)
+}
+
+// phase returns the generator's current phase index.
+func (d *Drift) phase() int {
+	if d.cfg.OraclePhase > 0 {
+		return d.cfg.OraclePhase
+	}
+	if d.clock == nil {
+		return 0
+	}
+	p := int(d.clock() / d.cfg.PhaseLen)
+	if d.cfg.MaxPhase > 0 && p > d.cfg.MaxPhase {
+		p = d.cfg.MaxPhase
+	}
+	return p
+}
+
+// rotation returns the per-partition key offset of phase p.
+func (d *Drift) rotation(p int) int64 {
+	off := (int64(p) * d.cfg.Stride) % d.cfg.RowsPerNode
+	if off < 0 {
+		off += d.cfg.RowsPerNode
+	}
+	return off
+}
+
+// Next implements Generator.
+func (d *Drift) Next(rng *sim.RNG, self netsim.NodeID) *Txn {
+	p := d.phase()
+	if d.cfg.Mode == DriftFlash && p >= 1 && rng.Bool(d.cfg.FlashPct) {
+		return d.nextFlash(rng, self)
+	}
+	var rot int64
+	if d.cfg.Mode == DriftRotate {
+		rot = d.rotation(p)
+	}
+	if d.cfg.Zipfian {
+		return d.nextZipf(rng, self, rot)
+	}
+	return d.nextTwoLevel(rng, self, rot)
+}
+
+// nextTwoLevel is YCSB's two-level hot/cold transaction body with the hot
+// region rotated by rot keys into the partition. Cold keys draw uniformly
+// over the whole partition (at billion-row partitions the overlap with
+// the small hot region is negligible).
+func (d *Drift) nextTwoLevel(rng *sim.RNG, self netsim.NodeID, rot int64) *Txn {
+	hot := rng.Bool(d.cfg.HotTxnPct)
+	dist := rng.Bool(d.cfg.DistPct)
+	txn := &Txn{Label: "YCSB-drift", Ops: make([]Op, 0, d.cfg.OpsPerTxn)}
+	seen := make(map[store.Key]struct{}, d.cfg.OpsPerTxn)
+	for len(txn.Ops) < d.cfg.OpsPerTxn {
+		node := self
+		if dist {
+			node = netsim.NodeID(rng.Intn(d.cfg.NumNodes))
+		}
+		var off int64
+		if hot {
+			// Congruence-class draw within the rotated hot region (see
+			// YCSB.Next for why classes keep hot transactions single-pass).
+			j := len(txn.Ops)
+			classSize := (d.cfg.HotPerNode - j + d.cfg.OpsPerTxn - 1) / d.cfg.OpsPerTxn
+			off = (rot + int64(j+d.cfg.OpsPerTxn*rng.Intn(classSize))) % d.cfg.RowsPerNode
+		} else {
+			off = rng.Int63n(d.cfg.RowsPerNode)
+		}
+		key := store.Key(int64(node)*d.cfg.RowsPerNode + off)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		txn.Ops = append(txn.Ops, d.op(rng, node, key))
+	}
+	return txn
+}
+
+// nextZipf is YCSB's Zipfian transaction body with the rank→key mapping
+// rotated by rot keys within every partition: the distribution's head —
+// and with it the detectable hot set — moves to a formerly cold range
+// each phase.
+func (d *Drift) nextZipf(rng *sim.RNG, self netsim.NodeID, rot int64) *Txn {
+	dist := rng.Bool(d.cfg.DistPct)
+	nodes := int64(d.cfg.NumNodes)
+	txn := &Txn{Label: "YCSB-drift", Ops: make([]Op, 0, d.cfg.OpsPerTxn)}
+	seen := make(map[store.Key]struct{}, d.cfg.OpsPerTxn)
+	for len(txn.Ops) < d.cfg.OpsPerTxn {
+		node := self
+		var off int64
+		if dist {
+			r := d.zipfGlobal.Next(rng)
+			node = netsim.NodeID(r % nodes)
+			off = (r/nodes + rot) % d.cfg.RowsPerNode
+		} else {
+			off = (d.zipfLocal.Next(rng) + rot) % d.cfg.RowsPerNode
+		}
+		key := store.Key(int64(node)*d.cfg.RowsPerNode + off)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		txn.Ops = append(txn.Ops, d.op(rng, node, key))
+	}
+	return txn
+}
+
+// nextFlash is the flash-crowd transaction body: every operation draws
+// from the small flash range, in congruence classes like a two-level hot
+// transaction so the flash set is single-pass layoutable.
+func (d *Drift) nextFlash(rng *sim.RNG, self netsim.NodeID) *Txn {
+	dist := rng.Bool(d.cfg.DistPct)
+	txn := &Txn{Label: "YCSB-flash", Ops: make([]Op, 0, d.cfg.OpsPerTxn)}
+	seen := make(map[store.Key]struct{}, d.cfg.OpsPerTxn)
+	for len(txn.Ops) < d.cfg.OpsPerTxn {
+		node := self
+		if dist {
+			node = netsim.NodeID(rng.Intn(d.cfg.NumNodes))
+		}
+		j := len(txn.Ops)
+		classSize := (d.cfg.HotPerNode - j + d.cfg.OpsPerTxn - 1) / d.cfg.OpsPerTxn
+		off := (d.cfg.FlashBase + int64(j+d.cfg.OpsPerTxn*rng.Intn(classSize))) % d.cfg.RowsPerNode
+		key := store.Key(int64(node)*d.cfg.RowsPerNode + off)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		txn.Ops = append(txn.Ops, d.op(rng, node, key))
+	}
+	return txn
+}
+
+// op draws the read/write kind and value for one operation.
+func (d *Drift) op(rng *sim.RNG, node netsim.NodeID, key store.Key) Op {
+	kind := Read
+	var val int64
+	if rng.Bool(d.cfg.WritePct) {
+		kind = Write
+		val = int64(rng.Uint32())
+	}
+	return Op{Table: YCSBTable, Key: key, Field: 0, Home: node, Kind: kind, Value: val, DependsOn: -1}
+}
+
+// DefaultDrift returns the drift-figure base configuration: YCSB-A at the
+// matrix-standard skew knobs, one hot-set shift (MaxPhase 1) after
+// PhaseLen of virtual time.
+func DefaultDrift(nodes int, mode DriftMode, phaseLen sim.Time) DriftConfig {
+	base := YCSBWorkloadA(nodes)
+	base.DistPct = 20
+	return DriftConfig{
+		YCSBConfig: base,
+		Mode:       mode,
+		PhaseLen:   phaseLen,
+		MaxPhase:   1,
+	}
+}

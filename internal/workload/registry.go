@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/sim"
 )
 
 // Name-keyed generator construction for the serving stack: cmd/p4db-serve
@@ -26,7 +28,19 @@ var generatorsByName = map[string]func(nodes int) Generator{
 		cfg.DistPct = 20
 		return NewTPCC(cfg)
 	},
+	"ycsb-drift": func(nodes int) Generator {
+		return NewDrift(DefaultDrift(nodes, DriftRotate, driftStdPhase))
+	},
+	"ycsb-flash": func(nodes int) Generator {
+		return NewDrift(DefaultDrift(nodes, DriftFlash, driftStdPhase))
+	},
 }
+
+// driftStdPhase is the registry-standard phase length for the drifting
+// workloads: long enough that a serving run sees stable phases, short
+// enough that the single shift (MaxPhase 1) lands inside any realistic
+// run. The bench drift figure pins its own phase length instead.
+const driftStdPhase = 500 * sim.Microsecond
 
 // ycsbStd applies the matrix-standard skew knobs to a YCSB base config.
 func ycsbStd(cfg YCSBConfig) YCSBConfig {
@@ -56,14 +70,20 @@ func ByNameTheta(name string, nodes int, theta float64) (Generator, error) {
 	if theta == 0 {
 		return mk(nodes), nil
 	}
-	y, ok := mk(nodes).(*YCSB)
-	if !ok {
+	switch g := mk(nodes).(type) {
+	case *YCSB:
+		cfg := g.Config()
+		cfg.Zipfian = true
+		cfg.Theta = theta
+		return NewYCSB(cfg), nil
+	case *Drift:
+		cfg := g.Config()
+		cfg.Zipfian = true
+		cfg.Theta = theta
+		return NewDrift(cfg), nil
+	default:
 		return nil, fmt.Errorf("workload: %q has no Zipf skew axis (use -theta 0)", name)
 	}
-	cfg := y.Config()
-	cfg.Zipfian = true
-	cfg.Theta = theta
-	return NewYCSB(cfg), nil
 }
 
 // Names lists the registered workload names, sorted.

@@ -116,7 +116,7 @@ func TestTxnWireValidation(t *testing.T) {
 // TestWorkloadRegistry: names resolve, configs match the matrix axis, and
 // unknown names fail with the registered list.
 func TestWorkloadRegistry(t *testing.T) {
-	want := []string{"smallbank", "tpcc", "ycsb-a", "ycsb-b", "ycsb-c"}
+	want := []string{"smallbank", "tpcc", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-drift", "ycsb-flash"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
