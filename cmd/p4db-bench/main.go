@@ -5,17 +5,21 @@
 //
 //	p4db-bench [-fig id | -matrix | -golden] [-system names] [-scheme name]
 //	           [-quick] [-parallel n] [-measure ms] [-seed n]
+//	           [-durable] [-faults]
 //	           [-cpuprofile out.prof] [-memprofile out.prof] [-trace out.trace]
 //	           [-digest] [-v]
 //
 // Figure ids: 1, 11t, 11d, 12, 13t, 13d, 14t, 14d, 15ab, 15c, 16, 17,
-// 18a, 18b, calvin, scale, drift, or "all" (default; "scale" and "drift"
-// are extensions, not in "all"). The appendix raw-throughput figures
-// 19-21 are the txn/s columns of figures 11/13/14; "calvin" is the
-// deterministic-execution comparison (No-Switch vs Calvin at three
-// sequencer batch sizes vs P4DB); "drift" compares the static offline
-// layout, the online adaptive layout and a per-phase oracle on
-// hot-set-shifting workloads.
+// 18a, 18b, calvin, scale, drift, recover, or "all" (default; "scale",
+// "drift" and "recover" are extensions, not in "all"). The appendix
+// raw-throughput figures 19-21 are the txn/s columns of figures 11/13/14;
+// "calvin" is the deterministic-execution comparison (No-Switch vs Calvin
+// at three sequencer batch sizes vs P4DB); "drift" compares the static
+// offline layout, the online adaptive layout and a per-phase oracle on
+// hot-set-shifting workloads; "recover" plots modeled crash-recovery
+// latency against WAL length for all three recovery stories (switch
+// crash, 2PC-coordinator crash, sequencer failover) at increasing crash
+// depths.
 //
 // -matrix replaces the figure sweeps with the scenario-matrix runner: the
 // full engines × workloads × schemes grid (every registered engine on
@@ -23,6 +27,22 @@
 // hardwired-scheme engines contributing one cell), one row per cell with
 // speedups against the (noswitch, 2pl) cell of the same workload. -system
 // and -scheme restrict the grid's engine and scheme axes.
+//
+// -faults (requires -matrix) appends the crash-recovery dimension to the
+// matrix: for YCSB-A, SmallBank and TPC-C, a no-fault golden cell plus a
+// fault-injected cell for each recovery story — switch-crash (P4DB),
+// coord-crash (No-Switch 2PC) and sequencer-failover (Calvin) — all
+// durable, all crashed mid-measurement. Every fault cell hard-asserts
+// that its recovered final state digest equals its golden cell's; a
+// recovery that loses or invents a single byte aborts the run instead of
+// printing a plausible row.
+//
+// -durable turns on write-ahead logging (core.Config.Durable) in every
+// run. Durability gates record retention only — every commit path waits
+// out its log-append delays unconditionally — so tables and digests are
+// bit-identical with or without the flag; it exists to measure the
+// harness's own logging overhead (wall-clock, allocations) and to drive
+// recovery tooling from figure-scale runs.
 //
 // -parallel bounds the worker pool sweep points execute on (all modes;
 // 0 = GOMAXPROCS, 1 = serial). Every point is an independent seeded
@@ -101,6 +121,8 @@ func main() {
 	theta := flag.Float64("theta", 0, "Zipf skew exponent for the YCSB figures (0 = paper's hot/cold split)")
 	adaptive := flag.Bool("adaptive", false, "turn on the online adaptive layout in every run (the 'drift' figure pins adaptivity per series and ignores this)")
 	adaptIntervalUs := flag.Float64("adapt-interval", 0, "adaptive re-detection period in virtual µs (0 = core default; implies nothing without -adaptive)")
+	durable := flag.Bool("durable", false, "turn on write-ahead logging in every run (digest-invariant; the fault cells force it on regardless)")
+	faults := flag.Bool("faults", false, "append the crash-recovery dimension to the scenario matrix (requires -matrix)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
@@ -161,6 +183,12 @@ func main() {
 	}
 	opts.Adaptive = *adaptive
 	opts.AdaptInterval = sim.Time(*adaptIntervalUs * float64(sim.Microsecond))
+	if *faults && !*matrix {
+		fmt.Fprintln(os.Stderr, "-faults is a scenario-matrix dimension; it requires -matrix")
+		os.Exit(2)
+	}
+	opts.Durable = *durable
+	opts.Faults = *faults
 	opts.Seed = *seed
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "bad -parallel value %d\n", *parallel)
@@ -175,16 +203,20 @@ func main() {
 		// The golden sweep is pinned by definition: only sizing flags may
 		// be silently ignored. Flags that would change WHAT runs must
 		// hard-error instead of producing a misleading "OK" for a sweep
-		// the user did not select.
+		// the user did not select. -durable is in the list even though the
+		// digest is durability-invariant by design: the gate re-asserts the
+		// exact configuration the pin was recorded under (Durable=false),
+		// and the invariance itself has its own pins
+		// (core.TestDurableDigestInvariance, bench's recover tests).
 		conflict := *fig != "all" || *matrix
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "system", "scheme", "seed", "theta", "adaptive", "adapt-interval":
+			case "system", "scheme", "seed", "theta", "adaptive", "adapt-interval", "durable", "faults":
 				conflict = true
 			}
 		})
 		if conflict {
-			fmt.Fprintln(os.Stderr, "-golden runs the pinned sweep; it is mutually exclusive with -fig, -matrix, -system, -scheme, -seed, -theta, -adaptive and -adapt-interval")
+			fmt.Fprintln(os.Stderr, "-golden runs the pinned sweep; it is mutually exclusive with -fig, -matrix, -system, -scheme, -seed, -theta, -adaptive, -adapt-interval, -durable and -faults")
 			os.Exit(2)
 		}
 		runGoldenGate()

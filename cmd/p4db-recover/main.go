@@ -1,8 +1,32 @@
-// Command p4db-recover demonstrates switch-state durability and recovery
-// (Section 6.1 / Figure 9): it runs hot SmallBank transactions on the
-// switch, "loses" the responses of a few in-flight transactions, crashes
-// the switch, and reconstructs the exact pre-crash register state from the
-// per-node write-ahead logs.
+// Command p4db-recover drives the engine-level crash-recovery path end to
+// end (Section 6.1 / Figure 9): it runs a durable cluster
+// (core.Config.Durable — every commit path retains its write-ahead record
+// before the outcome is externalized), crashes the chosen component
+// mid-run via core.FaultPlan, lets in-simulation recovery rebuild the
+// lost state from the per-node logs, and verifies the oracle: the
+// recovered run's final state digest must equal the digest of an
+// identical run with no fault injected. The crash handler is
+// zero-perturbation (no RNG draws, no scheduled events), so any byte
+// recovery fails to reconstruct shows up as a digest mismatch.
+//
+// Usage:
+//
+//	p4db-recover [-fault switch|node|coord|sequencer] [-at us] [-node id]
+//	             [-nodes n] [-seed n]
+//
+// Fault kinds and the engine each one exercises:
+//
+//	switch     P4DB: the switch register file, locks and GID counter are
+//	           wiped; recovery replays every node's switch intents in GID
+//	           order, gap-fitting records whose response was in flight.
+//	node       No-Switch 2PL/2PC: one node's partition is redone from the
+//	           committed cold records of all node logs, merged in LSN
+//	           (decision-time) order onto the load-time image.
+//	coord      the same redo with the crashed node in its 2PC-coordinator
+//	           role: presumed abort resolves its in-doubt transactions.
+//	sequencer  Calvin: a standby sequencer replays the epoch log against
+//	           the logged initial RNG state, reproducing the exact
+//	           permutation stream before adopting the role.
 package main
 
 import (
@@ -11,91 +35,80 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/pisa"
 	"repro/internal/sim"
-	"repro/internal/txnwire"
-	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
 func main() {
+	kind := flag.String("fault", "switch", "component to crash: switch, node, coord or sequencer")
+	atUs := flag.Float64("at", 800, "crash instant in virtual µs (must fall inside the run)")
+	node := flag.Int("node", 0, "crashed node for -fault node/coord")
 	nodes := flag.Int("nodes", 4, "database nodes")
-	lose := flag.Int("lose", 2, "in-flight responses to lose before the crash")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	flag.Parse()
 
+	var plan core.FaultPlan
+	var engineName string
+	switch *kind {
+	case "switch":
+		plan.Kind, engineName = core.SwitchCrash, "p4db"
+	case "node":
+		plan.Kind, engineName = core.NodeCrash, "noswitch"
+	case "coord":
+		plan.Kind, engineName = core.CoordCrash, "noswitch"
+	case "sequencer":
+		plan.Kind, engineName = core.SequencerCrash, "calvin"
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fault %q (want switch, node, coord or sequencer)\n", *kind)
+		os.Exit(2)
+	}
+	plan.At = sim.Time(*atUs * float64(sim.Microsecond))
+	plan.Node = *node
+
 	cfg := core.DefaultConfig()
-	cfg.Engine = "p4db" // recovery needs the switch, so the engine is fixed
+	cfg.Engine = engineName
 	cfg.Nodes = *nodes
-	cfg.WorkersPerNode = 4
+	cfg.WorkersPerNode = 6
 	cfg.Seed = *seed
 	cfg.SampleTxns = 12000
 	cfg.Switch.SlotsPerArray = 256
+	cfg.Durable = true
+	cfg.CaptureState = true
 
-	sbc := workload.DefaultSmallBank(*nodes, 5)
-	sbc.AccountsPerNode = 500
-	sbc.HotTxnPct = 100
-	gen := workload.NewSmallBank(sbc)
-	c := core.NewCluster(cfg, gen)
-
-	res := c.Run(500*sim.Microsecond, 2*sim.Millisecond)
-	fmt.Printf("ran %d transactions (%d on the switch)\n", res.Counters.Committed(), res.SwitchTxns)
-
-	logs := make([]*wal.Log, *nodes)
-	total := 0
-	for i := range logs {
-		logs[i] = c.Node(i).Log()
-		total += len(logs[i].SwitchRecords())
+	gen := func() *workload.YCSB {
+		wc := workload.YCSBWorkloadA(*nodes)
+		wc.DistPct = 50
+		return workload.NewYCSB(wc)
 	}
-	fmt.Printf("write-ahead logs hold %d switch records across %d nodes\n", total, *nodes)
+	warmup, measure := 500*sim.Microsecond, 2*sim.Millisecond
 
-	// Lose responses of purely-additive records (in-flight at the crash):
-	// their GIDs become unknown and recovery must fit them into the serial
-	// order via the read/write-set analysis of Figure 9.
-	lost := 0
-	for _, l := range logs {
-		for _, rec := range l.SwitchRecords() {
-			if lost >= *lose || !rec.HasGID {
-				continue
-			}
-			additive := len(rec.Instrs) > 0
-			for _, in := range rec.Instrs {
-				if in.Op != txnwire.OpAdd {
-					additive = false
-					break
-				}
-			}
-			if additive {
-				rec.HasGID = false
-				rec.GID = 0
-				rec.Results = nil
-				lost++
-			}
-		}
-	}
-	fmt.Printf("simulated crash with %d in-flight (GID-less) records\n", lost)
+	// The oracle: the same seeded run with no fault. Durability gates
+	// record retention only, so this is exactly the state the recovered
+	// run must land on.
+	golden := core.NewCluster(cfg, gen()).Run(warmup, measure)
+	fmt.Printf("golden run: %d committed, state digest %s\n",
+		golden.Counters.Committed(), golden.StateDigest[:16])
 
-	want := c.Switch().Snapshot()
-	c.Switch().Reset()
-	c.Switch().Restore(c.Baseline())
-	fresh := func() wal.Replayer {
-		scratch := pisa.New(sim.NewEnv(0), cfg.Switch)
-		scratch.Restore(c.Baseline())
-		return scratch
+	cfg.Fault = &plan
+	res := core.NewCluster(cfg, gen()).Run(warmup, measure)
+	st := res.Recovery
+	fmt.Printf("crashed %s at %v on engine %s\n", st.Kind, st.At, engineName)
+	fmt.Printf("recovery scanned %d log records", st.LogRecords)
+	switch plan.Kind {
+	case core.SwitchCrash:
+		fmt.Printf("; replayed %d switch txns (%d gap-fitted, %d left in fabric)", st.SwitchReplayed, st.ResponsesLost, st.InFabric)
+	case core.NodeCrash, core.CoordCrash:
+		fmt.Printf("; redid %d cold records (%d writes, %d rows in doubt)", st.ColdRedone, st.WritesRedone, st.InDoubt)
+	case core.SequencerCrash:
+		fmt.Printf("; standby replayed %d epochs", st.EpochsReplayed)
 	}
-	replayed, nextGID, err := wal.RecoverSwitch(logs, fresh, c.Switch())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "recovery failed: %v\n", err)
+	fmt.Printf("\nmodeled recovery latency: %v\n", st.RecoveryTime)
+	fmt.Printf("recovered run: %d committed, state digest %s\n",
+		res.Counters.Committed(), res.StateDigest[:16])
+
+	if res.StateDigest != golden.StateDigest {
+		fmt.Fprintln(os.Stderr, "MISMATCH: recovered state diverged from the no-fault golden state")
 		os.Exit(1)
 	}
-	fmt.Printf("replayed %d switch transactions; next GID %d\n", replayed, nextGID)
-
-	got := c.Switch().Snapshot()
-	for i := range got {
-		if got[i] != want[i] {
-			fmt.Fprintf(os.Stderr, "MISMATCH at register %d: recovered %d, pre-crash %d\n", i, got[i], want[i])
-			os.Exit(1)
-		}
-	}
-	fmt.Println("recovered switch state matches the pre-crash state exactly")
+	fmt.Println("recovered state matches the no-fault golden state bit for bit")
 }

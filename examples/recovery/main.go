@@ -1,9 +1,21 @@
-// Recovery example: the exact Figure 9 scenario from the paper, driven
-// through the public packages. Two warm transactions T1 and T2 both
-// increment a hot tuple x on the switch; Node1 crashes before receiving
-// T1's response, then the switch crashes too. Recovery reconstructs the
-// serial order (T1 before T2) from T2's logged read x=6 and restores the
-// switch to exactly x=6.
+// Recovery example: the engine-level durability story end to end.
+//
+// core.Config.Durable arms write-ahead logging on every commit path: warm
+// transactions retain their switch intent BEFORE the packet leaves the
+// node (the response's GID is back-filled when it arrives — a record
+// without one marks a response lost in flight, exactly Figure 9's "GID=?"
+// case), and cold transactions retain their redo record at the 2PC
+// decision point. core.FaultPlan then crashes the switch mid-run: its
+// register file, lock table and GID counter are wiped, and recovery
+// rebuilds them in-simulation by replaying every node's logged intents in
+// GID order — GID-less records are fitted into their GID gaps and the
+// whole sequence is verified against the logged read/write results
+// (Figure 9's analysis) before it is accepted.
+//
+// The correctness oracle is digest equality: the crash handler perturbs
+// nothing (no RNG draws, no scheduled events), so the recovered run must
+// finish in exactly the state of an identical run with no fault. Any byte
+// recovery loses or invents shows up in the final state digest.
 //
 //	go run ./examples/recovery
 package main
@@ -12,75 +24,48 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/pisa"
+	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/txnwire"
-	"repro/internal/wal"
+	"repro/internal/workload"
 )
 
 func main() {
-	env := sim.NewEnv(1)
-	cfg := pisa.DefaultConfig()
-	cfg.SlotsPerArray = 16
-	sw := pisa.New(env, cfg)
+	cfg := core.DefaultConfig()
+	cfg.Engine = "p4db" // the switch-crash story needs offloaded tuples
+	cfg.Nodes = 4
+	cfg.WorkersPerNode = 6
+	cfg.SampleTxns = 12000
+	cfg.Switch.SlotsPerArray = 256
+	cfg.Durable = true      // retain WAL records on every commit path
+	cfg.CaptureState = true // fill Result.StateDigest — the oracle
 
-	// Offload: x starts at 1 (as in Figure 9).
-	sw.WriteRegister(0, 0, 0, 1)
-	baseline := sw.Snapshot()
-	fmt.Println("offloaded x=1 to switch register s0/a0[0]")
-
-	log1, log2 := wal.NewLog(1), wal.NewLog(2)
-	add := func(delta int64) []txnwire.Instr {
-		return []txnwire.Instr{{Op: txnwire.OpAdd, Stage: 0, Array: 0, Index: 0, Operand: delta}}
+	gen := func() *workload.SmallBank {
+		sbc := workload.DefaultSmallBank(cfg.Nodes, 5)
+		sbc.AccountsPerNode = 500
+		return workload.NewSmallBank(sbc)
 	}
+	warmup, measure := 500*sim.Microsecond, 2*sim.Millisecond
 
-	// T1 (Node1): x += 2. The intent is logged BEFORE sending — switch
-	// transactions count as committed at that point. Node1 then crashes
-	// before the response arrives, so its record keeps GID "?".
-	env.Spawn("node1", func(p *sim.Proc) {
-		log1.AppendSwitchIntent(1, add(2))
-		if _, err := sw.Exec(p, &txnwire.Packet{Header: txnwire.Header{TxnID: 1}, Instrs: add(2)}); err != nil {
-			panic(err)
-		}
-	})
-	env.Run()
-	fmt.Println("T1 executed x+=2 on the switch; Node1 crashed before the response (log entry: GID=?)")
+	// First, the golden run: same seed, same workload, no fault.
+	golden := core.NewCluster(cfg, gen()).Run(warmup, measure)
+	fmt.Printf("golden run:    %d committed (%d on the switch), digest %s\n",
+		golden.Counters.Committed(), golden.SwitchTxns, golden.StateDigest[:16])
 
-	// T2 (Node2): x += 3, completes normally and logs GID + result x=6.
-	env2 := sim.NewEnv(2)
-	env2.Spawn("node2", func(p *sim.Proc) {
-		rec := log2.AppendSwitchIntent(2, add(3))
-		resp, err := sw.Exec(p, &txnwire.Packet{Header: txnwire.Header{TxnID: 2}, Instrs: add(3)})
-		if err != nil {
-			panic(err)
-		}
-		rec.Complete(resp)
-		fmt.Printf("T2 executed x+=3 and logged {GID=%d, x=%d}\n", resp.GID, resp.Results[0].Value)
-	})
-	env2.Run()
+	// Now the same run with the switch crashing mid-measurement.
+	cfg.Fault = &core.FaultPlan{Kind: core.SwitchCrash, At: 1200 * sim.Microsecond}
+	res := core.NewCluster(cfg, gen()).Run(warmup, measure)
+	st := res.Recovery
+	fmt.Printf("switch crashed at %v: scanned %d intents, replayed %d in GID order\n",
+		st.At, st.LogRecords, st.SwitchReplayed)
+	fmt.Printf("  %d responses lost in the crash were gap-fitted; %d packets still in the fabric were excluded\n",
+		st.ResponsesLost, st.InFabric)
+	fmt.Printf("  modeled recovery latency: %v\n", st.RecoveryTime)
+	fmt.Printf("recovered run: %d committed (%d on the switch), digest %s\n",
+		res.Counters.Committed(), res.SwitchTxns, res.StateDigest[:16])
 
-	fmt.Printf("pre-crash switch state: x=%d\n", sw.ReadRegister(0, 0, 0))
-
-	// The switch crashes: all registers and the GID counter are lost.
-	sw.Reset()
-	sw.Restore(baseline)
-	fmt.Println("switch crashed and was restored to the offload baseline (x=1)")
-
-	fresh := func() wal.Replayer {
-		scratch := pisa.New(sim.NewEnv(0), cfg)
-		scratch.Restore(baseline)
-		return scratch
-	}
-	n, nextGID, err := wal.RecoverSwitch([]*wal.Log{log1, log2}, fresh, sw)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "recovery failed: %v\n", err)
+	if res.StateDigest != golden.StateDigest {
+		fmt.Fprintln(os.Stderr, "recovered state diverged from the golden run")
 		os.Exit(1)
 	}
-	fmt.Printf("recovery replayed %d transactions (next GID %d)\n", n, nextGID)
-	fmt.Printf("recovered switch state: x=%d\n", sw.ReadRegister(0, 0, 0))
-	if got := sw.ReadRegister(0, 0, 0); got != 6 {
-		fmt.Fprintf(os.Stderr, "expected x=6 (T1 before T2, pinned by T2's logged read)\n")
-		os.Exit(1)
-	}
-	fmt.Println("order T1 -> T2 was reconstructed from the read/write-set dependency, as in Figure 9")
+	fmt.Println("recovered state equals the no-fault golden state bit for bit")
 }

@@ -65,7 +65,19 @@ type Options struct {
 	// batching determinism test runs the golden sweep both ways and
 	// asserts the digest does not move.
 	Unbatched bool
-	Progress  io.Writer // per-run progress lines; nil for silent
+	// Durable turns on WAL retention (core.Config.Durable) in every
+	// cluster the sweep builds. Durability gates record retention only —
+	// every commit path pays its log-append delay unconditionally — so
+	// rows and digests are bit-identical either way;
+	// core.TestDurableDigestInvariance pins that, and the fault cells
+	// force it on regardless.
+	Durable bool
+	// Faults appends the crash-recovery dimension to the scenario matrix
+	// (see FaultMatrix): golden + fault-injected cells per workload and
+	// recovery story, with recovered-state-equals-golden digest
+	// assertions. Ignored by the figure sweeps.
+	Faults   bool
+	Progress io.Writer // per-run progress lines; nil for silent
 }
 
 // Default returns the paper-scale options: 8 nodes, 8-20 worker threads.
@@ -117,6 +129,7 @@ func (o Options) config(sys string, pol lock.Policy, workers int) core.Config {
 	cfg.NoDeliveryBatching = o.Unbatched
 	cfg.Adaptive = o.Adaptive
 	cfg.AdaptInterval = o.AdaptInterval
+	cfg.Durable = o.Durable
 	return cfg
 }
 

@@ -158,8 +158,8 @@ func TestQuickAndDefaultOptionsSane(t *testing.T) {
 			t.Fatalf("bad options: %+v", o)
 		}
 	}
-	if len(Figures) != 17 {
-		t.Fatalf("figure registry has %d entries, want 17 (14 paper figures + calvin + scale + drift)", len(Figures))
+	if len(Figures) != 18 {
+		t.Fatalf("figure registry has %d entries, want 18 (14 paper figures + calvin + scale + drift + recover)", len(Figures))
 	}
 }
 

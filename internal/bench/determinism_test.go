@@ -145,6 +145,34 @@ func TestDriftSweepDeterministic(t *testing.T) {
 	t.Logf("drift digest: %s (serial == parallel)", a)
 }
 
+// TestRecoverSweepDeterministic asserts the crash-recovery sweep's
+// contract: the reduced recovery sweep — switch-crash, coordinator-crash
+// and sequencer-failover, each at a shallow and a deep crash point —
+// produces bit-identical digests serially and on a parallel pool, and
+// both equal the committed testdata/recover.digest pin. Every cell runs
+// the full durability story (WAL retention on all commit paths, seeded
+// mid-run crash, in-sim recovery), so any nondeterminism in log append
+// order, gap-fitting replay, cold redo or the sequencer standby moves a
+// row and fails this test.
+func TestRecoverSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six durable crash runs; skipped with -short")
+	}
+	pinned := RecoverDigest()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(pinned) {
+		t.Fatalf("testdata/recover.digest does not hold a SHA-256 hex digest: %q", pinned)
+	}
+	a := Digest(RecoverSweep(1))
+	b := Digest(RecoverSweep(4))
+	if a != b {
+		t.Fatalf("recover sweep digest depends on parallelism:\n  serial:   %s\n  parallel: %s", a, b)
+	}
+	if a != pinned {
+		t.Fatalf("recover sweep digest moved off the pin:\n  got:    %s\n  pinned: %s\n(deliberate change? update internal/bench/testdata/recover.digest and record why in BENCH_sim.json)", a, pinned)
+	}
+	t.Logf("recover digest: %s (serial == parallel)", a)
+}
+
 // TestBatchedDeliveryDigestInvariant proves delivery batching is a pure
 // event-count optimization: the golden sweep with per-destination
 // coalescing disabled (every one-way message its own scheduled event)

@@ -544,23 +544,24 @@ func All(o Options) []Row { return o.executeAll(allPlans(o)) }
 // builds every plan from here to check which ones really consult
 // Options.Systems.
 var figurePlans = map[string]func(Options) plan{
-	"1":      fig01Plan,
-	"11t":    fig11tPlan,
-	"11d":    fig11dPlan,
-	"12":     fig12Plan,
-	"13t":    fig13tPlan,
-	"13d":    fig13dPlan,
-	"14t":    fig14tPlan,
-	"14d":    fig14dPlan,
-	"15ab":   fig15abPlan,
-	"15c":    fig15cPlan,
-	"16":     fig16Plan,
-	"17":     fig17Plan,
-	"18a":    fig18aPlan,
-	"18b":    fig18bPlan,
-	"calvin": figCalvinPlan,
-	"scale":  figScalePlan,
-	"drift":  figDriftPlan,
+	"1":       fig01Plan,
+	"11t":     fig11tPlan,
+	"11d":     fig11dPlan,
+	"12":      fig12Plan,
+	"13t":     fig13tPlan,
+	"13d":     fig13dPlan,
+	"14t":     fig14tPlan,
+	"14d":     fig14dPlan,
+	"15ab":    fig15abPlan,
+	"15c":     fig15cPlan,
+	"16":      fig16Plan,
+	"17":      fig17Plan,
+	"18a":     fig18aPlan,
+	"18b":     fig18bPlan,
+	"calvin":  figCalvinPlan,
+	"scale":   figScalePlan,
+	"drift":   figDriftPlan,
+	"recover": figRecoverPlan,
 }
 
 // Figures maps figure ids (as used by cmd/p4db-bench -fig) to runners.

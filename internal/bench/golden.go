@@ -137,3 +137,16 @@ func DriftSweep(parallel int) []Row {
 	o.Parallel = parallel
 	return o.execute(driftPlan(o, []int{4}))
 }
+
+// recoverDigestFile pins the recovery sweep's digest the same way
+// drift.digest pins the drift figure (see goldenDigestFile). The full
+// `-fig recover` figure crashes at three depths; the pin covers the
+// shallow and deep crash points, which still cross all three recovery
+// stories end to end: durable WALs on every commit path, the seeded
+// crash, in-sim recovery, and the recovered-state digest oracle.
+//
+//go:embed testdata/recover.digest
+var recoverDigestFile string
+
+// RecoverDigest returns the pinned digest of the reduced recovery sweep.
+func RecoverDigest() string { return strings.TrimSpace(recoverDigestFile) }

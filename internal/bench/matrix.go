@@ -112,5 +112,12 @@ func matrixPlan(o Options) plan {
 }
 
 // Matrix runs the engines × workloads × schemes grid and returns one row
-// per cell, grouped by workload.
-func Matrix(o Options) []Row { return o.execute(matrixPlan(o)) }
+// per cell, grouped by workload. With Options.Faults it appends the
+// crash-recovery dimension (see FaultMatrix).
+func Matrix(o Options) []Row {
+	rows := o.execute(matrixPlan(o))
+	if o.Faults {
+		rows = append(rows, FaultMatrix(o)...)
+	}
+	return rows
+}

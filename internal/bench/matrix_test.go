@@ -127,6 +127,49 @@ func TestMatrixDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestFaultMatrixCells asserts the shape and oracle of the matrix's
+// crash-recovery dimension: for each of the three workloads and three
+// recovery stories there is a golden cell (X "none", zero recovery
+// latency, speedup 1) and a fault cell (X = fault kind, positive modeled
+// recovery latency). The load-bearing check — recovered state digest
+// equals the no-fault golden digest, per pair — runs inside FaultMatrix
+// itself and panics on divergence, so this test reaching row assertions
+// means all nine recoveries verified.
+func TestFaultMatrixCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eighteen durable runs; skipped with -short")
+	}
+	o := matrixOpts()
+	o.Parallel = 4
+	rows := FaultMatrix(o)
+
+	if len(rows) != 18 { // 3 workloads x 3 stories x {golden, fault}
+		t.Fatalf("fault dimension has %d rows, want 18", len(rows))
+	}
+	kinds := map[string]int{}
+	for i := 0; i < len(rows); i += 2 {
+		golden, fault := rows[i], rows[i+1]
+		if golden.X != "none" || golden.Value != 0 || golden.Speedup != 1 {
+			t.Fatalf("malformed golden cell: %+v", golden)
+		}
+		if fault.X == "none" || fault.Value <= 0 {
+			t.Fatalf("fault cell missing recovery latency: %+v", fault)
+		}
+		if fault.Workload != golden.Workload || fault.Series != golden.Series {
+			t.Fatalf("fault cell %+v not paired with its golden cell %+v", fault, golden)
+		}
+		if fault.Speedup <= 0 {
+			t.Fatalf("fault cell missing throughput ratio vs golden: %+v", fault)
+		}
+		kinds[fault.X]++
+	}
+	for _, k := range []string{"switch-crash", "coord-crash", "sequencer-failover"} {
+		if kinds[k] != 3 {
+			t.Fatalf("fault kind %q covers %d workloads, want 3 (got %v)", k, kinds[k], kinds)
+		}
+	}
+}
+
 // TestMatrixSystemsOverride restricts the engine axis through
 // Options.Systems and keeps the baseline anchored when present.
 func TestMatrixSystemsOverride(t *testing.T) {

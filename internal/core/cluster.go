@@ -26,6 +26,9 @@ type Cluster struct {
 	ctx *engine.Context
 
 	baseline []int64 // switch registers right after offload (recovery base)
+
+	redoBase *store.Store   // crashed partition's load-time image (node-crash redo)
+	recovery *RecoveryStats // filled by the fault handler once it fired
 }
 
 // NewCluster builds and loads the system: it creates the nodes, populates
@@ -63,6 +66,7 @@ func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 		Policy:    cfg.Policy,
 		SwitchCfg: cfg.Switch,
 		BatchSize: cfg.BatchSize,
+		Durable:   cfg.Durable,
 	}
 	if cfg.NoDeliveryBatching {
 		ctx.Net.SetCoalescing(false)
@@ -97,6 +101,9 @@ func NewCluster(cfg Config, gen workload.Generator) *Cluster {
 			capRows = cfg.HotSetCap
 		}
 		ctx.StartAdaptive(interval, capRows)
+	}
+	if cfg.Fault != nil {
+		c.installFault(cfg.Fault)
 	}
 	return c
 }
@@ -253,6 +260,13 @@ type Result struct {
 	Demoted    int64
 	FenceWaits int64
 
+	// Recovery reports what the crash handler did when the run carried a
+	// FaultPlan; nil otherwise. StateDigest is the cluster's full state
+	// digest after the run (Config.CaptureState); the fault matrix pins
+	// fault-injected digests against their no-fault golden cells.
+	Recovery    *RecoveryStats
+	StateDigest string
+
 	// Events is the number of simulator events the whole run executed
 	// (warmup + measurement) and WallSeconds the wall-clock time it took:
 	// together they measure the harness itself, not the simulated system.
@@ -287,10 +301,10 @@ func (c *Cluster) Run(warmup, measure sim.Time) *Result {
 	for _, n := range c.ctx.Nodes {
 		for w := 0; w < c.cfg.WorkersPerNode; w++ {
 			rng := c.env.Rand().Fork(uint64(n.ID())<<16 | uint64(w))
-			// Workers are continuation-driven state machines, not
-			// processes: StartWorker's initial After(0, ·) draws the same
-			// event sequence number the worker's Spawn used to, so seeded
-			// schedules are unchanged.
+			// Workers are continuation-driven state machines (see
+			// engine.Context.StartWorker): each one is a chain of scheduled
+			// callbacks, so a run's schedule is fully determined by the
+			// seed and the spawn order here.
 			c.ctx.StartWorker(c.eng, n, rng)
 		}
 	}
@@ -315,6 +329,13 @@ func (c *Cluster) Run(warmup, measure sim.Time) *Result {
 		res.Counters.Merge(n.Counters())
 		res.Breakdown.Merge(n.Breakdown())
 		res.Latency.Merge(n.Latency())
+	}
+	if c.cfg.Fault != nil && c.recovery == nil {
+		panic(fmt.Sprintf("core: fault scheduled at %v never fired (run ended at %v)", c.cfg.Fault.At, c.env.Now()))
+	}
+	res.Recovery = c.recovery
+	if c.cfg.CaptureState {
+		res.StateDigest = c.StateDigest()
 	}
 	c.env.Shutdown()
 	return res

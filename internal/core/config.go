@@ -100,6 +100,26 @@ type Config struct {
 	// selects DefaultAdaptInterval.
 	AdaptInterval sim.Time
 
+	// Durable wires the write-ahead log into every commit path: switch
+	// intents are retained before the packet leaves the node (and
+	// back-filled with the GID from the response), and cold transactions
+	// append their redo record at the 2PC commit decision. Every commit
+	// path already pays its log-append latency unconditionally, so Durable
+	// gates only whether record DATA is retained: seeded schedules — and
+	// therefore the golden digests — are bit-identical with Durable on or
+	// off, and the off path stays allocation-free. Off by default.
+	Durable bool
+	// Fault schedules one crash during the run; recovery rebuilds the lost
+	// state from the WALs in-simulation and the run continues. Requires
+	// Durable (there is nothing to recover from otherwise) and is rejected
+	// alongside Adaptive (a migrating layout invalidates the offload
+	// baseline recovery replays from). See FaultPlan.
+	Fault *FaultPlan
+	// CaptureState fills Result.StateDigest with the cluster's full
+	// logical state digest after the run — the oracle the fault matrix
+	// uses to assert recovered state equals the no-fault run bit for bit.
+	CaptureState bool
+
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	Seed uint64
 }

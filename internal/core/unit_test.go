@@ -34,6 +34,7 @@ func TestClassifyHotColdWarm(t *testing.T) {
 
 func TestGIDsInLogsAreUniqueAcrossNodes(t *testing.T) {
 	cfg := smallConfig("p4db")
+	cfg.Durable = true // the WAL retains records only on durable runs
 	wcfg := workload.YCSBWorkloadA(cfg.Nodes)
 	wcfg.HotTxnPct = 100
 	wcfg.RowsPerNode = 1 << 20

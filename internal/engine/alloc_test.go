@@ -3,7 +3,9 @@ package engine
 import (
 	"testing"
 
+	"repro/internal/lock"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // TestAttemptPoolRecycleZeroAlloc pins the attempt free-list cycle —
@@ -26,5 +28,41 @@ func TestAttemptPoolRecycleZeroAlloc(t *testing.T) {
 		c.releaseAttempt(at)
 	}); avg != 0 {
 		t.Fatalf("attempt recycle allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestDurableOffWriteCaptureZeroAlloc pins the durability gate's
+// allocation discipline: with Context.Durable off, the write path through
+// applyOp retains no redo images and must allocate nothing in steady
+// state — durability costs the non-durable configuration zero bytes. The
+// durable contrast run must allocate: each commit hands its capture slice
+// to the WAL by reference, so every attempt builds a fresh one.
+func TestDurableOffWriteCaptureZeroAlloc(t *testing.T) {
+	env := sim.NewEnv(1)
+	sch, err := LookupScheme(Scheme2PL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(0, env, lock.NoWait, sch)
+	tb := n.store.CreateTable(1, "t", 2)
+	tb.Set(1, 0, 0)
+	c := &Context{Env: env, Nodes: []*Node{n}}
+	op := workload.Op{Table: 1, Key: 1, Field: 0, Kind: workload.Add, Value: 1, DependsOn: -1}
+
+	cycle := func() {
+		at := c.newAttempt()
+		c.applyOp(at, 0, op)
+		c.applyOp(at, 0, op)
+		c.releaseAttempt(at)
+	}
+	cycle() // prime the attempt pool and the undo slice capacity
+	if avg := testing.AllocsPerRun(1000, cycle); avg != 0 {
+		t.Fatalf("Durable-off write path allocates %.2f objects/op, want 0", avg)
+	}
+
+	c.Durable = true
+	cycle()
+	if avg := testing.AllocsPerRun(100, cycle); avg == 0 {
+		t.Fatal("Durable-on write path allocated nothing — redo images are not being captured")
 	}
 }

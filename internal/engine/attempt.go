@@ -134,7 +134,7 @@ func (c *Context) applyOp(at *attempt, id netsim.NodeID, op workload.Op) {
 		})
 	}
 	at.exec.Apply(tb, op)
-	if op.Kind.IsWrite() {
+	if op.Kind.IsWrite() && c.Durable {
 		at.writes = append(at.writes, wal.ColdWrite{
 			Table: op.Table, Key: op.Key, Field: op.Field,
 			Value: tb.Get(op.Key, op.Field),
@@ -365,6 +365,7 @@ type coldFrame struct {
 
 	startFn    func()
 	opsDoneFn  func(error)
+	decidedFn  func(bool)
 	commitedFn func(bool)
 	logDoneFn  func()
 }
@@ -378,6 +379,7 @@ func (c *Context) getColdFrame() *coldFrame {
 	f := &coldFrame{c: c}
 	f.startFn = f.start
 	f.opsDoneFn = f.opsDone
+	f.decidedFn = f.decided
 	f.commitedFn = f.committed
 	f.logDoneFn = f.logDone
 	return f
@@ -421,7 +423,20 @@ func (f *coldFrame) opsDone(err error) {
 		return
 	}
 	f.loc = false
-	f.c.coordOf(f.n).CommitK(f.c.coldParticipants(f.at, remotes), f.commitedFn)
+	f.c.coordOf(f.n).CommitDecidedK(f.c.coldParticipants(f.at, remotes), f.decidedFn, f.commitedFn)
+}
+
+// decided runs synchronously at the 2PC decision point, before the
+// decision round is scheduled: presumed-abort logging retains the commit
+// record the instant the outcome is known, so a coordinator crash after
+// this point can redo the transaction from its log. Only commit decisions
+// leave a record. With Durable off the attempt captured no redo images
+// and nothing is retained.
+func (f *coldFrame) decided(commit bool) {
+	if commit && f.c.Durable {
+		f.n.log.AppendCold(f.at.ts, f.at.writes)
+		f.at.writes = nil // the WAL record owns the slice now
+	}
 }
 
 func (f *coldFrame) committed(bool) {
@@ -444,8 +459,10 @@ func (f *coldFrame) logDone() {
 
 // commitColdK commits the attempt's node-side state and calls k: a
 // single-node commit logs and releases locally; a distributed commit runs
-// 2PC over the remote participants first. The cold frame inlines this
-// sequence; the LM-Switch and fallback paths call it directly.
+// 2PC over the remote participants first, retaining the commit record at
+// the decision point when Durable (see coldFrame.decided). The cold frame
+// inlines this sequence; the LM-Switch and fallback paths call it
+// directly.
 func (c *Context) commitColdK(n *Node, at *attempt, k func()) {
 	t0 := c.Env.Now()
 	fin := func() {
@@ -462,7 +479,12 @@ func (c *Context) commitColdK(n *Node, at *attempt, k func()) {
 		fin()
 		return
 	}
-	c.coordOf(n).CommitK(c.coldParticipants(at, remotes), func(bool) { fin() })
+	c.coordOf(n).CommitDecidedK(c.coldParticipants(at, remotes), func(commit bool) {
+		if commit && c.Durable {
+			n.log.AppendCold(at.ts, at.writes)
+			at.writes = nil
+		}
+	}, func(bool) { fin() })
 }
 
 // coldParticipants builds the 2PC participant handlers for the attempt's

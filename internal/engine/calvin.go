@@ -77,10 +77,12 @@ func (calvinEngine) Prepare(ctx *Context) error {
 	if batch == 0 {
 		batch = calvinDefaultBatch
 	}
+	rng := ctx.Env.Rand().Fork(0xCA1711)
 	ctx.EngineData = &calvinSequencer{
 		node:  0,
 		batch: batch,
-		rng:   ctx.Env.Rand().Fork(0xCA1711),
+		rng:   rng,
+		rng0:  *rng, // standby baseline: the freshly forked state, pre-epoch
 	}
 	return nil
 }
@@ -115,6 +117,15 @@ type calvinSequencer struct {
 	rng     *sim.RNG      // per-batch order; forked from the cluster seed
 	pending []calvinSubmission
 	gen     uint64 // dispatch generation; invalidates the epoch's timer
+
+	// rng0 is the shuffle RNG's state as forked at Prepare, before any
+	// epoch was dispatched. A standby sequencer reconstructs the live
+	// shuffle state by replaying Perm draws from this baseline — Calvin's
+	// replicated input log reduced to its essence: the batch sizes.
+	rng0 sim.RNG
+	// epochs records the size of every dispatched batch when the cluster
+	// is durable; it is the epoch log the standby replays at failover.
+	epochs []int
 }
 
 // enqueue runs at the sequencer node (inside a delivery callback): park
@@ -152,6 +163,9 @@ func (s *calvinSequencer) dispatch(c *Context) {
 	batch := s.pending
 	s.pending = nil
 	s.gen++
+	if c.Durable {
+		s.epochs = append(s.epochs, len(batch))
+	}
 	for _, i := range s.rng.Perm(len(batch)) {
 		sub := batch[i]
 		if sub.node == s.node {
@@ -224,7 +238,7 @@ func (c *Context) calvinLockedExecK(n *Node, txn *workload.Txn, refs []workload.
 		apply := func(id netsim.NodeID, op workload.Op) {
 			tb := c.Nodes[id].store.Table(op.Table)
 			exec.Apply(tb, op)
-			if op.Kind.IsWrite() {
+			if op.Kind.IsWrite() && c.Durable {
 				writes = append(writes, wal.ColdWrite{
 					Table: op.Table, Key: op.Key, Field: op.Field,
 					Value: tb.Get(op.Key, op.Field),
@@ -345,6 +359,38 @@ func (c *Context) calvinLockedExecK(n *Node, txn *workload.Txn, refs []workload.
 		})
 	}
 	lockRuns(0)
+}
+
+// FailoverCalvinSequencer replaces the crashed sequencer with a standby
+// and returns the number of epochs the standby replayed. The standby
+// starts from the shuffle RNG's forked baseline state and replays one
+// Perm draw per logged epoch — reconstructing the exact generator state
+// the live sequencer died with, which it verifies against the live state
+// (the simulation keeps it around precisely to make this check possible;
+// a real standby would have nothing to compare against and simply trust
+// the log). The sequencer struct is adopted in place, the simulation's
+// "virtual IP takeover": parked submissions survive, and an in-flight
+// epoch timer's generation guard remains valid. The cluster must be
+// durable — without the epoch log there is nothing to replay.
+func FailoverCalvinSequencer(c *Context) int {
+	if !c.Durable {
+		panic("engine: calvin sequencer failover without Durable: no epoch log to replay")
+	}
+	s := calvinSequencerOf(c)
+	standby := s.rng0
+	for _, sz := range s.epochs {
+		standby.Perm(sz)
+	}
+	if standby != *s.rng {
+		panic("engine: calvin standby diverges from live sequencer after epoch replay")
+	}
+	if uint64(len(s.epochs)) != s.gen {
+		panic(fmt.Sprintf("engine: calvin epoch log has %d entries but %d epochs dispatched", len(s.epochs), s.gen))
+	}
+	// Adoption: install the replayed state (bit-identical to the live one,
+	// as just verified) and continue sequencing from it.
+	*s.rng = standby
+	return len(s.epochs)
 }
 
 // calvinMode maps a declared lock reference to its table mode.

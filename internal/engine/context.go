@@ -59,11 +59,15 @@ type Node struct {
 // policy, a fresh write-ahead log and the CC bookkeeping of the given
 // scheme.
 func NewNode(id netsim.NodeID, env *sim.Env, pol lock.Policy, sch Scheme) *Node {
+	l := wal.NewLog(int(id))
+	// Commit records carry the virtual clock as their LSN so recovery can
+	// merge cold records across node logs in decision order.
+	l.SetClock(func() uint64 { return uint64(env.Now()) })
 	return &Node{
 		id:    id,
 		store: store.New(),
 		locks: lock.NewTable(env, pol),
-		log:   wal.NewLog(int(id)),
+		log:   l,
 		cc:    sch.NewNodeState(),
 	}
 }
@@ -76,6 +80,10 @@ func (n *Node) Store() *store.Store { return n.store }
 
 // Log exposes the node's write-ahead log (recovery).
 func (n *Node) Log() *wal.Log { return n.log }
+
+// Locks exposes the node's lock table (crash-recovery verification probes
+// it for rows legitimately mid-update at the crash instant).
+func (n *Node) Locks() *lock.Table { return n.locks }
 
 // Counters exposes the node's commit/abort counters (result merging).
 func (n *Node) Counters() *metrics.Counters { return &n.counters }
@@ -154,6 +162,15 @@ type Context struct {
 	// are offloaded into the switch registers; only then does OnSwitch
 	// route operations to the data plane.
 	UseSwitch bool
+	// Durable turns on write-ahead logging (Section 6.1): switch intents
+	// are retained before the packet is sent and back-filled with the
+	// response's GID, and cold commit paths retain their redo records at
+	// the 2PC decision point. Every commit path already waits out its
+	// LogAppend delays unconditionally — Durable gates only the retention
+	// of record data — so a run's event schedule (and its golden digest)
+	// is bit-identical whether logging is on or off, and the off path
+	// allocates nothing for records it will never keep.
+	Durable bool
 	// LMLocks is the in-switch central lock manager of the LM-Switch
 	// baseline, reachable at half an RTT (set by its Prepare).
 	LMLocks *lock.Table

@@ -232,7 +232,7 @@ type mvccAttempt struct {
 
 func (c *Context) newMVCCAttempt() *mvccAttempt {
 	at := &mvccAttempt{
-		bufferedAttempt: newBufferedAttempt(c.issueTS()),
+		bufferedAttempt: newBufferedAttempt(c),
 		readVer:         make(map[netsim.NodeID]map[lock.Key]uint64, 2),
 	}
 	mvccClusterOf(c).begin(at.ts)

@@ -96,7 +96,7 @@ type occAttempt struct {
 
 func (c *Context) newOCCAttempt() *occAttempt {
 	return &occAttempt{
-		bufferedAttempt: newBufferedAttempt(c.issueTS()),
+		bufferedAttempt: newBufferedAttempt(c),
 		reads:           make(map[netsim.NodeID]map[lock.Key]uint64, 2),
 	}
 }

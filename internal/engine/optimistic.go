@@ -69,14 +69,16 @@ type bufferedAttempt struct {
 	wrote   map[netsim.NodeID]map[lock.Key]struct{}     // rows with buffered writes
 	writes  []wal.ColdWrite
 	pinned  []netsim.NodeID // nodes where the attempt holds pins
+	durable bool            // retain redo images for the WAL (Context.Durable)
 }
 
-func newBufferedAttempt(ts uint64) bufferedAttempt {
+func newBufferedAttempt(c *Context) bufferedAttempt {
 	return bufferedAttempt{
-		ts:      ts,
+		ts:      c.issueTS(),
 		exec:    workload.NewExecutor(),
 		overlay: make(map[netsim.NodeID]map[store.GlobalKey]int64, 2),
 		wrote:   make(map[netsim.NodeID]map[lock.Key]struct{}, 2),
+		durable: c.Durable,
 	}
 }
 
@@ -100,7 +102,9 @@ func (at *bufferedAttempt) buffer(n *Node, op workload.Op, v int64) {
 		at.wrote[n.id] = w
 	}
 	w[lock.Key(op.LockKey())] = struct{}{}
-	at.writes = append(at.writes, wal.ColdWrite{Table: op.Table, Key: op.Key, Field: op.Field, Value: v})
+	if at.durable {
+		at.writes = append(at.writes, wal.ColdWrite{Table: op.Table, Key: op.Key, Field: op.Field, Value: v})
+	}
 }
 
 // bufferedView is a private read/write view over buffered writes — the
@@ -334,13 +338,18 @@ func (c *Context) execOptimisticWarmK(n *Node, txn *workload.Txn, newAt func() v
 			proceed := func() {
 				pkt, passes := c.compileHot(hotOps, at.txnTS())
 				c.Env.After(c.Costs.LogAppend, func() {
-					rec := n.log.AppendSwitchIntent(at.txnTS(), pkt.Instrs)
+					var rec *wal.SwitchRecord
+					if c.Durable {
+						rec = n.log.AppendSwitchIntent(at.txnTS(), pkt.Instrs)
+					}
 					coord.SwitchPhaseK(parts, func(done func()) {
 						c.Sw.ExecK(pkt, func(resp *txnwire.Response, xerr error) {
 							if xerr != nil {
 								panic(fmt.Sprintf("engine: switch rejected warm optimistic packet: %v", xerr))
 							}
-							rec.Complete(resp)
+							if rec != nil {
+								rec.Complete(resp)
+							}
 							done()
 						})
 					}, func() {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/txnwire"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -85,7 +86,10 @@ func (c *Context) execWarmK(n *Node, txn *workload.Txn, k func(error)) {
 			}
 			pkt, passes := c.compileHot(hotOps, at.ts)
 			c.Env.After(c.Costs.LogAppend, func() {
-				rec := n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
+				var rec *wal.SwitchRecord
+				if c.Durable {
+					rec = n.log.AppendSwitchIntent(at.ts, pkt.Instrs)
+				}
 				t1 := c.Env.Now()
 				remotes := at.remoteNodes(n.id)
 				coord := c.coordOf(n)
@@ -94,7 +98,9 @@ func (c *Context) execWarmK(n *Node, txn *workload.Txn, k func(error)) {
 						if xerr != nil {
 							panic(fmt.Sprintf("engine: switch rejected warm packet: %v", xerr))
 						}
-						rec.Complete(resp)
+						if rec != nil {
+							rec.Complete(resp)
+						}
 						done()
 					})
 				}, func(ok bool) {

@@ -127,7 +127,13 @@ func (f *hotFrame) compiled() {
 }
 
 func (f *hotFrame) intent() {
-	f.rec = f.n.log.AppendSwitchIntent(f.pkt.Header.TxnID, f.pkt.Instrs)
+	// The intent must be durable BEFORE the packet leaves the node: the
+	// switch cannot abort, so the logged intent is the commit point
+	// (Section 6.1). The LogAppend delay was already paid getting here;
+	// Durable gates only whether the record is retained.
+	if f.c.Durable {
+		f.rec = f.n.log.AppendSwitchIntent(f.pkt.Header.TxnID, f.pkt.Instrs)
+	}
 	buf, err := txnwire.Encode(f.pkt)
 	if err != nil {
 		panic(fmt.Sprintf("engine: packet encode: %v", err))
@@ -153,7 +159,9 @@ func (f *hotFrame) onResp(resp *txnwire.Response, xerr error) {
 }
 
 func (f *hotFrame) switchDone() {
-	f.rec.Complete(f.resp)
+	if f.rec != nil {
+		f.rec.Complete(f.resp)
+	}
 	f.c.charge(f.n, metrics.SwitchTxn, f.t1)
 	if f.c.measuring {
 		if f.passes > 1 {

@@ -420,6 +420,24 @@ func (tb *Table) grantWaiters(key Key, e *entry) {
 	}
 }
 
+// LockedExclusive reports whether key is currently owned in Exclusive
+// mode. Crash-recovery verification uses it to excuse rows whose on-node
+// value is mid-update by a live transaction: a redo log reconstructs the
+// last committed value, which legitimately differs from an uncommitted
+// in-place write.
+func (tb *Table) LockedExclusive(key Key) bool {
+	e := tb.entries[key]
+	if e == nil {
+		return false
+	}
+	for _, m := range e.owners {
+		if m == Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
 // Owners returns the number of current owners of key (for tests).
 func (tb *Table) Owners(key Key) int {
 	if e := tb.entries[key]; e != nil {

@@ -107,6 +107,15 @@ type Switch struct {
 
 	nextGID   uint64
 	busyUntil sim.Time
+	// admitted maps packet TxnID -> assigned GID when admission tracking
+	// is on (see TrackAdmissions); nil otherwise.
+	admitted map[uint64]uint64
+	// midPipeline counts multipass transactions that have been admitted
+	// (GID assigned) but not yet applied their final pass. Their effects
+	// are only partially in the register file, so a crash snapshot taken
+	// while the counter is nonzero is not a replayable state — the fault
+	// injector polls MidPipeline and defers the crash until it drains.
+	midPipeline int
 
 	// Stats is exported for benchmarks and tests.
 	Stats Stats
@@ -177,6 +186,39 @@ func (sw *Switch) Reset() {
 
 // NextGID returns the id the next executed transaction will receive.
 func (sw *Switch) NextGID() uint64 { return sw.nextGID }
+
+// SetNextGID restores the GID counter after recovery. ApplyTxn replays do
+// not advance the counter, so a recovered switch must be told where the
+// serial order left off before it admits new traffic.
+func (sw *Switch) SetNextGID(gid uint64) { sw.nextGID = gid }
+
+// TrackAdmissions makes the switch record the GID it assigned to every
+// admitted packet, keyed by the packet's caller-side TxnID. The simulated
+// crash handler uses the map to split a node's GID-less WAL records into
+// "executed, response in flight" (replayed into gaps) versus "packet still
+// in the fabric, never admitted" (excluded: the lossless simulated fabric
+// will deliver and execute them after recovery). Real hardware cannot
+// observe this distinction and simply replays every logged intent; the
+// tracking exists so the simulation can assert exact state equality.
+// Off by default — the map costs one insert per admission.
+func (sw *Switch) TrackAdmissions() {
+	if sw.admitted == nil {
+		sw.admitted = make(map[uint64]uint64)
+	}
+}
+
+// AdmittedGID reports whether a packet with the given TxnID was admitted
+// (and executed) by the switch, and the GID it received. Only meaningful
+// after TrackAdmissions.
+func (sw *Switch) AdmittedGID(txnID uint64) (uint64, bool) {
+	gid, ok := sw.admitted[txnID]
+	return gid, ok
+}
+
+// MidPipeline returns the number of admitted multipass transactions whose
+// final pass has not yet applied. While nonzero, the register file holds
+// partial transaction effects and is not a consistent recovery target.
+func (sw *Switch) MidPipeline() int { return sw.midPipeline }
 
 // locksFor computes which pipeline lock instances cover the stages a
 // transaction touches. With fine-grained locking the left bit guards the
@@ -255,9 +297,13 @@ func (sw *Switch) Exec(p *sim.Proc, pkt *txnwire.Packet) (*txnwire.Response, err
 
 	gid := sw.nextGID
 	sw.nextGID++
+	if sw.admitted != nil {
+		sw.admitted[pkt.Header.TxnID] = gid
+	}
 	sw.Stats.Txns++
 	if multipass {
 		sw.Stats.MultiPass++
+		sw.midPipeline++
 	} else {
 		sw.Stats.SinglePass++
 	}
@@ -285,6 +331,9 @@ func (sw *Switch) Exec(p *sim.Proc, pkt *txnwire.Packet) (*txnwire.Response, err
 		for _, in := range pass {
 			results = append(results, sw.apply(in, &ctx))
 		}
+	}
+	if multipass {
+		sw.midPipeline--
 	}
 	p.Sleep(sw.cfg.PipelineLatency)
 
@@ -342,9 +391,13 @@ func (sw *Switch) ExecK(pkt *txnwire.Packet, k func(*txnwire.Response, error)) {
 
 		gid := sw.nextGID
 		sw.nextGID++
+		if sw.admitted != nil {
+			sw.admitted[pkt.Header.TxnID] = gid
+		}
 		sw.Stats.Txns++
 		if multipass {
 			sw.Stats.MultiPass++
+			sw.midPipeline++
 		} else {
 			sw.Stats.SinglePass++
 		}
@@ -357,6 +410,7 @@ func (sw *Switch) ExecK(pkt *txnwire.Packet, k func(*txnwire.Response, error)) {
 			if multipass && i == len(passes)-1 {
 				// Unlock when the final pass is admitted (Figure 7).
 				sw.lock.Unlock(needL, needR)
+				sw.midPipeline--
 			}
 			for _, in := range passes[i] {
 				results = append(results, sw.apply(in, &ctx))

@@ -8,10 +8,11 @@ var errStopped = new(int)
 // at a time. All blocking primitives (Sleep, Await, queue waits built on
 // them) suspend the goroutine and return control to the scheduler.
 //
-// COMPATIBILITY SHIM: the transaction engines and the network layer run
-// entirely as callback state machines now (see the package comment), so no
-// Proc is live on the benchmark hot path. The process API is kept because it
-// is the natural style for tests, examples and the recovery tooling, and
+// COMPATIBILITY SHIM: the transaction engines, the network layer and the
+// crash-recovery path run entirely as callback state machines now (recovery
+// executes synchronously inside its crash event — see core's fault
+// injection), so no Proc is live on the benchmark hot path. The process API
+// is kept because it is the natural style for tests and examples, and
 // because process-based and callback-based formulations of the same flow
 // draw identical event sequence numbers — which is exactly what the engine
 // parity tests exploit to drive CPS engines from a straight-line test body.

@@ -19,10 +19,9 @@
 // queue.
 //
 // A process API (Proc: goroutines the scheduler resumes one at a time via
-// channel handoff) remains as a compatibility shim for tests, examples and
-// recovery tooling; see proc.go. Both APIs draw event sequence numbers
-// identically, so a flow produces bit-identical schedules whichever style it
-// is written in.
+// channel handoff) remains as a compatibility shim for tests and examples;
+// see proc.go. Both APIs draw event sequence numbers identically, so a flow
+// produces bit-identical schedules whichever style it is written in.
 package sim
 
 import (

@@ -311,6 +311,29 @@ func (c *Coordinator) CommitK(parts []Participant, k func(bool)) {
 	})
 }
 
+// CommitDecidedK is CommitK with a durability hook: onDecide runs
+// synchronously at the moment the outcome is known — after the last vote
+// lands at the coordinator, before the decision round is scheduled. This
+// is where presumed-abort logging writes the commit record: a coordinator
+// crash before this point aborts the transaction (no record, participants
+// time out and abort), a crash after it redoes from the record. onDecide
+// must not block or schedule events; under that contract CommitDecidedK
+// produces the exact event sequence of CommitK, so turning durability on
+// cannot perturb a seeded run.
+func (c *Coordinator) CommitDecidedK(parts []Participant, onDecide func(bool), k func(bool)) {
+	c.voteK(parts, func(votes bool) {
+		onDecide(votes)
+		c.finishK(parts, votes, func() {
+			if votes {
+				c.Stats.Commits++
+			} else {
+				c.Stats.Aborts++
+			}
+			k(votes)
+		})
+	})
+}
+
 // CommitWithSwitchK is the continuation form of CommitWithSwitch. switchTxn
 // runs "at" the switch and must call its done callback when the in-switch
 // execution completes; k receives the commit outcome.

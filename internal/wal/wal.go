@@ -48,7 +48,13 @@ type ColdWrite struct {
 
 // ColdRecord is the commit record of a transaction's cold part.
 type ColdRecord struct {
-	TxnID     uint64
+	TxnID uint64
+	// LSN orders commit records across node logs: it is stamped from the
+	// node's clock at append time (see Log.SetClock), and conflicting
+	// writers of a row always append in their serialization order (the
+	// second writer acquires the row lock only after the first released
+	// it, which happens after its append). Zero when no clock is set.
+	LSN       uint64
 	Writes    []ColdWrite
 	Committed bool
 }
@@ -56,6 +62,7 @@ type ColdRecord struct {
 // Log is one node's write-ahead log.
 type Log struct {
 	nodeID     int
+	now        func() uint64
 	switchRecs []*SwitchRecord
 	coldRecs   []*ColdRecord
 }
@@ -65,6 +72,11 @@ func NewLog(nodeID int) *Log { return &Log{nodeID: nodeID} }
 
 // NodeID returns the owning node.
 func (l *Log) NodeID() int { return l.nodeID }
+
+// SetClock installs the LSN source for cold commit records (the owning
+// node's virtual clock). Without a clock all LSNs are zero and cold
+// records are ordered only within one log.
+func (l *Log) SetClock(now func() uint64) { l.now = now }
 
 // AppendSwitchIntent logs the intent of a switch transaction before it is
 // sent and returns the record so the caller can back-fill the response.
@@ -88,7 +100,11 @@ func (l *Log) AppendCold(txnID uint64, writes []ColdWrite) {
 	if len(writes) == 0 {
 		return
 	}
-	l.coldRecs = append(l.coldRecs, &ColdRecord{TxnID: txnID, Writes: writes, Committed: true})
+	var lsn uint64
+	if l.now != nil {
+		lsn = l.now()
+	}
+	l.coldRecs = append(l.coldRecs, &ColdRecord{TxnID: txnID, LSN: lsn, Writes: writes, Committed: true})
 }
 
 // SwitchRecords returns the log's switch records in append order.
@@ -110,24 +126,33 @@ type Replayer interface {
 var ErrInconsistentLogs = errors.New("wal: no consistent order for in-flight switch transactions")
 
 // OrderSwitchRecords merges the switch records of all logs into the serial
-// order the switch executed them in. Records with GIDs take their logged
-// position; GID-less (in-flight) records are fitted into the remaining
-// positions by backtracking search, validated by replaying on fresh state:
-// an order is consistent when every record with logged results reproduces
-// them exactly.
+// order the switch executed them in. See OrderRecords for the protocol.
+func OrderSwitchRecords(logs []*Log, fresh func() Replayer) ([]*SwitchRecord, error) {
+	var recs []*SwitchRecord
+	for _, l := range logs {
+		recs = append(recs, l.switchRecs...)
+	}
+	return OrderRecords(recs, fresh)
+}
+
+// OrderRecords reconstructs the serial order the switch executed recs in.
+// Records with GIDs take their logged position; GID-less (in-flight)
+// records are fitted into the remaining positions by backtracking search,
+// validated by replaying on fresh state: an order is consistent when every
+// record with logged results reproduces them exactly.
 //
 // fresh must return a Replayer initialized to the switch state at the time
-// of the offload (the recovery baseline).
-func OrderSwitchRecords(logs []*Log, fresh func() Replayer) ([]*SwitchRecord, error) {
+// of the offload (the recovery baseline). The caller chooses which records
+// participate — whole logs (OrderSwitchRecords) or, when some in-flight
+// packets are known to have never reached the switch, a filtered subset.
+func OrderRecords(recs []*SwitchRecord, fresh func() Replayer) ([]*SwitchRecord, error) {
 	var known []*SwitchRecord
 	var unknown []*SwitchRecord
-	for _, l := range logs {
-		for _, r := range l.switchRecs {
-			if r.HasGID {
-				known = append(known, r)
-			} else {
-				unknown = append(unknown, r)
-			}
+	for _, r := range recs {
+		if r.HasGID {
+			known = append(known, r)
+		} else {
+			unknown = append(unknown, r)
 		}
 	}
 	total := len(known) + len(unknown)

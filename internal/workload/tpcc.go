@@ -146,7 +146,10 @@ func (tc *TPCC) Home(t store.TableID, k store.Key) netsim.NodeID {
 	case TPCCItem:
 		return netsim.NodeID(int(k) % tc.cfg.NumNodes) // replicated read-only catalog
 	case TPCCOrder:
-		return netsim.NodeID(int(k) % tc.cfg.NumNodes)
+		// Order keys come from the per-node insert sequence (self<<40|seq):
+		// node-local by construction, so the partitioner decodes the home
+		// from the key instead of hashing it.
+		return netsim.NodeID(k >> 40)
 	}
 	panic("workload: unknown TPC-C table")
 }
